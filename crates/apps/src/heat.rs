@@ -1,0 +1,247 @@
+//! 1-D heat diffusion (Jacobi relaxation) — the heartbeat category.
+//!
+//! Core functionality: a [`Rod`] of cells with fixed boundary temperatures,
+//! relaxed one Jacobi step at a time. The heartbeat aspect splits the rod
+//! into blocks, and each iteration exchanges the block-edge temperatures
+//! before stepping — the "exchange updated data among objects between
+//! iterations" of §4.1.
+
+use std::sync::Arc;
+
+use weavepar::concurrency::resolve_any;
+use weavepar::prelude::*;
+use weavepar::skeletons::{heartbeat_aspect, HeartbeatConfig};
+use weavepar::weave::value::downcast_ret;
+use weavepar::{args, ret, weaveable};
+
+/// A rod segment with explicit halo cells at both ends.
+pub struct Rod {
+    cells: Vec<f64>,
+    left_halo: f64,
+    right_halo: f64,
+}
+
+impl Rod {
+    /// Current cell values (tests, assembly).
+    pub fn cells(&self) -> &[f64] {
+        &self.cells
+    }
+}
+
+weaveable! {
+    class Rod as RodProxy {
+        fn new(len: u64, initial: f64, left: f64, right: f64) -> Self {
+            Rod { cells: vec![initial; len as usize], left_halo: left, right_halo: right }
+        }
+
+        fn set_halos(&mut self, left: f64, right: f64) {
+            self.left_halo = left;
+            self.right_halo = right;
+        }
+
+        fn edges(&mut self) -> (f64, f64) {
+            let first = self.cells.first().copied().unwrap_or(self.left_halo);
+            let last = self.cells.last().copied().unwrap_or(self.right_halo);
+            (first, last)
+        }
+
+        fn step(&mut self) {
+            let n = self.cells.len();
+            let mut next = self.cells.clone();
+            for i in 0..n {
+                let left = if i == 0 { self.left_halo } else { self.cells[i - 1] };
+                let right = if i + 1 == n { self.right_halo } else { self.cells[i + 1] };
+                next[i] = (left + right) / 2.0;
+            }
+            self.cells = next;
+        }
+
+        fn snapshot(&mut self) -> Vec<f64> {
+            self.cells.clone()
+        }
+
+        fn run(&mut self, iterations: u64) -> Vec<f64> {
+            for _ in 0..iterations {
+                self.step();
+            }
+            self.cells.clone()
+        }
+    }
+}
+
+/// The sequential reference solution.
+pub fn solve_sequential(len: u64, initial: f64, left: f64, right: f64, iterations: u64) -> Vec<f64> {
+    let mut rod = Rod::new(len, initial, left, right);
+    rod.run(iterations)
+}
+
+/// The heartbeat configuration for the rod: block partition, per-iteration
+/// edge exchange, snapshot concatenation.
+pub fn heat_heartbeat_config(workers: usize) -> HeartbeatConfig {
+    HeartbeatConfig {
+        class: "Rod",
+        workers,
+        worker_args: Arc::new(move |rank, n, orig: &Args| {
+            let len = *orig.get::<u64>(0)?;
+            let initial = *orig.get::<f64>(1)?;
+            let left = *orig.get::<f64>(2)?;
+            let right = *orig.get::<f64>(3)?;
+            // Block partition of `len` cells; edge blocks keep the fixed
+            // boundary temperatures, interior halos are refreshed by the
+            // exchange phase.
+            let base = len / n as u64;
+            let extra = (len % n as u64) as usize;
+            let block = base + u64::from(rank < extra);
+            let left_halo = if rank == 0 { left } else { initial };
+            let right_halo = if rank + 1 == n { right } else { initial };
+            Ok(args![block, initial, left_halo, right_halo])
+        }),
+        run_method: "run",
+        iterations: Arc::new(|a: &Args| Ok(*a.get::<u64>(0)?)),
+        step_method: "step",
+        step_args: Arc::new(|_iter| Ok(args![])),
+        exchange: Arc::new(|weaver: &Weaver, workers: &[ObjId], _iter| {
+            let mut edges = Vec::with_capacity(workers.len());
+            for &w in workers {
+                let raw = weaver.invoke_call(w, "Rod", "edges", args![])?;
+                edges.push(downcast_ret::<(f64, f64)>(resolve_any(raw)?)?);
+            }
+            for (i, &w) in workers.iter().enumerate() {
+                // Outermost halos are the fixed boundary temperatures the
+                // blocks were constructed with; only interior halos change.
+                let left = if i == 0 { None } else { Some(edges[i - 1].1) };
+                let right = if i + 1 == workers.len() { None } else { Some(edges[i + 1].0) };
+                if left.is_some() || right.is_some() {
+                    let (cur_left, cur_right) = fetch_halos(weaver, w)?;
+                    let raw = weaver.invoke_call(
+                        w,
+                        "Rod",
+                        "set_halos",
+                        args![left.unwrap_or(cur_left), right.unwrap_or(cur_right)],
+                    )?;
+                    resolve_any(raw)?;
+                }
+            }
+            Ok(())
+        }),
+        collect: Arc::new(|weaver: &Weaver, workers: &[ObjId]| {
+            let mut all = Vec::new();
+            for &w in workers {
+                let raw = weaver.invoke_call(w, "Rod", "snapshot", args![])?;
+                all.extend(downcast_ret::<Vec<f64>>(resolve_any(raw)?)?);
+            }
+            Ok(ret!(all))
+        }),
+    }
+}
+
+/// Read a rod's current halo values directly from the object space.
+fn fetch_halos(weaver: &Weaver, rod: ObjId) -> WeaveResult<(f64, f64)> {
+    weaver.space().with_object::<Rod, _>(rod, |r| (r.left_halo, r.right_halo))
+}
+
+/// Solve with the heartbeat aspect over `workers` blocks.
+pub fn solve_heartbeat(
+    len: u64,
+    initial: f64,
+    left: f64,
+    right: f64,
+    iterations: u64,
+    workers: usize,
+) -> WeaveResult<Vec<f64>> {
+    // Never create empty blocks (see the 2-D variant for the rationale).
+    let workers = workers.clamp(1, len.max(1) as usize);
+    let stack = ConcernStack::new();
+    stack.plug(
+        Concern::Partition,
+        heartbeat_aspect("Partition.heartbeat", heat_heartbeat_config(workers)),
+    );
+    let rod = RodProxy::construct(stack.weaver(), len, initial, left, right)?;
+    rod.run(iterations)
+}
+
+/// Solve with heartbeat + concurrent steps.
+pub fn solve_heartbeat_concurrent(
+    len: u64,
+    initial: f64,
+    left: f64,
+    right: f64,
+    iterations: u64,
+    workers: usize,
+) -> WeaveResult<Vec<f64>> {
+    let stack = ConcernStack::new();
+    stack.plug(
+        Concern::Partition,
+        heartbeat_aspect("Partition.heartbeat", heat_heartbeat_config(workers)),
+    );
+    let executor = Executor::thread_per_call();
+    stack.plug_all(
+        Concern::Concurrency,
+        future_concurrency_aspect("Concurrency", Pointcut::call("Rod.step"), executor.clone()),
+    );
+    let rod = RodProxy::construct(stack.weaver(), len, initial, left, right)?;
+    let result = rod.run(iterations)?;
+    executor.wait_idle();
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: &[f64], b: &[f64]) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < 1e-9)
+    }
+
+    #[test]
+    fn sequential_diffusion_converges_to_linear_profile() {
+        // With fixed halos 0 and 1 (at virtual positions -1 and n), the
+        // steady state is the linear profile u_i = (i + 1) / (n + 1).
+        let out = solve_sequential(8, 0.5, 0.0, 1.0, 2_000);
+        for (i, v) in out.iter().enumerate() {
+            let expect = (i as f64 + 1.0) / 9.0;
+            assert!((v - expect).abs() < 1e-6, "cell {i}: {v} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn heartbeat_matches_sequential() {
+        let reference = solve_sequential(24, 0.0, 1.0, 3.0, 50);
+        for workers in [1usize, 2, 3, 4] {
+            let got = solve_heartbeat(24, 0.0, 1.0, 3.0, 50, workers).unwrap();
+            assert!(close(&got, &reference), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn heartbeat_concurrent_matches() {
+        let reference = solve_sequential(32, 0.0, 2.0, -1.0, 30);
+        let got = solve_heartbeat_concurrent(32, 0.0, 2.0, -1.0, 30, 4).unwrap();
+        assert!(close(&got, &reference));
+    }
+
+    #[test]
+    fn uneven_block_sizes_are_handled() {
+        // 10 cells over 3 workers: blocks of 4, 3, 3.
+        let reference = solve_sequential(10, 0.0, 5.0, 5.0, 25);
+        let got = solve_heartbeat(10, 0.0, 5.0, 5.0, 25, 3).unwrap();
+        assert!(close(&got, &reference));
+    }
+
+    #[test]
+    fn zero_iterations_returns_initial_state() {
+        let got = solve_heartbeat(6, 0.25, 0.0, 0.0, 0, 2).unwrap();
+        assert_eq!(got, vec![0.25; 6]);
+    }
+
+    #[test]
+    fn rod_edges_and_snapshot() {
+        let mut rod = Rod::new(4, 1.0, 9.0, 9.0);
+        assert_eq!(rod.edges(), (1.0, 1.0));
+        assert_eq!(rod.snapshot(), vec![1.0; 4]);
+        rod.set_halos(2.0, 4.0);
+        rod.step();
+        assert_eq!(rod.cells()[0], 1.5); // (2.0 + 1.0)/2
+        assert_eq!(rod.cells()[3], 2.5); // (1.0 + 4.0)/2
+    }
+}

@@ -1,0 +1,247 @@
+//! The sieve's core functionality (paper §5.1).
+//!
+//! ```java
+//! public class PrimeFilter {
+//!     // calculates primes between [pmin,pmax]
+//!     public PrimeFilter(int pmin, int pmax);
+//!     // remove non-primes from num list
+//!     public void filter(int num[]);
+//! }
+//! ```
+//!
+//! The one deviation from the Java sketch: `filter` *returns* the surviving
+//! candidates instead of mutating a shared array — Rust (like RMI!) passes
+//! arrays by value, so survivors must flow explicitly. The pipeline's
+//! forward advice forwards each stage's output, which is also the only
+//! reading under which the paper's by-value RMI variant computes correct
+//! results.
+
+use weavepar::weaveable;
+
+/// Integer square root (largest `r` with `r*r <= n`).
+pub fn isqrt(n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    // Float guess, corrected with overflow-checked arithmetic (a saturating
+    // square cannot distinguish "overflowed" from "equals u64::MAX").
+    let mut r = (n as f64).sqrt() as u64;
+    while r.checked_mul(r).map_or(true, |sq| sq > n) {
+        r -= 1;
+    }
+    while (r + 1).checked_mul(r + 1).is_some_and(|sq| sq <= n) {
+        r += 1;
+    }
+    r
+}
+
+/// All primes `<= n`, by a plain sieve of Eratosthenes (the pre-calculation
+/// step of §5: "pre-calculates the primes up to the square root of the
+/// largest number").
+pub fn primes_upto(n: u64) -> Vec<u64> {
+    if n < 2 {
+        return Vec::new();
+    }
+    let n = n as usize;
+    let mut composite = vec![false; n + 1];
+    let mut primes = Vec::new();
+    for p in 2..=n {
+        if !composite[p] {
+            primes.push(p as u64);
+            let mut multiple = p * p;
+            while multiple <= n {
+                composite[multiple] = true;
+                multiple += p;
+            }
+        }
+    }
+    primes
+}
+
+/// The candidate list the paper sends through the pipeline: "only odd
+/// numbers are sent" — odd numbers in `[3, max]`.
+pub fn candidates(max: u64) -> Vec<u64> {
+    (3..=max).step_by(2).collect()
+}
+
+/// The sieve's core class.
+pub struct PrimeFilter {
+    primes: Vec<u64>,
+}
+
+impl PrimeFilter {
+    /// The primes this filter divides by (used by tests and the handcoded
+    /// baseline).
+    pub fn primes(&self) -> &[u64] {
+        &self.primes
+    }
+
+    /// Rebuild a filter from a snapshotted prime set (migration support).
+    pub fn from_primes(primes: Vec<u64>) -> Self {
+        PrimeFilter { primes }
+    }
+}
+
+weaveable! {
+    class PrimeFilter as PrimeFilterProxy {
+        fn new(pmin: u64, pmax: u64) -> Self {
+            // Primes in [pmin, pmax]: the range of divisors this filter owns.
+            let primes = primes_upto(pmax).into_iter().filter(|p| *p >= pmin).collect();
+            PrimeFilter { primes }
+        }
+
+        fn filter(&mut self, nums: Vec<u64>) -> Vec<u64> {
+            // Remove every multiple of one of our primes; a number equal to
+            // the prime itself is of course kept.
+            nums.into_iter()
+                .filter(|n| self.primes.iter().all(|p| n % p != 0 || n == p))
+                .collect()
+        }
+    }
+}
+
+/// The fully sequential sieve of §5.1's `main`: one `PrimeFilter` over the
+/// whole pre-prime range, filtering the whole candidate list in one call.
+/// Returns all primes `<= max`.
+pub fn sequential_sieve(max: u64) -> Vec<u64> {
+    if max < 2 {
+        return Vec::new();
+    }
+    let mut filter = PrimeFilter::new(2, isqrt(max));
+    let survivors = filter.filter(candidates(max));
+    let mut primes = vec![2];
+    primes.extend(survivors);
+    primes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isqrt_basics() {
+        assert_eq!(isqrt(0), 0);
+        assert_eq!(isqrt(1), 1);
+        assert_eq!(isqrt(2), 1);
+        assert_eq!(isqrt(3), 1);
+        assert_eq!(isqrt(4), 2);
+        assert_eq!(isqrt(15), 3);
+        assert_eq!(isqrt(16), 4);
+        assert_eq!(isqrt(10_000_000), 3162);
+        assert_eq!(isqrt(u64::MAX), u32::MAX as u64);
+    }
+
+    #[test]
+    fn primes_upto_small() {
+        assert_eq!(primes_upto(0), Vec::<u64>::new());
+        assert_eq!(primes_upto(1), Vec::<u64>::new());
+        assert_eq!(primes_upto(2), vec![2]);
+        assert_eq!(primes_upto(20), vec![2, 3, 5, 7, 11, 13, 17, 19]);
+        assert_eq!(primes_upto(3162).len(), 446, "the paper's pre-prime count for 10M");
+    }
+
+    #[test]
+    fn candidates_are_odd_and_bounded() {
+        assert_eq!(candidates(10), vec![3, 5, 7, 9]);
+        assert_eq!(candidates(2), Vec::<u64>::new());
+        assert!(candidates(101).contains(&101));
+    }
+
+    #[test]
+    fn filter_removes_multiples_keeps_primes() {
+        let mut f = PrimeFilter::new(2, 5);
+        assert_eq!(f.primes(), &[2, 3, 5]);
+        let out = f.filter(vec![3, 5, 7, 9, 15, 25, 49, 121]);
+        // 3 and 5 equal a divisor: kept. 9=3·3, 15, 25 removed. 49, 121
+        // survive (7 and 11 are outside this filter's range).
+        assert_eq!(out, vec![3, 5, 7, 49, 121]);
+    }
+
+    #[test]
+    fn filter_range_restricts_divisors() {
+        let mut f = PrimeFilter::new(5, 11);
+        assert_eq!(f.primes(), &[5, 7, 11]);
+        // 9 survives: 3 is not among this filter's divisors.
+        assert_eq!(f.filter(vec![9, 25, 35, 13]), vec![9, 13]);
+    }
+
+    #[test]
+    fn sequential_sieve_matches_reference() {
+        for max in [2u64, 3, 10, 100, 1000, 7919] {
+            assert_eq!(sequential_sieve(max), primes_upto(max), "max={max}");
+        }
+        assert!(sequential_sieve(1).is_empty());
+    }
+
+    #[test]
+    fn paper_scale_counts() {
+        // π(10^6) = 78498 — checks the core at a meaningful size.
+        assert_eq!(sequential_sieve(1_000_000).len(), 78_498);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn is_prime_naive(n: u64) -> bool {
+        if n < 2 {
+            return false;
+        }
+        let mut d = 2;
+        while d * d <= n {
+            if n % d == 0 {
+                return false;
+            }
+            d += 1;
+        }
+        true
+    }
+
+    proptest! {
+        /// The sequential sieve agrees with naive primality testing.
+        #[test]
+        fn sieve_equals_naive(max in 2u64..3000) {
+            let sieved = sequential_sieve(max);
+            let naive: Vec<u64> = (2..=max).filter(|n| is_prime_naive(*n)).collect();
+            prop_assert_eq!(sieved, naive);
+        }
+
+        /// isqrt is exact.
+        #[test]
+        fn isqrt_exact(n in 0u64..u64::MAX / 2) {
+            let r = isqrt(n);
+            prop_assert!(r * r <= n);
+            prop_assert!((r + 1).saturating_mul(r + 1) > n);
+        }
+
+        /// Filtering is idempotent and order-preserving.
+        #[test]
+        fn filter_idempotent(max in 10u64..500) {
+            let mut f = PrimeFilter::new(2, isqrt(max));
+            let once = f.filter(candidates(max));
+            let twice = f.filter(once.clone());
+            prop_assert_eq!(once.clone(), twice);
+            let mut sorted = once.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(once, sorted);
+        }
+
+        /// Splitting the divisor range across two filters composes to the
+        /// same result as one filter over the whole range — the invariant
+        /// that makes the pipeline partition correct.
+        #[test]
+        fn range_split_composes(max in 10u64..2000, cut_frac in 0.0f64..1.0) {
+            let sqrt = isqrt(max);
+            let cut = 2 + ((sqrt.saturating_sub(2)) as f64 * cut_frac) as u64;
+            let mut whole = PrimeFilter::new(2, sqrt);
+            let mut lo = PrimeFilter::new(2, cut);
+            let mut hi = PrimeFilter::new(cut + 1, sqrt);
+            let cands = candidates(max);
+            let expect = whole.filter(cands.clone());
+            let composed = hi.filter(lo.filter(cands));
+            prop_assert_eq!(expect, composed);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Micro-benchmarks of the weaving runtime's dispatch overhead — the real
+//! measurement behind Figure 16's "< 5% penalty" claim (§6, first test).
+//!
+//! Run with: `cargo bench -p weavepar-bench --bench weaving_overhead`
+//!
+//! Groups:
+//! * `dispatch` — one `filter` call over a realistic pack: direct method
+//!   call, unwoven proxy call, proxy with the paper's three-aspect stack;
+//! * `join_point` — the fixed per-join-point cost on a no-op method, with
+//!   0 / 1 / 3 / 8 pass-through aspects.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use weavepar::prelude::*;
+use weavepar_apps::sieve::{candidates, isqrt, PrimeFilter, PrimeFilterProxy};
+
+const MAX: u64 = 1_000_000;
+const PACK: usize = 20_000;
+
+fn passthrough(name: &str) -> Aspect {
+    Aspect::named(name)
+        .around(Pointcut::call("PrimeFilter.*"), |inv: &mut Invocation| inv.proceed())
+        .build()
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let sqrt = isqrt(MAX);
+    let pack: Vec<u64> = candidates(MAX).into_iter().take(PACK).collect();
+
+    let mut group = c.benchmark_group("dispatch");
+    group.sample_size(30);
+
+    group.bench_function("direct_call", |b| {
+        let mut filter = PrimeFilter::new(2, sqrt);
+        b.iter_batched(
+            || pack.clone(),
+            |p| black_box(filter.filter(p)),
+            BatchSize::LargeInput,
+        );
+    });
+
+    group.bench_function("proxy_no_aspects", |b| {
+        let weaver = Weaver::new();
+        let proxy = PrimeFilterProxy::construct(&weaver, 2, sqrt).unwrap();
+        b.iter_batched(
+            || pack.clone(),
+            |p| black_box(proxy.filter(p).unwrap()),
+            BatchSize::LargeInput,
+        );
+    });
+
+    group.bench_function("proxy_three_aspects", |b| {
+        let weaver = Weaver::new();
+        for name in ["Partition", "Concurrency", "Distribution"] {
+            weaver.plug(passthrough(name));
+        }
+        let proxy = PrimeFilterProxy::construct(&weaver, 2, sqrt).unwrap();
+        b.iter_batched(
+            || pack.clone(),
+            |p| black_box(proxy.filter(p).unwrap()),
+            BatchSize::LargeInput,
+        );
+    });
+
+    group.finish();
+}
+
+fn bench_join_point(c: &mut Criterion) {
+    struct Noop;
+    weavepar::weaveable! {
+        class Noop as NoopProxy {
+            fn new() -> Self { Noop }
+            fn poke(&mut self, x: u64) -> u64 { x }
+        }
+    }
+
+    let mut group = c.benchmark_group("join_point");
+    for aspects in [0usize, 1, 3, 8] {
+        group.bench_function(format!("{aspects}_aspects"), |b| {
+            let weaver = Weaver::new();
+            for i in 0..aspects {
+                weaver.plug(
+                    Aspect::named(format!("P{i}"))
+                        .around(Pointcut::call("Noop.poke"), |inv: &mut Invocation| {
+                            inv.proceed()
+                        })
+                        .build(),
+                );
+            }
+            let proxy = NoopProxy::construct(&weaver).unwrap();
+            b.iter(|| black_box(proxy.poke(black_box(7)).unwrap()));
+        });
+    }
+    group.bench_function("direct_baseline", |b| {
+        let mut noop = Noop::new();
+        b.iter(|| black_box(noop.poke(black_box(7))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch, bench_join_point);
+criterion_main!(benches);

@@ -1,0 +1,345 @@
+//! The pluggable concurrency aspects (paper §4.2, Figure 12).
+//!
+//! ```text
+//! aspect Concurrency {
+//!     void around( PrimeFilter.filter(..) ) {           // oneway advice
+//!         (new Thread() { void run() { proceed(); } }).start();
+//!     }
+//!     void around( PrimeFilter.filter(..) ) {           // synchronised advice
+//!         synchronized(/* target */) { proceed(); }
+//!     }
+//! }
+//! ```
+//!
+//! [`concurrency_aspect`] is a faithful transcription: the first advice
+//! detaches the remainder of the chain onto an [`Executor`], the second holds
+//! the target object's monitor across `proceed`. Each is also available as a
+//! standalone aspect so the combinations in the paper's Table 1 can be
+//! assembled piecemeal, and [`future_aspect`] provides the future-returning
+//! variant of asynchronous invocation (ref [3]).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use weavepar_weave::aspect::precedence;
+use weavepar_weave::prelude::*;
+
+use crate::executor::Executor;
+use crate::future::FutureAny;
+
+/// Collects errors raised by asynchronous invocations whose caller has long
+/// moved on (the oneway aspect has nowhere to report failures inline).
+#[derive(Clone, Default)]
+pub struct ErrorSink {
+    errors: Arc<Mutex<Vec<WeaveError>>>,
+}
+
+impl ErrorSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an error.
+    pub fn push(&self, e: WeaveError) {
+        self.errors.lock().push(e);
+    }
+
+    /// Number of recorded errors.
+    pub fn len(&self) -> usize {
+        self.errors.lock().len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Move all recorded errors out.
+    pub fn drain(&self) -> Vec<WeaveError> {
+        std::mem::take(&mut *self.errors.lock())
+    }
+
+    /// Fail with the first recorded error, if any (test/assert helper).
+    pub fn check(&self) -> WeaveResult<()> {
+        match self.errors.lock().first() {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+}
+
+impl std::fmt::Debug for ErrorSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ErrorSink").field("errors", &self.len()).finish()
+    }
+}
+
+/// Asynchronous *oneway* invocation: the matched calls return `()`
+/// immediately while the event executes on `executor`. Failures go to
+/// `sink`. Only suitable for methods whose (ignored) result type is `()` —
+/// which is exactly the paper's `void filter(int num[])` shape.
+pub fn oneway_aspect(
+    name: impl Into<String>,
+    pointcut: Pointcut,
+    executor: Executor,
+    sink: ErrorSink,
+) -> Aspect {
+    Aspect::named(name)
+        .precedence(precedence::ASYNC_INVOCATION)
+        .around(pointcut, move |inv: &mut Invocation| {
+            let detached = inv.detach()?;
+            let sink = sink.clone();
+            executor.spawn(move || {
+                if let Err(e) = detached.run() {
+                    sink.push(e);
+                }
+            });
+            Ok(weavepar_weave::ret!())
+        })
+        .build()
+}
+
+/// Asynchronous invocation with a future result: the matched calls
+/// immediately return a [`FutureAny`] carrying the eventual result. Clients
+/// consume it through [`future_ret`](crate::future::future_ret), which also
+/// transparently accepts the synchronous value when this aspect is unplugged.
+pub fn future_aspect(name: impl Into<String>, pointcut: Pointcut, executor: Executor) -> Aspect {
+    Aspect::named(name)
+        .precedence(precedence::ASYNC_INVOCATION)
+        .around(pointcut, move |inv: &mut Invocation| {
+            let detached = inv.detach()?;
+            let future = FutureAny::new();
+            let setter = future.clone();
+            executor.spawn(move || {
+                setter.fulfill(detached.run());
+            });
+            Ok(weavepar_weave::ret!(future))
+        })
+        .build()
+}
+
+/// Synchronisation advice: hold the target object's monitor across the rest
+/// of the chain — the paper's `synchronized(target) { proceed(); }`.
+pub fn synchronized_aspect(name: impl Into<String>, pointcut: Pointcut) -> Aspect {
+    Aspect::named(name)
+        .precedence(precedence::SYNCHRONISATION)
+        .around(pointcut, move |inv: &mut Invocation| {
+            let target = inv.target_required()?;
+            let _monitor = inv.weaver().space().monitor(target)?;
+            inv.proceed()
+        })
+        .build()
+}
+
+/// The paper's complete Concurrency module (Figure 12): oneway invocation
+/// plus per-target synchronisation. Returned as two aspects so that a
+/// partition aspect can weave *between* them (spawn outside the forwarding,
+/// monitor inside the spawned thread — the structure Figure 11 depicts);
+/// plug both, unplug both.
+pub fn concurrency_aspect(
+    name: impl Into<String>,
+    pointcut: Pointcut,
+    executor: Executor,
+    sink: ErrorSink,
+) -> [Aspect; 2] {
+    let name = name.into();
+    [
+        oneway_aspect(format!("{name}.async"), pointcut.clone(), executor, sink),
+        synchronized_aspect(format!("{name}.sync"), pointcut),
+    ]
+}
+
+/// The future-returning Concurrency module: like [`concurrency_aspect`] but
+/// matched calls return a [`FutureAny`] instead of `()`, which is what
+/// result-carrying partition protocols (pipeline/farm `combine`) require —
+/// the ref-[3] pattern of §4.2.
+pub fn future_concurrency_aspect(
+    name: impl Into<String>,
+    pointcut: Pointcut,
+    executor: Executor,
+) -> [Aspect; 2] {
+    let name = name.into();
+    [
+        future_aspect(format!("{name}.async"), pointcut.clone(), executor),
+        synchronized_aspect(format!("{name}.sync"), pointcut),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::future::future_ret;
+    use std::time::Duration;
+    use weavepar_weave::{args, Weaver};
+
+    struct Slowpoke {
+        log: Vec<u64>,
+    }
+
+    weavepar_weave::weaveable! {
+        class Slowpoke as SlowpokeProxy {
+            fn new() -> Self { Slowpoke { log: Vec::new() } }
+            fn work(&mut self, id: u64, millis: u64) {
+                std::thread::sleep(std::time::Duration::from_millis(millis));
+                self.log.push(id);
+            }
+            fn compute(&mut self, x: u64) -> u64 {
+                x * 2
+            }
+            fn log_len(&mut self) -> u64 {
+                self.log.len() as u64
+            }
+            fn fail(&mut self) {
+                // Dispatch-level failures come from bad arguments; emulate an
+                // application failure through a monitored panic-free path is
+                // not possible here, so this method exists for the dyn-call
+                // error tests that pass a wrong argument type.
+            }
+        }
+    }
+
+    #[test]
+    fn oneway_returns_immediately_and_completes() {
+        let weaver = Weaver::new();
+        let executor = Executor::thread_per_call();
+        let sink = ErrorSink::new();
+        weaver.plug(oneway_aspect(
+            "Concurrency",
+            Pointcut::call("Slowpoke.work"),
+            executor.clone(),
+            sink.clone(),
+        ));
+        let p = SlowpokeProxy::construct(&weaver).unwrap();
+        let start = std::time::Instant::now();
+        for i in 0..4 {
+            p.work(i, 80).unwrap();
+        }
+        let issue_time = start.elapsed();
+        assert!(issue_time < Duration::from_millis(80), "calls did not return immediately");
+        executor.wait_idle();
+        sink.check().unwrap();
+        assert_eq!(p.log_len().unwrap(), 4);
+    }
+
+    #[test]
+    fn oneway_parallelism_beats_sequential() {
+        let weaver = Weaver::new();
+        let executor = Executor::thread_per_call();
+        let sink = ErrorSink::new();
+        for a in concurrency_aspect(
+            "Concurrency",
+            Pointcut::call("Slowpoke.work"),
+            executor.clone(),
+            sink.clone(),
+        ) {
+            weaver.plug(a);
+        }
+        // Four independent objects, 60 ms each: parallel wall time must be
+        // well under the 240 ms sequential time.
+        let objs: Vec<_> = (0..4).map(|_| SlowpokeProxy::construct(&weaver).unwrap()).collect();
+        let start = std::time::Instant::now();
+        for (i, o) in objs.iter().enumerate() {
+            o.work(i as u64, 60).unwrap();
+        }
+        executor.wait_idle();
+        let elapsed = start.elapsed();
+        sink.check().unwrap();
+        assert!(elapsed < Duration::from_millis(200), "no parallel speedup: {elapsed:?}");
+    }
+
+    #[test]
+    fn synchronized_serialises_per_object() {
+        let weaver = Weaver::new();
+        let executor = Executor::thread_per_call();
+        let sink = ErrorSink::new();
+        for a in concurrency_aspect(
+            "Concurrency",
+            Pointcut::call("Slowpoke.work"),
+            executor.clone(),
+            sink.clone(),
+        ) {
+            weaver.plug(a);
+        }
+        let p = SlowpokeProxy::construct(&weaver).unwrap();
+        for i in 0..6 {
+            p.work(i, 5).unwrap();
+        }
+        executor.wait_idle();
+        sink.check().unwrap();
+        // All six writes landed despite racing threads.
+        assert_eq!(p.log_len().unwrap(), 6);
+    }
+
+    #[test]
+    fn future_aspect_roundtrip() {
+        let weaver = Weaver::new();
+        let executor = Executor::pool(2, "fut");
+        weaver.plug(future_aspect("Futures", Pointcut::call("Slowpoke.compute"), executor));
+        let p = SlowpokeProxy::construct(&weaver).unwrap();
+        // The typed proxy method would downcast to u64 and fail; the future
+        // protocol goes through the raw handle.
+        let ret = p.handle().call("compute", args![21u64]).unwrap();
+        let f = future_ret::<u64>(ret).unwrap();
+        assert_eq!(f.take().unwrap(), 42);
+    }
+
+    #[test]
+    fn future_ret_handles_unplugged_case() {
+        let weaver = Weaver::new();
+        let p = SlowpokeProxy::construct(&weaver).unwrap();
+        let ret = p.handle().call("compute", args![5u64]).unwrap();
+        let f = future_ret::<u64>(ret).unwrap();
+        assert!(f.is_ready());
+        assert_eq!(f.take().unwrap(), 10);
+    }
+
+    #[test]
+    fn oneway_errors_reach_the_sink() {
+        let weaver = Weaver::new();
+        let executor = Executor::thread_per_call();
+        let sink = ErrorSink::new();
+        weaver.plug(oneway_aspect(
+            "Concurrency",
+            Pointcut::call("Slowpoke.work"),
+            executor.clone(),
+            sink.clone(),
+        ));
+        let p = SlowpokeProxy::construct(&weaver).unwrap();
+        // Wrong argument type: dispatch fails inside the detached chain.
+        p.handle().call("work", args!["wrong".to_string()]).unwrap();
+        executor.wait_idle();
+        assert_eq!(sink.len(), 1);
+        assert!(sink.check().is_err());
+        let drained = sink.drain();
+        assert_eq!(drained.len(), 1);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn unplugging_concurrency_restores_sequential_debuggability() {
+        let weaver = Weaver::new();
+        let executor = Executor::thread_per_call();
+        let sink = ErrorSink::new();
+        let plugged: Vec<_> = concurrency_aspect(
+            "Concurrency",
+            Pointcut::call("Slowpoke.work"),
+            executor.clone(),
+            sink.clone(),
+        )
+        .into_iter()
+        .map(|a| weaver.plug(a))
+        .collect();
+        let p = SlowpokeProxy::construct(&weaver).unwrap();
+        p.work(1, 10).unwrap();
+        executor.wait_idle();
+        for p in &plugged {
+            weaver.unplug(p);
+        }
+        // Now strictly synchronous: effects are visible immediately.
+        p.work(2, 0).unwrap();
+        assert_eq!(p.log_len().unwrap(), 2);
+        sink.check().unwrap();
+    }
+}

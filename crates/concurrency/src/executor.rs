@@ -1,0 +1,106 @@
+//! Execution policies for asynchronous invocations.
+//!
+//! The concurrency aspect decides *that* a call runs asynchronously; the
+//! [`Executor`] decides *how*: a fresh thread per call (the paper's
+//! Figure 12) or a shared [`ThreadPool`] (the §4.4 thread-pool optimisation).
+//! Swapping one for the other is a one-line change — or, at the aspect level,
+//! the plugging of a different optimisation module.
+
+use std::sync::Arc;
+
+use crate::pool::ThreadPool;
+use crate::tracker::CompletionTracker;
+
+/// How asynchronous work is executed.
+#[derive(Clone, Debug)]
+pub enum Executor {
+    /// Spawn a dedicated OS thread per call.
+    ThreadPerCall(CompletionTracker),
+    /// Run on a shared fixed-size pool.
+    Pool(Arc<ThreadPool>),
+}
+
+impl Executor {
+    /// Thread-per-call executor with a fresh tracker.
+    pub fn thread_per_call() -> Self {
+        Executor::ThreadPerCall(CompletionTracker::new())
+    }
+
+    /// Pooled executor with `size` workers.
+    pub fn pool(size: usize, name: &str) -> Self {
+        Executor::Pool(ThreadPool::new(size, name))
+    }
+
+    /// Run `f` asynchronously under this policy.
+    pub fn spawn(&self, f: impl FnOnce() + Send + 'static) {
+        match self {
+            Executor::ThreadPerCall(tracker) => {
+                let token = tracker.begin();
+                std::thread::spawn(move || {
+                    let _token = token;
+                    f();
+                });
+            }
+            Executor::Pool(pool) => pool.spawn(f),
+        }
+    }
+
+    /// Block until all work spawned through this executor has finished.
+    pub fn wait_idle(&self) {
+        match self {
+            Executor::ThreadPerCall(tracker) => tracker.wait_idle(),
+            Executor::Pool(pool) => pool.wait_idle(),
+        }
+    }
+
+    /// The tracker covering this executor's in-flight work.
+    pub fn tracker(&self) -> &CompletionTracker {
+        match self {
+            Executor::ThreadPerCall(tracker) => tracker,
+            Executor::Pool(pool) => pool.tracker(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn exercise(executor: &Executor) {
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let h = hits.clone();
+            executor.spawn(move || {
+                h.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        executor.wait_idle();
+        assert_eq!(hits.load(Ordering::Relaxed), 50);
+        assert_eq!(executor.tracker().in_flight(), 0);
+    }
+
+    #[test]
+    fn thread_per_call_executes_everything() {
+        exercise(&Executor::thread_per_call());
+    }
+
+    #[test]
+    fn pool_executes_everything() {
+        exercise(&Executor::pool(3, "exec-test"));
+    }
+
+    #[test]
+    fn clones_share_the_tracker() {
+        let e = Executor::thread_per_call();
+        let e2 = e.clone();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        e2.spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        e.wait_idle();
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+}

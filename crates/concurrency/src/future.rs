@@ -1,0 +1,375 @@
+//! One-shot futures: the paper's *future variables*.
+//!
+//! "When a return value is required the client provides a variable, called
+//! future, to store the return value. If the client attempts to use this
+//! variable before its value becomes available it will be automatically
+//! blocked, until the value is computed." — paper §2, describing ABCL; §4.2
+//! notes the concurrency module can introduce future-type calls
+//! transparently (ref [3]).
+//!
+//! Two flavours:
+//!
+//! * [`FutureValue<T>`] — a typed one-shot future for direct application use;
+//! * [`FutureAny`] — the type-erased future the
+//!   [`future_aspect`](crate::aspects::future_aspect) threads through join
+//!   points; [`future_ret`] recovers a typed view on the client side whether
+//!   or not the concurrency aspect is currently plugged.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use weavepar_weave::{AnyValue, WeaveError, WeaveResult};
+
+enum State<T> {
+    Pending,
+    Ready(T),
+    Taken,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    cv: Condvar,
+}
+
+/// A typed, write-once, blocking-read future.
+///
+/// Cloning shares the same slot; any clone may fulfil it, any clone may take
+/// the value (exactly one take succeeds).
+pub struct FutureValue<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for FutureValue<T> {
+    fn clone(&self) -> Self {
+        FutureValue { shared: self.shared.clone() }
+    }
+}
+
+impl<T> Default for FutureValue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> FutureValue<T> {
+    /// A pending future.
+    pub fn new() -> Self {
+        FutureValue { shared: Arc::new(Shared { state: Mutex::new(State::Pending), cv: Condvar::new() }) }
+    }
+
+    /// Fulfil the future. Returns `false` (and drops `value`) if it was
+    /// already fulfilled — write-once semantics.
+    pub fn fulfill(&self, value: T) -> bool {
+        let mut state = self.shared.state.lock();
+        match *state {
+            State::Pending => {
+                *state = State::Ready(value);
+                self.shared.cv.notify_all();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// True when a value is available (and not yet taken).
+    pub fn is_ready(&self) -> bool {
+        matches!(*self.shared.state.lock(), State::Ready(_))
+    }
+
+    /// Block until the value is available, then move it out. A second take
+    /// fails with an application error.
+    pub fn take(&self) -> WeaveResult<T> {
+        let mut state = self.shared.state.lock();
+        loop {
+            match std::mem::replace(&mut *state, State::Taken) {
+                State::Ready(v) => return Ok(v),
+                State::Taken => return Err(WeaveError::app("future already taken")),
+                State::Pending => {
+                    *state = State::Pending;
+                    self.shared.cv.wait(&mut state);
+                }
+            }
+        }
+    }
+
+    /// Like [`FutureValue::take`] but gives up after `timeout`.
+    pub fn take_timeout(&self, timeout: Duration) -> WeaveResult<T> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.state.lock();
+        loop {
+            match std::mem::replace(&mut *state, State::Taken) {
+                State::Ready(v) => return Ok(v),
+                State::Taken => return Err(WeaveError::app("future already taken")),
+                State::Pending => {
+                    *state = State::Pending;
+                    if self.shared.cv.wait_until(&mut state, deadline).timed_out() {
+                        return Err(WeaveError::app("future wait timed out"));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Non-blocking take: `None` while pending.
+    pub fn try_take(&self) -> WeaveResult<Option<T>> {
+        let mut state = self.shared.state.lock();
+        match std::mem::replace(&mut *state, State::Taken) {
+            State::Ready(v) => Ok(Some(v)),
+            State::Taken => Err(WeaveError::app("future already taken")),
+            State::Pending => {
+                *state = State::Pending;
+                Ok(None)
+            }
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for FutureValue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.shared.state.lock();
+        let s = match *state {
+            State::Pending => "pending",
+            State::Ready(_) => "ready",
+            State::Taken => "taken",
+        };
+        write!(f, "FutureValue({s})")
+    }
+}
+
+/// The type-erased future that flows through join points as a return value.
+///
+/// Carries a `WeaveResult<AnyValue>` so asynchronous failures surface at the
+/// point where the client finally consumes the result — the analogue of the
+/// paper's `RemoteException` reaching the caller.
+#[derive(Clone, Debug)]
+pub struct FutureAny {
+    inner: FutureValue<WeaveResult<AnyValue>>,
+}
+
+impl Default for FutureAny {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FutureAny {
+    /// A pending erased future.
+    pub fn new() -> Self {
+        FutureAny { inner: FutureValue::new() }
+    }
+
+    /// Fulfil with a result.
+    pub fn fulfill(&self, value: WeaveResult<AnyValue>) -> bool {
+        self.inner.fulfill(value)
+    }
+
+    /// True when fulfilled (and not yet taken).
+    pub fn is_ready(&self) -> bool {
+        self.inner.is_ready()
+    }
+
+    /// Block until fulfilled, then move the result out.
+    pub fn take(&self) -> WeaveResult<AnyValue> {
+        self.inner.take()?
+    }
+
+    /// Blocking take with timeout.
+    pub fn take_timeout(&self, timeout: Duration) -> WeaveResult<AnyValue> {
+        self.inner.take_timeout(timeout)?
+    }
+}
+
+/// The client-side view of a possibly-asynchronous call result.
+///
+/// When the concurrency aspect is unplugged the call was synchronous and the
+/// value is already here; when plugged, it is a future. Client code written
+/// against `FutureOrNow` works identically in both configurations — the
+/// transparency property §4.2 asks the partition code to be designed for.
+#[derive(Debug)]
+pub enum FutureOrNow<T> {
+    /// The call executed synchronously.
+    Now(T),
+    /// The call is in flight; taking blocks.
+    Later(FutureAny),
+}
+
+impl<T: Send + 'static> FutureOrNow<T> {
+    /// Block (if needed) and return the value.
+    pub fn take(self) -> WeaveResult<T> {
+        match self {
+            FutureOrNow::Now(v) => Ok(v),
+            FutureOrNow::Later(f) => weavepar_weave::value::downcast_ret::<T>(f.take()?),
+        }
+    }
+
+    /// True when no blocking would occur.
+    pub fn is_ready(&self) -> bool {
+        match self {
+            FutureOrNow::Now(_) => true,
+            FutureOrNow::Later(f) => f.is_ready(),
+        }
+    }
+}
+
+/// Resolve a join-point return value to its final concrete value, blocking
+/// through any number of chained futures.
+///
+/// Pipeline forwarding returns the *downstream* call's result, which — when
+/// the concurrency aspect is plugged — is itself a future; resolving a pack
+/// therefore means unwrapping futures until a non-future value appears.
+pub fn resolve_any(mut ret: AnyValue) -> WeaveResult<AnyValue> {
+    loop {
+        match ret.downcast::<FutureAny>() {
+            Ok(f) => ret = f.take()?,
+            Err(value) => return Ok(value),
+        }
+    }
+}
+
+/// Interpret a join-point return value as a possibly-asynchronous `T`.
+///
+/// Accepts either a plain `T` (no future aspect plugged) or a [`FutureAny`]
+/// (future aspect plugged).
+pub fn future_ret<T: Send + 'static>(ret: AnyValue) -> WeaveResult<FutureOrNow<T>> {
+    match ret.downcast::<T>() {
+        Ok(v) => Ok(FutureOrNow::Now(*v)),
+        Err(other) => match other.downcast::<FutureAny>() {
+            Ok(f) => Ok(FutureOrNow::Later(*f)),
+            Err(_) => Err(WeaveError::TypeMismatch {
+                expected: std::any::type_name::<T>(),
+                context: "future_ret: neither the value nor a future".into(),
+            }),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fulfil_then_take() {
+        let f = FutureValue::new();
+        assert!(!f.is_ready());
+        assert!(f.fulfill(42));
+        assert!(f.is_ready());
+        assert_eq!(f.take().unwrap(), 42);
+        assert!(f.take().is_err());
+    }
+
+    #[test]
+    fn write_once() {
+        let f = FutureValue::new();
+        assert!(f.fulfill(1));
+        assert!(!f.fulfill(2));
+        assert_eq!(f.take().unwrap(), 1);
+    }
+
+    #[test]
+    fn take_blocks_until_fulfilled() {
+        let f = FutureValue::new();
+        let f2 = f.clone();
+        let t = thread::spawn(move || f2.take().unwrap());
+        thread::sleep(Duration::from_millis(30));
+        f.fulfill("done".to_string());
+        assert_eq!(t.join().unwrap(), "done");
+    }
+
+    #[test]
+    fn try_take_is_nonblocking() {
+        let f = FutureValue::<u8>::new();
+        assert_eq!(f.try_take().unwrap(), None);
+        f.fulfill(9);
+        assert_eq!(f.try_take().unwrap(), Some(9));
+        assert!(f.try_take().is_err());
+    }
+
+    #[test]
+    fn take_timeout_expires() {
+        let f = FutureValue::<u8>::new();
+        let err = f.take_timeout(Duration::from_millis(20)).unwrap_err();
+        assert!(matches!(err, WeaveError::App(_)));
+        f.fulfill(1);
+        assert_eq!(f.take_timeout(Duration::from_millis(20)).unwrap(), 1);
+    }
+
+    #[test]
+    fn future_any_carries_errors() {
+        let f = FutureAny::new();
+        f.fulfill(Err(WeaveError::app("remote blew up")));
+        assert!(matches!(f.take(), Err(WeaveError::App(_))));
+    }
+
+    #[test]
+    fn future_ret_now_path() {
+        let ret: AnyValue = Box::new(7u32);
+        let v = future_ret::<u32>(ret).unwrap();
+        assert!(v.is_ready());
+        assert_eq!(v.take().unwrap(), 7);
+    }
+
+    #[test]
+    fn future_ret_later_path() {
+        let fut = FutureAny::new();
+        let ret: AnyValue = Box::new(fut.clone());
+        let v = future_ret::<u32>(ret).unwrap();
+        assert!(!v.is_ready());
+        fut.fulfill(Ok(Box::new(11u32)));
+        assert_eq!(v.take().unwrap(), 11);
+    }
+
+    #[test]
+    fn resolve_any_unwraps_chains() {
+        // value -> future(value) -> future(future(value))
+        let plain: AnyValue = Box::new(5u32);
+        assert_eq!(*resolve_any(plain).unwrap().downcast::<u32>().unwrap(), 5);
+
+        let inner = FutureAny::new();
+        inner.fulfill(Ok(Box::new(6u32)));
+        let outer = FutureAny::new();
+        outer.fulfill(Ok(Box::new(inner)));
+        let ret: AnyValue = Box::new(outer);
+        assert_eq!(*resolve_any(ret).unwrap().downcast::<u32>().unwrap(), 6);
+    }
+
+    #[test]
+    fn resolve_any_propagates_errors() {
+        let f = FutureAny::new();
+        f.fulfill(Err(WeaveError::app("downstream failed")));
+        let ret: AnyValue = Box::new(f);
+        assert!(matches!(resolve_any(ret), Err(WeaveError::App(_))));
+    }
+
+    #[test]
+    fn future_ret_type_mismatch() {
+        let ret: AnyValue = Box::new("string".to_string());
+        assert!(future_ret::<u32>(ret).is_err());
+    }
+
+    #[test]
+    fn many_waiters_one_winner() {
+        let f = FutureValue::<u64>::new();
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            let f = f.clone();
+            joins.push(thread::spawn(move || f.take().is_ok()));
+        }
+        thread::sleep(Duration::from_millis(20));
+        f.fulfill(5);
+        let winners = joins.into_iter().map(|j| j.join().unwrap()).filter(|ok| *ok).count();
+        assert_eq!(winners, 1, "exactly one taker must win");
+    }
+
+    #[test]
+    fn debug_states() {
+        let f = FutureValue::<u8>::new();
+        assert_eq!(format!("{f:?}"), "FutureValue(pending)");
+        f.fulfill(1);
+        assert_eq!(format!("{f:?}"), "FutureValue(ready)");
+        let _ = f.take();
+        assert_eq!(format!("{f:?}"), "FutureValue(taken)");
+    }
+}

@@ -1,0 +1,41 @@
+//! # weavepar-concurrency — the concurrency substrate (paper §4.2)
+//!
+//! The paper's programming model rests on **asynchronous method invocation**:
+//! a client proceeds while the server object executes the requested method in
+//! parallel, with *futures* for calls whose result is needed later, and
+//! *synchronisation* (Java monitors) protecting non-thread-safe objects.
+//!
+//! This crate provides those primitives and packages them as (un)pluggable
+//! aspects over `weavepar-weave` join points:
+//!
+//! * [`FutureValue`] / [`FutureAny`] — one-shot futures: write once, block on
+//!   read until the value is available (ABCL-style, as described in the
+//!   paper's related-work section);
+//! * [`ThreadPool`] and [`Executor`] — thread-per-call (the paper's
+//!   `new Thread()` in Figure 12) or a pooled executor (the thread-pool
+//!   *optimisation* aspect of §4.4 simply swaps the executor);
+//! * [`CompletionTracker`] — quiescence detection so clients can wait for all
+//!   outstanding asynchronous invocations;
+//! * [`aspects`] — the pluggable concurrency aspects:
+//!   [`aspects::oneway_aspect`] (spawn and forget),
+//!   [`aspects::future_aspect`] (spawn and return a future),
+//!   [`aspects::synchronized_aspect`] (hold the target's monitor around
+//!   `proceed`), and [`aspects::concurrency_aspect`] — the paper's Figure 12
+//!   combination of the first and the last.
+
+pub mod active;
+pub mod aspects;
+pub mod executor;
+pub mod future;
+pub mod pool;
+pub mod tracker;
+
+pub use active::{active_object_aspect, ActiveRuntime};
+pub use aspects::{
+    concurrency_aspect, future_aspect, future_concurrency_aspect, oneway_aspect,
+    synchronized_aspect, ErrorSink,
+};
+pub use executor::Executor;
+pub use future::{future_ret, resolve_any, FutureAny, FutureOrNow, FutureValue};
+pub use pool::ThreadPool;
+pub use tracker::CompletionTracker;

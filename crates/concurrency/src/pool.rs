@@ -1,0 +1,207 @@
+//! A fixed-size thread pool.
+//!
+//! The paper's §4.4 lists *thread pools* among the optimisations that can be
+//! modularised as aspects: the concurrency aspect spawns a thread per call
+//! (Figure 12), and a separately pluggable optimisation aspect replaces that
+//! with pooled execution. Both styles are exposed uniformly through
+//! [`Executor`](crate::executor::Executor).
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+
+use crate::tracker::CompletionTracker;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed set of worker threads consuming a shared job queue.
+pub struct ThreadPool {
+    tx: Option<Sender<Job>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    tracker: CompletionTracker,
+    size: usize,
+}
+
+impl ThreadPool {
+    /// Spawn `size` workers (at least one) named `{name}-{i}`.
+    pub fn new(size: usize, name: &str) -> Arc<Self> {
+        let size = size.max(1);
+        let (tx, rx) = unbounded::<Job>();
+        let mut workers = Vec::with_capacity(size);
+        for i in 0..size {
+            let rx = rx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("{name}-{i}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        // A panicking job must not kill the worker: the pool
+                        // would silently lose capacity (and a 1-worker pool
+                        // would deadlock every later caller).
+                        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                    }
+                })
+                .expect("spawning pool worker");
+            workers.push(handle);
+        }
+        Arc::new(ThreadPool {
+            tx: Some(tx),
+            workers: Mutex::new(workers),
+            tracker: CompletionTracker::new(),
+            size,
+        })
+    }
+
+    /// Number of workers.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Enqueue a job. Never blocks (unbounded queue).
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        let token = self.tracker.begin();
+        let wrapped: Job = Box::new(move || {
+            let _token = token; // released when the job ends, even on panic
+            job();
+        });
+        self.tx
+            .as_ref()
+            .expect("pool sender present until drop")
+            .send(wrapped)
+            .expect("pool workers alive until drop");
+    }
+
+    /// Jobs queued or running.
+    pub fn in_flight(&self) -> usize {
+        self.tracker.in_flight()
+    }
+
+    /// Block until every submitted job (including jobs submitted by other
+    /// jobs) has finished.
+    pub fn wait_idle(&self) {
+        self.tracker.wait_idle();
+    }
+
+    /// The pool's completion tracker (shared with
+    /// [`Executor`](crate::executor::Executor)).
+    pub fn tracker(&self) -> &CompletionTracker {
+        &self.tracker
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Closing the channel stops the workers after the queue drains.
+        self.tx = None;
+        for handle in self.workers.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("size", &self.size)
+            .field("in_flight", &self.in_flight())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn runs_jobs() {
+        let pool = ThreadPool::new(4, "test");
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let c = counter.clone();
+            pool.spawn(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn size_is_clamped_to_one() {
+        let pool = ThreadPool::new(0, "tiny");
+        assert_eq!(pool.size(), 1);
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = done.clone();
+        pool.spawn(move || {
+            d.fetch_add(1, Ordering::Relaxed);
+        });
+        pool.wait_idle();
+        assert_eq!(done.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn jobs_actually_run_in_parallel() {
+        let pool = ThreadPool::new(4, "par");
+        let running = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        for _ in 0..4 {
+            let (running, peak) = (running.clone(), peak.clone());
+            pool.spawn(move || {
+                let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(50));
+                running.fetch_sub(1, Ordering::SeqCst);
+            });
+        }
+        pool.wait_idle();
+        assert!(peak.load(Ordering::SeqCst) >= 2, "no overlap observed");
+    }
+
+    #[test]
+    fn nested_submission_is_tracked() {
+        let pool = ThreadPool::new(2, "nest");
+        let hits = Arc::new(AtomicUsize::new(0));
+        let (p2, h2) = (pool.clone(), hits.clone());
+        pool.spawn(move || {
+            h2.fetch_add(1, Ordering::Relaxed);
+            let h3 = h2.clone();
+            p2.spawn(move || {
+                h3.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        pool.wait_idle();
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn panicking_job_does_not_wedge_the_pool() {
+        let pool = ThreadPool::new(1, "panicky");
+        pool.spawn(|| panic!("boom"));
+        assert!(pool.tracker().wait_idle_timeout(Duration::from_millis(500)));
+        // The single worker survived the panic and keeps serving jobs.
+        let ok = Arc::new(AtomicUsize::new(0));
+        let ok2 = ok.clone();
+        pool.spawn(move || {
+            ok2.fetch_add(1, Ordering::Relaxed);
+        });
+        pool.wait_idle();
+        assert_eq!(ok.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = ThreadPool::new(2, "drop");
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let h = hits.clone();
+            pool.spawn(move || {
+                h.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        drop(pool);
+        assert_eq!(hits.load(Ordering::Relaxed), 10, "queued jobs drain before drop completes");
+    }
+}

@@ -1,0 +1,168 @@
+//! Quiescence detection for asynchronous invocations.
+//!
+//! Asynchronous method calls return before the work is done, so clients (and
+//! tests, and the benchmark harness) need a way to wait for *all* outstanding
+//! work — including work transitively spawned by other asynchronous work.
+//! A [`CompletionTracker`] counts in-flight tasks; [`CompletionTracker::wait_idle`]
+//! blocks until the count reaches zero.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+/// Counts in-flight tasks and lets callers block until none remain.
+///
+/// Cloning shares the counter.
+#[derive(Clone)]
+pub struct CompletionTracker {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    count: Mutex<usize>,
+    cv: Condvar,
+}
+
+/// RAII token for one in-flight task; dropping it marks the task finished.
+pub struct TaskToken {
+    inner: Arc<Inner>,
+}
+
+impl Drop for TaskToken {
+    fn drop(&mut self) {
+        let mut count = self.inner.count.lock();
+        *count -= 1;
+        if *count == 0 {
+            self.inner.cv.notify_all();
+        }
+    }
+}
+
+impl CompletionTracker {
+    /// A tracker with nothing in flight.
+    pub fn new() -> Self {
+        CompletionTracker { inner: Arc::new(Inner { count: Mutex::new(0), cv: Condvar::new() }) }
+    }
+
+    /// Register one in-flight task. The returned token must travel with the
+    /// task and be dropped when it finishes (a panic unwinding through the
+    /// task still drops it, so a crashing task cannot wedge `wait_idle`).
+    pub fn begin(&self) -> TaskToken {
+        *self.inner.count.lock() += 1;
+        TaskToken { inner: self.inner.clone() }
+    }
+
+    /// Number of tasks currently in flight.
+    pub fn in_flight(&self) -> usize {
+        *self.inner.count.lock()
+    }
+
+    /// Block until no task is in flight.
+    pub fn wait_idle(&self) {
+        let mut count = self.inner.count.lock();
+        while *count > 0 {
+            self.inner.cv.wait(&mut count);
+        }
+    }
+
+    /// Block until idle or the timeout elapses; returns true when idle.
+    pub fn wait_idle_timeout(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut count = self.inner.count.lock();
+        while *count > 0 {
+            if self.inner.cv.wait_until(&mut count, deadline).timed_out() {
+                return *count == 0;
+            }
+        }
+        true
+    }
+}
+
+impl Default for CompletionTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for CompletionTracker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompletionTracker").field("in_flight", &self.in_flight()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn starts_idle() {
+        let t = CompletionTracker::new();
+        assert_eq!(t.in_flight(), 0);
+        t.wait_idle(); // must not block
+    }
+
+    #[test]
+    fn token_lifecycle() {
+        let t = CompletionTracker::new();
+        let tok = t.begin();
+        assert_eq!(t.in_flight(), 1);
+        drop(tok);
+        assert_eq!(t.in_flight(), 0);
+    }
+
+    #[test]
+    fn wait_idle_blocks_until_tokens_dropped() {
+        let t = CompletionTracker::new();
+        let tok = t.begin();
+        let t2 = t.clone();
+        let waiter = thread::spawn(move || {
+            t2.wait_idle();
+            Instant::now()
+        });
+        thread::sleep(Duration::from_millis(40));
+        let released_at = Instant::now();
+        drop(tok);
+        let woke_at = waiter.join().unwrap();
+        assert!(woke_at >= released_at);
+    }
+
+    #[test]
+    fn nested_spawns_are_covered() {
+        let t = CompletionTracker::new();
+        let outer = t.begin();
+        let t2 = t.clone();
+        thread::spawn(move || {
+            let _outer = outer; // finishes only after inner is registered
+            let inner = t2.begin();
+            thread::spawn(move || {
+                thread::sleep(Duration::from_millis(30));
+                drop(inner);
+            });
+        });
+        t.wait_idle();
+        assert_eq!(t.in_flight(), 0);
+    }
+
+    #[test]
+    fn timeout_reports_busy() {
+        let t = CompletionTracker::new();
+        let _tok = t.begin();
+        assert!(!t.wait_idle_timeout(Duration::from_millis(20)));
+        drop(_tok);
+        assert!(t.wait_idle_timeout(Duration::from_millis(20)));
+    }
+
+    #[test]
+    fn panic_in_task_still_releases() {
+        let t = CompletionTracker::new();
+        let tok = t.begin();
+        let handle = thread::spawn(move || {
+            let _tok = tok;
+            panic!("task crashed");
+        });
+        assert!(handle.join().is_err());
+        assert!(t.wait_idle_timeout(Duration::from_millis(200)));
+    }
+}

@@ -1,0 +1,363 @@
+//! Optimisation aspects (paper §4.4).
+//!
+//! "Aspects provide a way to modularise optimisations, becoming easier to
+//! experiment various alternative optimisations, by plugging or unplugging
+//! each optimisation aspect. However, only optimisations based in joinpoints
+//! can be modularised by aspects. Examples are: thread pools, cache objects,
+//! communication packing and replicated computation."
+//!
+//! Realisations here:
+//!
+//! * **thread pools** — [`pooled_invocation_aspect`]: a drop-in replacement
+//!   for the thread-per-call asynchronous-invocation aspect that runs on a
+//!   shared [`ThreadPool`] instead (plug one *or* the other);
+//! * **cache objects** — [`object_cache_aspect`]: memoises matched calls per
+//!   `(target, argument-key)` and answers repeats without `proceed` — in a
+//!   distributed stack it sits outside the distribution aspect and therefore
+//!   elides remote calls;
+//! * **communication packing** — [`CallBatcher`]: buffers matched oneway
+//!   calls and flushes them as one merged call per target.
+//!
+//! The fourth example, *replicated computation*, is exhibited by the
+//! distribution aspect itself in this reproduction: the client-side stub
+//! constructor re-runs the (cheap) constructor computation locally instead of
+//! shipping its state — see `weavepar-middleware`'s design notes.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use weavepar_concurrency::{future_aspect, Executor, ThreadPool};
+use weavepar_weave::aspect::precedence;
+use weavepar_weave::prelude::*;
+use weavepar_weave::ObjId;
+
+/// Thread-pool optimisation: asynchronous invocation on a shared pool.
+/// Semantically identical to the future-returning concurrency aspect; the
+/// optimisation is purely in *how* the work executes.
+pub fn pooled_invocation_aspect(
+    name: impl Into<String>,
+    pointcut: Pointcut,
+    pool: Arc<ThreadPool>,
+) -> Aspect {
+    future_aspect(name, pointcut, Executor::Pool(pool))
+}
+
+/// How an application describes cacheable calls to [`object_cache_aspect`]:
+/// a stable key for the arguments and a way to duplicate a result (results
+/// are handed out both to the caller and to the cache).
+#[derive(Clone)]
+pub struct CachePolicy {
+    /// Derive a stable cache key from the call's arguments.
+    pub key: Arc<dyn Fn(&Args) -> WeaveResult<String> + Send + Sync>,
+    /// Duplicate a (type-erased) result.
+    pub clone_ret: Arc<dyn Fn(&AnyValue) -> WeaveResult<AnyValue> + Send + Sync>,
+}
+
+impl CachePolicy {
+    /// Policy for methods whose single argument and result are both `T`.
+    pub fn unary<T: Clone + Send + std::fmt::Debug + 'static, R: Clone + Send + 'static>() -> Self {
+        CachePolicy {
+            key: Arc::new(|args: &Args| Ok(format!("{:?}", args.get::<T>(0)?))),
+            clone_ret: Arc::new(|ret: &AnyValue| {
+                let typed = ret.downcast_ref::<R>().ok_or_else(|| WeaveError::TypeMismatch {
+                    expected: std::any::type_name::<R>(),
+                    context: "cache clone".into(),
+                })?;
+                Ok(Box::new(typed.clone()) as AnyValue)
+            }),
+        }
+    }
+}
+
+/// Statistics handle of a plugged cache aspect.
+#[derive(Clone, Default)]
+pub struct CacheStats {
+    inner: Arc<Mutex<(u64, u64)>>, // (hits, misses)
+}
+
+impl CacheStats {
+    /// Calls answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.inner.lock().0
+    }
+
+    /// Calls that had to proceed.
+    pub fn misses(&self) -> u64 {
+        self.inner.lock().1
+    }
+}
+
+impl std::fmt::Debug for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CacheStats(hits={}, misses={})", self.hits(), self.misses())
+    }
+}
+
+/// The cache-objects optimisation: matched calls are memoised per
+/// `(target, key)`. Returns the aspect and its statistics handle.
+pub fn object_cache_aspect(
+    name: impl Into<String>,
+    pointcut: Pointcut,
+    policy: CachePolicy,
+) -> (Aspect, CacheStats) {
+    let stats = CacheStats::default();
+    let stats_inner = stats.clone();
+    let cache: Arc<Mutex<HashMap<(ObjId, String), AnyValue>>> = Arc::new(Mutex::new(HashMap::new()));
+    let aspect = Aspect::named(name)
+        .precedence(precedence::OPTIMISATION)
+        .around(pointcut, move |inv: &mut Invocation| {
+            let target = inv.target_required()?;
+            let key = (policy.key)(inv.args()?)?;
+            if let Some(hit) = cache.lock().get(&(target, key.clone())) {
+                stats_inner.inner.lock().0 += 1;
+                return (policy.clone_ret)(hit);
+            }
+            let ret = inv.proceed()?;
+            stats_inner.inner.lock().1 += 1;
+            let copy = (policy.clone_ret)(&ret)?;
+            cache.lock().insert((target, key), copy);
+            Ok(ret)
+        })
+        .build();
+    (aspect, stats)
+}
+
+/// The communication-packing optimisation: buffer matched *oneway* calls
+/// (they return `()` immediately) and flush them as one merged call per
+/// target. Plug [`CallBatcher::aspect`] and call [`CallBatcher::flush`] at
+/// the application's natural synchronisation points.
+#[derive(Clone)]
+pub struct CallBatcher {
+    buffered: Arc<Mutex<Vec<(ObjId, Args)>>>,
+    class: &'static str,
+    method: &'static str,
+    merge: Arc<dyn Fn(Vec<Args>) -> WeaveResult<Args> + Send + Sync>,
+    id: Arc<Mutex<Option<weavepar_weave::AspectId>>>,
+}
+
+impl CallBatcher {
+    /// A batcher for `class.method`, merging buffered argument packs with
+    /// `merge`.
+    pub fn new(
+        class: &'static str,
+        method: &'static str,
+        merge: Arc<dyn Fn(Vec<Args>) -> WeaveResult<Args> + Send + Sync>,
+    ) -> Self {
+        CallBatcher {
+            buffered: Arc::new(Mutex::new(Vec::new())),
+            class,
+            method,
+            merge,
+            id: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// Build and plug the buffering aspect. The calls [`CallBatcher::flush`]
+    /// issues carry this aspect's provenance, so the `within_self().not()`
+    /// pointcut below keeps them from being re-buffered while still letting
+    /// other aspects (synchronisation, distribution) apply to them.
+    pub fn plug(&self, weaver: &Weaver, name: impl Into<String>) -> PluggedAspect {
+        let batcher = self.clone();
+        let aspect = Aspect::named(name)
+            .precedence(precedence::OPTIMISATION)
+            .around(
+                Pointcut::call_sig(self.class, self.method).and(Pointcut::within_self().not()),
+                move |inv: &mut Invocation| {
+                    let target = inv.target_required()?;
+                    let args = std::mem::take(inv.args_mut()?);
+                    batcher.buffered.lock().push((target, args));
+                    Ok(weavepar_weave::ret!())
+                },
+            )
+            .build();
+        let token = weaver.plug(aspect);
+        *self.id.lock() = Some(token.id());
+        token
+    }
+
+    /// Number of buffered calls.
+    pub fn pending(&self) -> usize {
+        self.buffered.lock().len()
+    }
+
+    /// Merge and issue the buffered calls — one call per distinct target,
+    /// in first-buffered order. Returns how many merged calls were issued.
+    pub fn flush(&self, weaver: &Weaver) -> WeaveResult<usize> {
+        let drained = std::mem::take(&mut *self.buffered.lock());
+        if drained.is_empty() {
+            return Ok(0);
+        }
+        let mut order: Vec<ObjId> = Vec::new();
+        let mut per_target: HashMap<ObjId, Vec<Args>> = HashMap::new();
+        for (target, args) in drained {
+            if !per_target.contains_key(&target) {
+                order.push(target);
+            }
+            per_target.entry(target).or_default().push(args);
+        }
+        let issued = order.len();
+        // Issue the merged calls under this aspect's provenance so they are
+        // not re-buffered by our own advice.
+        let id = self.id.lock().ok_or_else(|| {
+            WeaveError::app("CallBatcher::flush before the batching aspect was plugged")
+        })?;
+        let _prov = weavepar_weave::context::push(Provenance::Aspect(id));
+        for target in order {
+            let packs = per_target.remove(&target).expect("target recorded");
+            let merged = (self.merge)(packs)?;
+            weaver.invoke_call(target, self.class, self.method, merged)?;
+        }
+        Ok(issued)
+    }
+}
+
+impl std::fmt::Debug for CallBatcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CallBatcher({}.{}, pending={})", self.class, self.method, self.pending())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct Expensive {
+        executions: Arc<AtomicU64>,
+    }
+
+    thread_local! {
+        static EXEC_COUNTER: Arc<AtomicU64> = Arc::new(AtomicU64::new(0));
+    }
+
+    weavepar_weave::weaveable! {
+        class Expensive as ExpensiveProxy {
+            fn new() -> Self {
+                Expensive { executions: EXEC_COUNTER.with(|c| c.clone()) }
+            }
+            fn work(&mut self, xs: Vec<u64>) -> Vec<u64> {
+                self.executions.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                xs.into_iter().map(|x| x + 1).collect()
+            }
+        }
+    }
+
+    fn executions() -> u64 {
+        EXEC_COUNTER.with(|c| c.load(Ordering::Relaxed))
+    }
+
+    #[test]
+    fn cache_answers_repeats_without_proceeding() {
+        let weaver = Weaver::new();
+        let (aspect, stats) = object_cache_aspect(
+            "Cache",
+            Pointcut::call("Expensive.work"),
+            CachePolicy::unary::<Vec<u64>, Vec<u64>>(),
+        );
+        weaver.plug(aspect);
+        let e = ExpensiveProxy::construct(&weaver).unwrap();
+        let before = executions();
+        assert_eq!(e.work(vec![1, 2]).unwrap(), vec![2, 3]);
+        assert_eq!(e.work(vec![1, 2]).unwrap(), vec![2, 3]);
+        assert_eq!(e.work(vec![1, 2]).unwrap(), vec![2, 3]);
+        assert_eq!(executions() - before, 1, "only the first call executes");
+        assert_eq!(stats.hits(), 2);
+        assert_eq!(stats.misses(), 1);
+        // A different argument misses.
+        assert_eq!(e.work(vec![9]).unwrap(), vec![10]);
+        assert_eq!(stats.misses(), 2);
+    }
+
+    #[test]
+    fn cache_is_per_target() {
+        let weaver = Weaver::new();
+        let (aspect, stats) = object_cache_aspect(
+            "Cache",
+            Pointcut::call("Expensive.work"),
+            CachePolicy::unary::<Vec<u64>, Vec<u64>>(),
+        );
+        weaver.plug(aspect);
+        let a = ExpensiveProxy::construct(&weaver).unwrap();
+        let b = ExpensiveProxy::construct(&weaver).unwrap();
+        a.work(vec![5]).unwrap();
+        b.work(vec![5]).unwrap();
+        assert_eq!(stats.misses(), 2, "distinct targets must not share entries");
+    }
+
+    #[test]
+    fn pooled_invocation_runs_on_the_pool() {
+        let weaver = Weaver::new();
+        let pool = ThreadPool::new(2, "opt");
+        weaver.plug(pooled_invocation_aspect(
+            "PooledAsync",
+            Pointcut::call("Expensive.work"),
+            pool.clone(),
+        ));
+        let e = ExpensiveProxy::construct(&weaver).unwrap();
+        let before = executions();
+        let ret = e.handle().call("work", weavepar_weave::args![vec![1u64]]).unwrap();
+        let out = weavepar_concurrency::resolve_any(ret).unwrap();
+        assert_eq!(*out.downcast::<Vec<u64>>().unwrap(), vec![2]);
+        pool.wait_idle();
+        assert_eq!(executions() - before, 1);
+    }
+
+    #[test]
+    fn batcher_buffers_and_flushes_merged_calls() {
+        let weaver = Weaver::new();
+        let batcher = CallBatcher::new(
+            "Expensive",
+            "work",
+            Arc::new(|packs: Vec<Args>| {
+                let mut merged: Vec<u64> = Vec::new();
+                for p in packs {
+                    merged.extend(p.get::<Vec<u64>>(0)?.iter().copied());
+                }
+                Ok(weavepar_weave::args![merged])
+            }),
+        );
+        batcher.plug(&weaver, "Packing");
+        let e = ExpensiveProxy::construct(&weaver).unwrap();
+        let before = executions();
+        // Buffered: returns unit immediately, nothing executes.
+        let r1 = e.handle().call("work", weavepar_weave::args![vec![1u64, 2]]).unwrap();
+        assert!(r1.downcast::<()>().is_ok());
+        e.handle().call("work", weavepar_weave::args![vec![3u64]]).unwrap();
+        assert_eq!(executions() - before, 0);
+        assert_eq!(batcher.pending(), 2);
+        // One merged execution on flush.
+        let issued = batcher.flush(&weaver).unwrap();
+        assert_eq!(issued, 1);
+        assert_eq!(executions() - before, 1);
+        assert_eq!(batcher.pending(), 0);
+        // Idempotent flush.
+        assert_eq!(batcher.flush(&weaver).unwrap(), 0);
+    }
+
+    #[test]
+    fn batcher_keeps_targets_separate() {
+        let weaver = Weaver::new();
+        let batcher = CallBatcher::new(
+            "Expensive",
+            "work",
+            Arc::new(|packs: Vec<Args>| {
+                let mut merged: Vec<u64> = Vec::new();
+                for p in packs {
+                    merged.extend(p.get::<Vec<u64>>(0)?.iter().copied());
+                }
+                Ok(weavepar_weave::args![merged])
+            }),
+        );
+        batcher.plug(&weaver, "Packing");
+        let a = ExpensiveProxy::construct(&weaver).unwrap();
+        let b = ExpensiveProxy::construct(&weaver).unwrap();
+        let before = executions();
+        a.handle().call("work", weavepar_weave::args![vec![1u64]]).unwrap();
+        b.handle().call("work", weavepar_weave::args![vec![2u64]]).unwrap();
+        a.handle().call("work", weavepar_weave::args![vec![3u64]]).unwrap();
+        assert_eq!(batcher.flush(&weaver).unwrap(), 2, "one merged call per target");
+        assert_eq!(executions() - before, 2);
+    }
+}

@@ -1,0 +1,370 @@
+//! The pluggable distribution aspects (paper §4.3, Figures 14 and 15).
+//!
+//! Both aspects perform the paper's four RMI code modifications in one
+//! module:
+//!
+//! 1. the class is declared `Remote` (an inter-type class tag);
+//! 2. each construction additionally creates a server-side instance
+//!    (selected by a [`Policy`]) and — in the RMI flavour — registers it in
+//!    the name server under an automatic `PS<n>` name;
+//! 3. the client obtains the remote reference (RMI: name-server lookup) and
+//!    stores it as an inter-type field on the local stub;
+//! 4. matched calls are redirected to the remote instance, marshalled
+//!    through the wire codec, with failures surfacing as
+//!    [`WeaveError::Remote`] — the `RemoteException` analogue.
+//!
+//! The local object created by `proceed` acts as the client-side stub: it
+//! keeps the object id (and monitor) that the rest of the aspect stack
+//! works with, while calls are served by the remote instance.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use weavepar_weave::aspect::precedence;
+use weavepar_weave::prelude::*;
+
+use crate::fabric::{InProcFabric, RemoteRef};
+
+/// Node-selection policy (§4.3: "Several policies can be implemented in this
+/// aspect (e.g., random, round-robin)").
+#[derive(Clone, Debug)]
+pub enum Policy {
+    /// Cycle through the nodes.
+    RoundRobin(Arc<AtomicUsize>),
+    /// Always the same node.
+    Fixed(usize),
+    /// Pseudo-random node (deterministic LCG seeded explicitly).
+    Random(Arc<Mutex<u64>>),
+}
+
+impl Policy {
+    /// A fresh round-robin policy starting at node 0.
+    pub fn round_robin() -> Self {
+        Policy::RoundRobin(Arc::new(AtomicUsize::new(0)))
+    }
+
+    /// Always place on `node`.
+    pub fn fixed(node: usize) -> Self {
+        Policy::Fixed(node)
+    }
+
+    /// Seeded pseudo-random placement.
+    pub fn random(seed: u64) -> Self {
+        Policy::Random(Arc::new(Mutex::new(seed.max(1))))
+    }
+
+    /// Choose a node out of `nodes`.
+    pub fn pick(&self, nodes: usize) -> usize {
+        let nodes = nodes.max(1);
+        match self {
+            Policy::RoundRobin(next) => next.fetch_add(1, Ordering::Relaxed) % nodes,
+            Policy::Fixed(node) => *node % nodes,
+            Policy::Random(state) => {
+                let mut s = state.lock();
+                // Numerical Recipes LCG.
+                *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((*s >> 33) % nodes as u64) as usize
+            }
+        }
+    }
+}
+
+/// Inter-type field under which the remote reference is stored on the stub.
+pub const REMOTE_FIELD: &str = "remote";
+
+fn distribution_aspect(
+    name: String,
+    class: &'static str,
+    call_pointcut: Pointcut,
+    fabric: Arc<InProcFabric>,
+    policy: Policy,
+    use_nameserver: bool,
+    oneway: bool,
+) -> Aspect {
+    let construct_fabric = fabric.clone();
+    Aspect::named(name)
+        .precedence(precedence::DISTRIBUTION)
+        // Server + client side of object creation (modifications 1–3).
+        .around(Pointcut::construct(class), move |inv: &mut Invocation| {
+            let fabric = &construct_fabric;
+            // Marshal the constructor arguments before `proceed` consumes them.
+            let ctor_bytes = fabric.marshal().encode_args(class, "new", inv.args()?)?;
+            let local = inv.proceed()?;
+            let local_id = *local
+                .downcast_ref::<ObjId>()
+                .ok_or_else(|| WeaveError::remote("construction did not return an ObjId"))?;
+            let node = policy.pick(fabric.node_count());
+            let remote = fabric.construct_on(node, class, ctor_bytes)?;
+            let resolved = if use_nameserver {
+                // Figure 14: register under PS<n>, then look it up — the
+                // client only ever holds what the name server handed out.
+                let ns = fabric.nameserver();
+                let name = ns.next_name("PS");
+                ns.rebind(&name, remote);
+                ns.lookup(&name)?
+            } else {
+                remote
+            };
+            let weaver = inv.weaver();
+            weaver.intertype().declare_tag(class, "Remote");
+            weaver.intertype().set_field(local_id, REMOTE_FIELD, resolved);
+            Ok(local)
+        })
+        // Client-side call redirection (modification 4).
+        .around(call_pointcut, move |inv: &mut Invocation| {
+            let target = inv.target_required()?;
+            let remote = inv.weaver().intertype().get_field::<RemoteRef>(target, REMOTE_FIELD);
+            let Some(remote) = remote else {
+                // Not a distributed object (plugged after creation, or a
+                // purely local instance): run locally.
+                return inv.proceed();
+            };
+            let sig = inv.signature();
+            let bytes = fabric.marshal().encode_args(sig.class, sig.method, inv.args()?)?;
+            if oneway {
+                fabric.call(remote, sig.method, bytes, false)?;
+                Ok(weavepar_weave::ret!())
+            } else {
+                let reply = fabric
+                    .call(remote, sig.method, bytes, true)?
+                    .ok_or_else(|| WeaveError::remote("missing reply"))?;
+                fabric.marshal().decode_ret(sig.class, sig.method, &reply)
+            }
+        })
+        .build()
+}
+
+/// The RMI-style distribution aspect (Figure 14): name-server registration
+/// and lookup, synchronous calls with marshalled replies.
+pub fn rmi_distribution_aspect(
+    name: impl Into<String>,
+    class: &'static str,
+    call_pointcut: Pointcut,
+    fabric: Arc<InProcFabric>,
+    policy: Policy,
+) -> Aspect {
+    distribution_aspect(name.into(), class, call_pointcut, fabric, policy, true, false)
+}
+
+/// The MPP-style distribution aspect (Figure 15): direct node addressing,
+/// no name server. `oneway` sends without replies (the figure's
+/// `comm.send`); with `oneway = false` a reply message is awaited, which
+/// methods with results require.
+pub fn mpp_distribution_aspect(
+    name: impl Into<String>,
+    class: &'static str,
+    call_pointcut: Pointcut,
+    fabric: Arc<InProcFabric>,
+    policy: Policy,
+    oneway: bool,
+) -> Aspect {
+    distribution_aspect(name.into(), class, call_pointcut, fabric, policy, false, oneway)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::MarshalRegistry;
+
+    struct Doubler {
+        bias: u64,
+        calls: u64,
+    }
+
+    weavepar_weave::weaveable! {
+        class Doubler as DoublerProxy {
+            fn new(bias: u64) -> Self { Doubler { bias, calls: 0 } }
+            fn apply(&mut self, x: u64) -> u64 {
+                self.calls += 1;
+                x * 2 + self.bias
+            }
+            fn calls(&mut self) -> u64 {
+                self.calls
+            }
+        }
+    }
+
+    fn fabric(nodes: usize) -> Arc<InProcFabric> {
+        let m = MarshalRegistry::new();
+        m.register::<(u64,), ()>("Doubler", "new");
+        m.register::<(u64,), u64>("Doubler", "apply");
+        m.register::<(), u64>("Doubler", "calls");
+        let f = InProcFabric::new(nodes, m);
+        f.register_class::<Doubler>();
+        f
+    }
+
+    #[test]
+    fn rmi_redirects_calls_to_the_remote_instance() {
+        let weaver = Weaver::new();
+        let f = fabric(2);
+        weaver.plug(rmi_distribution_aspect(
+            "Distribution",
+            "Doubler",
+            Pointcut::call("Doubler.apply").or(Pointcut::call("Doubler.calls")),
+            f.clone(),
+            Policy::fixed(1),
+        ));
+        let d = DoublerProxy::construct(&weaver, 5).unwrap();
+        assert_eq!(d.apply(10).unwrap(), 25);
+        assert_eq!(d.apply(0).unwrap(), 5);
+        // The *remote* instance took the calls; the local stub took none.
+        assert_eq!(d.calls().unwrap(), 2);
+        let local_calls = weaver
+            .space()
+            .with_object::<Doubler, _>(d.id(), |o| o.calls)
+            .unwrap();
+        assert_eq!(local_calls, 0, "stub must not execute redirected calls");
+        // And the remote object lives on node 1.
+        assert_eq!(f.node(1).unwrap().weaver().space().len(), 1);
+        assert_eq!(f.node(0).unwrap().weaver().space().len(), 0);
+    }
+
+    #[test]
+    fn rmi_registers_names() {
+        let weaver = Weaver::new();
+        let f = fabric(2);
+        weaver.plug(rmi_distribution_aspect(
+            "Distribution",
+            "Doubler",
+            Pointcut::call("Doubler.apply"),
+            f.clone(),
+            Policy::round_robin(),
+        ));
+        let _a = DoublerProxy::construct(&weaver, 0).unwrap();
+        let _b = DoublerProxy::construct(&weaver, 0).unwrap();
+        assert_eq!(f.nameserver().names(), vec!["PS1".to_string(), "PS2".to_string()]);
+        assert!(weaver.intertype().has_tag("Doubler", "Remote"));
+    }
+
+    #[test]
+    fn mpp_without_nameserver() {
+        let weaver = Weaver::new();
+        let f = fabric(3);
+        weaver.plug(mpp_distribution_aspect(
+            "DistributionMPP",
+            "Doubler",
+            Pointcut::call("Doubler.apply"),
+            f.clone(),
+            Policy::round_robin(),
+            false,
+        ));
+        let d = DoublerProxy::construct(&weaver, 1).unwrap();
+        assert_eq!(d.apply(3).unwrap(), 7);
+        assert!(f.nameserver().is_empty());
+    }
+
+    #[test]
+    fn mpp_oneway_returns_unit_immediately() {
+        let weaver = Weaver::new();
+        let f = fabric(2);
+        weaver.plug(mpp_distribution_aspect(
+            "DistributionMPP",
+            "Doubler",
+            Pointcut::call("Doubler.apply"),
+            f.clone(),
+            Policy::fixed(0),
+            true,
+        ));
+        let d = DoublerProxy::construct(&weaver, 1).unwrap();
+        // Typed proxy expects u64 but the oneway advice returns (): use the
+        // raw handle, as oneway methods should be unit-returning by design.
+        let ret = d.handle().call("apply", weavepar_weave::args![3u64]).unwrap();
+        assert!(ret.downcast::<()>().is_ok());
+    }
+
+    #[test]
+    fn unplugged_distribution_is_fully_local() {
+        let weaver = Weaver::new();
+        let f = fabric(2);
+        let plugged = weaver.plug(rmi_distribution_aspect(
+            "Distribution",
+            "Doubler",
+            Pointcut::call("Doubler.apply"),
+            f.clone(),
+            Policy::fixed(0),
+        ));
+        weaver.unplug(&plugged);
+        let d = DoublerProxy::construct(&weaver, 5).unwrap();
+        assert_eq!(d.apply(10).unwrap(), 25);
+        assert_eq!(f.node(0).unwrap().weaver().space().len(), 0, "no remote instance created");
+    }
+
+    #[test]
+    fn objects_created_before_plugging_stay_local() {
+        let weaver = Weaver::new();
+        let f = fabric(2);
+        let d = DoublerProxy::construct(&weaver, 5).unwrap();
+        weaver.plug(rmi_distribution_aspect(
+            "Distribution",
+            "Doubler",
+            Pointcut::call("Doubler.apply"),
+            f.clone(),
+            Policy::fixed(0),
+        ));
+        // No remote field on this object: the call advice falls through.
+        assert_eq!(d.apply(1).unwrap(), 7);
+        assert_eq!(f.node(0).unwrap().weaver().space().len(), 0);
+    }
+
+    #[test]
+    fn round_robin_spreads_instances() {
+        let weaver = Weaver::new();
+        let f = fabric(3);
+        weaver.plug(mpp_distribution_aspect(
+            "DistributionMPP",
+            "Doubler",
+            Pointcut::call("Doubler.apply"),
+            f.clone(),
+            Policy::round_robin(),
+            false,
+        ));
+        for _ in 0..6 {
+            DoublerProxy::construct(&weaver, 0).unwrap();
+        }
+        for node in 0..3 {
+            assert_eq!(f.node(node).unwrap().weaver().space().len(), 2);
+        }
+    }
+
+    #[test]
+    fn policy_pick_ranges() {
+        let rr = Policy::round_robin();
+        let picks: Vec<usize> = (0..6).map(|_| rr.pick(3)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+        assert_eq!(Policy::fixed(5).pick(3), 2);
+        let rnd = Policy::random(42);
+        for _ in 0..100 {
+            assert!(rnd.pick(4) < 4);
+        }
+        // Determinism: same seed, same sequence.
+        let a: Vec<usize> = {
+            let p = Policy::random(7);
+            (0..10).map(|_| p.pick(5)).collect()
+        };
+        let b: Vec<usize> = {
+            let p = Policy::random(7);
+            (0..10).map(|_| p.pick(5)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn missing_marshaller_is_a_remote_error() {
+        let weaver = Weaver::new();
+        let m = MarshalRegistry::new(); // nothing registered
+        let f = InProcFabric::new(1, m);
+        f.register_class::<Doubler>();
+        weaver.plug(rmi_distribution_aspect(
+            "Distribution",
+            "Doubler",
+            Pointcut::call("Doubler.apply"),
+            f,
+            Policy::fixed(0),
+        ));
+        let err = DoublerProxy::construct(&weaver, 1).unwrap_err();
+        assert!(matches!(err, WeaveError::Remote(_)));
+    }
+}

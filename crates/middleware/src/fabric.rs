@@ -1,0 +1,250 @@
+//! The in-process cluster fabric: N node runtimes plus client-side plumbing.
+//!
+//! `InProcFabric` is the "cluster" the distribution aspects talk to. Its
+//! nodes are real threads with private object spaces; calls are marshalled
+//! to bytes and cross channels — functionally a distributed system, minus
+//! the 2005 Ethernet (whose costs live in `weavepar-cluster`).
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use crossbeam::channel::bounded;
+
+use weavepar_weave::{ObjId, Weaveable, WeaveError, WeaveResult};
+
+use crate::nameserver::NameServer;
+use crate::node::{NodeRuntime, Request};
+use crate::wire::MarshalRegistry;
+
+/// A reference to an object living on a fabric node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RemoteRef {
+    /// Hosting node.
+    pub node: usize,
+    /// Object id within that node's space.
+    pub obj: ObjId,
+}
+
+/// N in-process nodes, a shared marshalling registry and a name server.
+pub struct InProcFabric {
+    nodes: Vec<NodeRuntime>,
+    marshal: MarshalRegistry,
+    nameserver: NameServer,
+}
+
+impl InProcFabric {
+    /// Spawn a fabric of `nodes` nodes sharing `marshal`.
+    pub fn new(nodes: usize, marshal: MarshalRegistry) -> Arc<Self> {
+        let nodes = (0..nodes.max(1)).map(|i| NodeRuntime::spawn(i, marshal.clone())).collect();
+        Arc::new(InProcFabric { nodes, marshal, nameserver: NameServer::new() })
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The shared marshalling registry.
+    pub fn marshal(&self) -> &MarshalRegistry {
+        &self.marshal
+    }
+
+    /// The fabric's name server (used by the RMI-style aspect).
+    pub fn nameserver(&self) -> &NameServer {
+        &self.nameserver
+    }
+
+    /// A node's runtime (tests, server-side inspection).
+    pub fn node(&self, i: usize) -> WeaveResult<&NodeRuntime> {
+        self.nodes.get(i).ok_or_else(|| WeaveError::remote(format!("no node {i}")))
+    }
+
+    /// Failure injection: crash a node (see [`NodeRuntime::kill`]).
+    pub fn kill_node(&self, i: usize) -> WeaveResult<()> {
+        self.node(i)?.kill();
+        Ok(())
+    }
+
+    /// Register a weaveable class on every node.
+    pub fn register_class<T: Weaveable>(&self) {
+        for node in &self.nodes {
+            node.register_class::<T>();
+        }
+    }
+
+    /// Create an instance of `class` on `node` from marshalled arguments.
+    pub fn construct_on(&self, node: usize, class: &str, args: Bytes) -> WeaveResult<RemoteRef> {
+        let target = self.node(node)?;
+        let (tx, rx) = bounded(1);
+        target.submit(Request::Construct { class: class.to_string(), args, reply: tx })?;
+        let obj = rx
+            .recv()
+            .map_err(|_| WeaveError::remote(format!("node {node} dropped the construct reply")))??;
+        Ok(RemoteRef { node, obj })
+    }
+
+    /// Snapshot a remote object's state (removing it when `remove`).
+    pub fn snapshot(&self, reference: RemoteRef, remove: bool) -> WeaveResult<Bytes> {
+        let target = self.node(reference.node)?;
+        let (tx, rx) = bounded(1);
+        target.submit(Request::Snapshot { obj: reference.obj, remove, reply: tx })?;
+        rx.recv().map_err(|_| WeaveError::remote("node dropped the snapshot reply"))?
+    }
+
+    /// Rebuild an instance of `class` on `node` from snapshotted state.
+    pub fn restore(&self, node: usize, class: &str, state: Bytes) -> WeaveResult<RemoteRef> {
+        let target = self.node(node)?;
+        let (tx, rx) = bounded(1);
+        target.submit(Request::Restore { class: class.to_string(), state, reply: tx })?;
+        let obj = rx.recv().map_err(|_| WeaveError::remote("node dropped the restore reply"))??;
+        Ok(RemoteRef { node, obj })
+    }
+
+    /// Move a remote object to another node, preserving its state — the
+    /// runtime behind the paper's `Point.migrate` (Figure 2).
+    pub fn migrate(&self, reference: RemoteRef, class: &str, to: usize) -> WeaveResult<RemoteRef> {
+        if reference.node == to {
+            return Ok(reference);
+        }
+        let state = self.snapshot(reference, true)?;
+        self.restore(to, class, state)
+    }
+
+    /// Invoke `method` on a remote object. With `want_reply`, blocks for the
+    /// marshalled return value (RMI semantics); without, returns immediately
+    /// (MPP oneway send).
+    pub fn call(
+        &self,
+        reference: RemoteRef,
+        method: &str,
+        args: Bytes,
+        want_reply: bool,
+    ) -> WeaveResult<Option<Bytes>> {
+        let target = self.node(reference.node)?;
+        if want_reply {
+            let (tx, rx) = bounded(1);
+            target.submit(Request::Call {
+                obj: reference.obj,
+                method: method.to_string(),
+                args,
+                reply: Some(tx),
+            })?;
+            let bytes = rx.recv().map_err(|_| {
+                WeaveError::remote(format!("node {} dropped the call reply", reference.node))
+            })??;
+            Ok(Some(bytes))
+        } else {
+            target.submit(Request::Call {
+                obj: reference.obj,
+                method: method.to_string(),
+                args,
+                reply: None,
+            })?;
+            Ok(None)
+        }
+    }
+}
+
+impl std::fmt::Debug for InProcFabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InProcFabric").field("nodes", &self.nodes.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weavepar_weave::args;
+
+    struct Echo {
+        tag: String,
+    }
+
+    weavepar_weave::weaveable! {
+        class Echo as EchoProxy {
+            fn new(tag: String) -> Self { Echo { tag } }
+            fn shout(&mut self, msg: String) -> String {
+                format!("{}:{}", self.tag, msg)
+            }
+        }
+    }
+
+    fn fabric() -> Arc<InProcFabric> {
+        let m = MarshalRegistry::new();
+        m.register::<(String,), ()>("Echo", "new");
+        m.register::<(String,), String>("Echo", "shout");
+        let f = InProcFabric::new(3, m);
+        f.register_class::<Echo>();
+        f
+    }
+
+    #[test]
+    fn construct_and_call_across_nodes() {
+        let f = fabric();
+        for node in 0..3 {
+            let args = f.marshal().encode_args("Echo", "new", &args![format!("n{node}")]).unwrap();
+            let r = f.construct_on(node, "Echo", args).unwrap();
+            assert_eq!(r.node, node);
+            let call_args = f.marshal().encode_args("Echo", "shout", &args!["hi".to_string()]).unwrap();
+            let reply = f.call(r, "shout", call_args, true).unwrap().unwrap();
+            let ret = f.marshal().decode_ret("Echo", "shout", &reply).unwrap();
+            assert_eq!(*ret.downcast::<String>().unwrap(), format!("n{node}:hi"));
+        }
+    }
+
+    #[test]
+    fn objects_live_in_separate_spaces() {
+        let f = fabric();
+        let a = f.marshal().encode_args("Echo", "new", &args!["a".to_string()]).unwrap();
+        let b = f.marshal().encode_args("Echo", "new", &args!["b".to_string()]).unwrap();
+        let ra = f.construct_on(0, "Echo", a).unwrap();
+        let rb = f.construct_on(1, "Echo", b).unwrap();
+        assert_eq!(f.node(0).unwrap().weaver().space().len(), 1);
+        assert_eq!(f.node(1).unwrap().weaver().space().len(), 1);
+        assert_eq!(f.node(2).unwrap().weaver().space().len(), 0);
+        // Calling node 1's object id on node 0 fails: spaces are disjoint.
+        let call_args = f.marshal().encode_args("Echo", "shout", &args!["x".to_string()]).unwrap();
+        let misdirected = RemoteRef { node: 0, obj: rb.obj };
+        // ids happen to collide across spaces (both start at 1), so this is
+        // only an error when they don't; assert the *correct* routing works.
+        let _ = misdirected;
+        let ok = f.call(ra, "shout", call_args, true).unwrap();
+        assert!(ok.is_some());
+    }
+
+    #[test]
+    fn bad_node_index_is_an_error() {
+        let f = fabric();
+        let args = f.marshal().encode_args("Echo", "new", &args!["x".to_string()]).unwrap();
+        assert!(f.construct_on(99, "Echo", args).is_err());
+        assert!(f.node(99).is_err());
+    }
+
+    #[test]
+    fn oneway_send_returns_immediately() {
+        let f = fabric();
+        let ctor = f.marshal().encode_args("Echo", "new", &args!["n".to_string()]).unwrap();
+        let r = f.construct_on(0, "Echo", ctor).unwrap();
+        let call_args = f.marshal().encode_args("Echo", "shout", &args!["x".to_string()]).unwrap();
+        let reply = f.call(r, "shout", call_args, false).unwrap();
+        assert!(reply.is_none());
+    }
+
+    #[test]
+    fn remote_errors_propagate_on_replied_calls() {
+        let f = fabric();
+        let call_args = f.marshal().encode_args("Echo", "shout", &args!["x".to_string()]).unwrap();
+        let ghost = RemoteRef { node: 0, obj: ObjId::from_raw(404) };
+        assert!(f.call(ghost, "shout", call_args, true).is_err());
+    }
+
+    #[test]
+    fn nameserver_is_shared() {
+        let f = fabric();
+        let ctor = f.marshal().encode_args("Echo", "new", &args!["n".to_string()]).unwrap();
+        let r = f.construct_on(1, "Echo", ctor).unwrap();
+        let name = f.nameserver().next_name("PS");
+        f.nameserver().rebind(&name, r);
+        assert_eq!(f.nameserver().lookup(&name).unwrap(), r);
+    }
+}

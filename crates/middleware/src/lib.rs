@@ -1,0 +1,42 @@
+//! # weavepar-middleware — the distribution substrate (paper §4.3)
+//!
+//! The paper's distribution concern runs objects on remote nodes and
+//! redirects method calls through a middleware — Java RMI for naming +
+//! synchronous remote invocation, or the MPP message-passing library for
+//! explicit sends received by a server loop (Figures 13–15). This crate
+//! rebuilds that stack:
+//!
+//! * [`wire`] — a compact binary codec ([`Wire`]) plus argument-pack
+//!   marshalling ([`MarshalRegistry`]), standing in for Java serialisation;
+//! * [`nameserver`] — the RMI registry analogue (`PS1`, `PS2`, ... names);
+//! * [`node`] — a [`NodeRuntime`]: one simulated cluster node = one thread
+//!   with its own [`Weaver`](weavepar_weave::Weaver) and object space,
+//!   serving construct/call requests from a channel (the MPP receive loop of
+//!   Figure 15);
+//! * [`fabric`] — an [`InProcFabric`] wiring N nodes together in-process;
+//! * [`aspects`] — the pluggable distribution aspects:
+//!   [`aspects::rmi_distribution_aspect`] (name-server lookup + synchronous
+//!   call with reply, Figure 14) and
+//!   [`aspects::mpp_distribution_aspect`] (direct node addressing, Figure 15),
+//!   plus node-selection [`Policy`](aspects::Policy) (round-robin, random,
+//!   fixed — §4.3 "several policies can be implemented in this aspect");
+//! * [`migration`] — the paper's Figure 2 `migrate` method, introduced by
+//!   static crosscutting and actually moving object state between nodes.
+//!
+//! Everything runs for real: calls are marshalled to bytes, cross a channel,
+//! and execute on the remote node's object space. Only the *performance*
+//! of the 2005 cluster is left to `weavepar-cluster`'s simulator.
+
+pub mod aspects;
+pub mod fabric;
+pub mod migration;
+pub mod nameserver;
+pub mod node;
+pub mod wire;
+
+pub use aspects::{mpp_distribution_aspect, rmi_distribution_aspect, Policy};
+pub use fabric::{InProcFabric, RemoteRef};
+pub use migration::{introduce_migration, migrate_object, remove_migration, MigrationCapability};
+pub use nameserver::NameServer;
+pub use node::NodeRuntime;
+pub use wire::{MarshalRegistry, Wire, WireArgs};

@@ -1,0 +1,225 @@
+//! Object migration: the paper's Figure 2 made operational.
+//!
+//! Figure 2 *introduces* a `migrate(node)` method into class `Point` by
+//! static crosscutting, without touching the class. Here
+//! [`introduce_migration`] does the same through the inter-type store — and
+//! the method actually works: it snapshots the object's state (via the
+//! [`MarshalRegistry`](crate::wire::MarshalRegistry) state codec), rebuilds
+//! the instance on the chosen node, and repoints the stub's remote
+//! reference, so subsequent distributed calls land on the new node.
+
+use std::sync::Arc;
+
+use weavepar_weave::{ObjId, WeaveError, WeaveResult, Weaver};
+
+use crate::aspects::REMOTE_FIELD;
+use crate::fabric::{InProcFabric, RemoteRef};
+
+/// Token for removing the introduced method again (static crosscutting is
+/// (un)pluggable too).
+#[derive(Debug, Clone)]
+pub struct MigrationCapability {
+    class: &'static str,
+}
+
+/// Introduce `class.migrate(node: u64)` on `weaver` (an inter-type extension
+/// method, dispatched when the class's own table misses).
+///
+/// Semantics per target object:
+///
+/// * object already distributed (has a remote reference): the remote
+///   instance is moved — snapshot on the old node, restore on the new one,
+///   stub repointed;
+/// * purely local object: its state is shipped out to the chosen node and
+///   the local instance becomes a stub for it.
+///
+/// Requires a state codec for the class
+/// ([`MarshalRegistry::register_state`](crate::wire::MarshalRegistry::register_state)).
+pub fn introduce_migration(
+    weaver: &Weaver,
+    class: &'static str,
+    fabric: Arc<InProcFabric>,
+) -> MigrationCapability {
+    weaver.intertype().declare_tag(class, "Migratable");
+    weaver.intertype().add_method(
+        class,
+        "migrate",
+        Arc::new(move |weaver: &Weaver, target: ObjId, mut args| {
+            let node = args.take::<u64>(0)? as usize;
+            if node >= fabric.node_count() {
+                return Err(WeaveError::remote(format!(
+                    "migrate: no node {node} (fabric has {})",
+                    fabric.node_count()
+                )));
+            }
+            let moved = match weaver.intertype().get_field::<RemoteRef>(target, REMOTE_FIELD) {
+                Some(current) => fabric.migrate(current, class, node)?,
+                None => {
+                    // Local object: ship its state out; it becomes a stub.
+                    let state = fabric.marshal().snapshot_state(weaver, class, target)?;
+                    fabric.restore(node, class, state)?
+                }
+            };
+            weaver.intertype().set_field(target, REMOTE_FIELD, moved);
+            Ok(weavepar_weave::ret!(moved.node as u64))
+        }),
+    );
+    MigrationCapability { class }
+}
+
+/// Remove the introduced `migrate` method again.
+pub fn remove_migration(weaver: &Weaver, capability: &MigrationCapability) -> bool {
+    weaver.intertype().remove_tag(capability.class, "Migratable");
+    weaver.intertype().remove_method(capability.class, "migrate")
+}
+
+/// Convenience: call `obj.migrate(node)` through the weaver.
+pub fn migrate_object(weaver: &Weaver, obj: ObjId, node: usize) -> WeaveResult<u64> {
+    let ret = weaver.invoke_call_dyn(obj, "migrate", weavepar_weave::args![node as u64])?;
+    weavepar_weave::value::downcast_ret::<u64>(ret)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aspects::{rmi_distribution_aspect, Policy};
+    use crate::wire::MarshalRegistry;
+    use weavepar_weave::prelude::*;
+
+    struct Counter {
+        count: u64,
+    }
+
+    weavepar_weave::weaveable! {
+        class Counter as CounterProxy {
+            fn new(start: u64) -> Self { Counter { count: start } }
+            fn bump(&mut self) -> u64 {
+                self.count += 1;
+                self.count
+            }
+        }
+    }
+
+    fn marshal() -> MarshalRegistry {
+        let m = MarshalRegistry::new();
+        m.register::<(u64,), ()>("Counter", "new");
+        m.register::<(), u64>("Counter", "bump");
+        m.register_state::<Counter, u64, _, _>(|c| c.count, |count| Counter { count });
+        m
+    }
+
+    #[test]
+    fn migrate_moves_state_between_nodes() {
+        let weaver = Weaver::new();
+        let fabric = InProcFabric::new(3, marshal());
+        fabric.register_class::<Counter>();
+        weaver.plug(rmi_distribution_aspect(
+            "Distribution",
+            "Counter",
+            Pointcut::call("Counter.bump"),
+            fabric.clone(),
+            Policy::fixed(0),
+        ));
+        let cap = introduce_migration(&weaver, "Counter", fabric.clone());
+        assert!(weaver.intertype().has_tag("Counter", "Migratable"));
+
+        let c = CounterProxy::construct(&weaver, 10).unwrap();
+        assert_eq!(c.bump().unwrap(), 11);
+        assert_eq!(c.bump().unwrap(), 12);
+        assert_eq!(fabric.node(0).unwrap().weaver().space().len(), 1);
+
+        // Migrate to node 2: the count must travel with the object.
+        let landed = migrate_object(&weaver, c.id(), 2).unwrap();
+        assert_eq!(landed, 2);
+        assert_eq!(fabric.node(0).unwrap().weaver().space().len(), 0, "moved away");
+        assert_eq!(fabric.node(2).unwrap().weaver().space().len(), 1, "arrived");
+        assert_eq!(c.bump().unwrap(), 13, "state survived the move");
+
+        let _ = cap;
+    }
+
+    #[test]
+    fn migrate_local_object_ships_it_out() {
+        let weaver = Weaver::new();
+        let fabric = InProcFabric::new(2, marshal());
+        fabric.register_class::<Counter>();
+        // Distribution aspect plugged, but the object was created before it —
+        // it is purely local until migrated.
+        let c = CounterProxy::construct(&weaver, 5).unwrap();
+        weaver.plug(rmi_distribution_aspect(
+            "Distribution",
+            "Counter",
+            Pointcut::call("Counter.bump"),
+            fabric.clone(),
+            Policy::fixed(0),
+        ));
+        introduce_migration(&weaver, "Counter", fabric.clone());
+
+        assert_eq!(c.bump().unwrap(), 6, "local execution before migration");
+        migrate_object(&weaver, c.id(), 1).unwrap();
+        assert_eq!(fabric.node(1).unwrap().weaver().space().len(), 1);
+        assert_eq!(c.bump().unwrap(), 7, "remote execution after migration");
+        // Local stub no longer receives the calls.
+        let local = weaver.space().with_object::<Counter, _>(c.id(), |x| x.count).unwrap();
+        assert_eq!(local, 6);
+    }
+
+    #[test]
+    fn migrate_to_same_node_is_a_noop_move() {
+        let weaver = Weaver::new();
+        let fabric = InProcFabric::new(2, marshal());
+        fabric.register_class::<Counter>();
+        weaver.plug(rmi_distribution_aspect(
+            "Distribution",
+            "Counter",
+            Pointcut::call("Counter.bump"),
+            fabric.clone(),
+            Policy::fixed(1),
+        ));
+        introduce_migration(&weaver, "Counter", fabric.clone());
+        let c = CounterProxy::construct(&weaver, 0).unwrap();
+        c.bump().unwrap();
+        migrate_object(&weaver, c.id(), 1).unwrap();
+        assert_eq!(c.bump().unwrap(), 2);
+        assert_eq!(fabric.node(1).unwrap().weaver().space().len(), 1);
+    }
+
+    #[test]
+    fn migrate_to_invalid_node_errors() {
+        let weaver = Weaver::new();
+        let fabric = InProcFabric::new(2, marshal());
+        fabric.register_class::<Counter>();
+        introduce_migration(&weaver, "Counter", fabric);
+        let c = CounterProxy::construct(&weaver, 0).unwrap();
+        let err = migrate_object(&weaver, c.id(), 9).unwrap_err();
+        assert!(matches!(err, WeaveError::Remote(_)));
+    }
+
+    #[test]
+    fn migration_capability_is_removable() {
+        let weaver = Weaver::new();
+        let fabric = InProcFabric::new(1, marshal());
+        fabric.register_class::<Counter>();
+        let cap = introduce_migration(&weaver, "Counter", fabric);
+        let c = CounterProxy::construct(&weaver, 0).unwrap();
+        assert!(remove_migration(&weaver, &cap));
+        assert!(!weaver.intertype().has_tag("Counter", "Migratable"));
+        let err = migrate_object(&weaver, c.id(), 0).unwrap_err();
+        assert!(matches!(err, WeaveError::NoSuchMethod { .. }));
+        assert!(!remove_migration(&weaver, &cap), "second removal is a no-op");
+    }
+
+    #[test]
+    fn missing_state_codec_is_reported() {
+        let m = MarshalRegistry::new();
+        m.register::<(u64,), ()>("Counter", "new");
+        assert!(!m.knows_state("Counter"));
+        let weaver = Weaver::new();
+        let fabric = InProcFabric::new(1, m);
+        fabric.register_class::<Counter>();
+        introduce_migration(&weaver, "Counter", fabric);
+        let c = CounterProxy::construct(&weaver, 0).unwrap();
+        let err = migrate_object(&weaver, c.id(), 0).unwrap_err();
+        assert!(matches!(err, WeaveError::Remote(_)));
+    }
+}

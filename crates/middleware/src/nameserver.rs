@@ -1,0 +1,141 @@
+//! The RMI registry analogue.
+//!
+//! The paper's Figure 14 registers each remote `PrimeFilter` under an
+//! automatically generated name (`PS1`, `PS2`, ...) and clients look the
+//! names up to obtain remote references. [`NameServer`] provides exactly
+//! that: a process-wide name → [`RemoteRef`] map plus the `PS<n>` name
+//! generator.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use weavepar_weave::{WeaveError, WeaveResult};
+
+use crate::fabric::RemoteRef;
+
+/// A shared name → remote-reference registry.
+#[derive(Clone, Default)]
+pub struct NameServer {
+    inner: Arc<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    entries: RwLock<HashMap<String, RemoteRef>>,
+    counter: AtomicU64,
+}
+
+impl NameServer {
+    /// An empty name server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind `name` to `reference` (rebinding replaces, like RMI `rebind`).
+    pub fn rebind(&self, name: impl Into<String>, reference: RemoteRef) {
+        self.inner.entries.write().insert(name.into(), reference);
+    }
+
+    /// Look up a name.
+    pub fn lookup(&self, name: &str) -> WeaveResult<RemoteRef> {
+        self.inner
+            .entries
+            .read()
+            .get(name)
+            .copied()
+            .ok_or_else(|| WeaveError::remote(format!("name server: `{name}` not bound")))
+    }
+
+    /// Remove a binding. Returns true when it existed.
+    pub fn unbind(&self, name: &str) -> bool {
+        self.inner.entries.write().remove(name).is_some()
+    }
+
+    /// Generate the next automatic name with the given prefix —
+    /// the paper's `new String("PS" + (++count))`.
+    pub fn next_name(&self, prefix: &str) -> String {
+        let n = self.inner.counter.fetch_add(1, Ordering::Relaxed) + 1;
+        format!("{prefix}{n}")
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.inner.entries.read().len()
+    }
+
+    /// True when no name is bound.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All bound names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.inner.entries.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+impl std::fmt::Debug for NameServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NameServer").field("bindings", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weavepar_weave::ObjId;
+
+    fn rref(node: usize, obj: u64) -> RemoteRef {
+        RemoteRef { node, obj: ObjId::from_raw(obj) }
+    }
+
+    #[test]
+    fn bind_lookup_unbind() {
+        let ns = NameServer::new();
+        assert!(ns.is_empty());
+        ns.rebind("PS1", rref(2, 40));
+        assert_eq!(ns.lookup("PS1").unwrap(), rref(2, 40));
+        assert!(matches!(ns.lookup("PS2"), Err(WeaveError::Remote(_))));
+        assert!(ns.unbind("PS1"));
+        assert!(!ns.unbind("PS1"));
+        assert!(ns.lookup("PS1").is_err());
+    }
+
+    #[test]
+    fn rebind_replaces() {
+        let ns = NameServer::new();
+        ns.rebind("PS1", rref(0, 1));
+        ns.rebind("PS1", rref(1, 2));
+        assert_eq!(ns.lookup("PS1").unwrap(), rref(1, 2));
+        assert_eq!(ns.len(), 1);
+    }
+
+    #[test]
+    fn automatic_names_are_sequential() {
+        let ns = NameServer::new();
+        assert_eq!(ns.next_name("PS"), "PS1");
+        assert_eq!(ns.next_name("PS"), "PS2");
+        assert_eq!(ns.next_name("W"), "W3");
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        let ns = NameServer::new();
+        ns.rebind("b", rref(0, 1));
+        ns.rebind("a", rref(0, 2));
+        assert_eq!(ns.names(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let ns = NameServer::new();
+        let ns2 = ns.clone();
+        ns.rebind("PS1", rref(3, 9));
+        assert_eq!(ns2.lookup("PS1").unwrap(), rref(3, 9));
+    }
+}

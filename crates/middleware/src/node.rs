@@ -1,0 +1,371 @@
+//! A simulated cluster node: one thread, one weaver, one request loop.
+//!
+//! This is the paper's Figure 15 server side — `PrimeFilter.main` with a
+//! receive loop that takes messages off the wire and dispatches them to the
+//! local object — generalised to serve constructions and arbitrary method
+//! calls for any registered class.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use weavepar_weave::{ObjId, Weaveable, WeaveError, WeaveResult, Weaver};
+
+use crate::wire::MarshalRegistry;
+
+/// A request arriving at a node.
+pub enum Request {
+    /// Create an instance of `class` from marshalled constructor arguments.
+    Construct {
+        /// Class name (must be registered on the node's weaver).
+        class: String,
+        /// Marshalled constructor arguments.
+        args: Bytes,
+        /// Reply channel carrying the new object's id.
+        reply: Sender<WeaveResult<ObjId>>,
+    },
+    /// Snapshot (and optionally remove) an object's state for migration.
+    Snapshot {
+        /// Object to snapshot.
+        obj: ObjId,
+        /// Remove the object after snapshotting (move semantics).
+        remove: bool,
+        /// Reply channel with the marshalled state.
+        reply: Sender<WeaveResult<Bytes>>,
+    },
+    /// Rebuild an instance of `class` from snapshotted state.
+    Restore {
+        /// Class name (must have a registered state codec).
+        class: String,
+        /// Marshalled state.
+        state: Bytes,
+        /// Reply channel with the new object's id.
+        reply: Sender<WeaveResult<ObjId>>,
+    },
+    /// Invoke `method` on object `obj` with marshalled arguments.
+    Call {
+        /// Target object on this node.
+        obj: ObjId,
+        /// Method name.
+        method: String,
+        /// Marshalled arguments.
+        args: Bytes,
+        /// Reply channel for the marshalled return value; `None` makes the
+        /// call oneway (MPP-style send).
+        reply: Option<Sender<WeaveResult<Bytes>>>,
+    },
+}
+
+/// One in-process "cluster node".
+pub struct NodeRuntime {
+    id: usize,
+    weaver: Weaver,
+    tx: Sender<Request>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+    down: Arc<AtomicBool>,
+    woven: Arc<AtomicBool>,
+}
+
+impl NodeRuntime {
+    /// Spawn the node's server thread.
+    pub fn spawn(id: usize, marshal: MarshalRegistry) -> Self {
+        let weaver = Weaver::new();
+        let (tx, rx) = unbounded::<Request>();
+        let server_weaver = weaver.clone();
+        let woven = Arc::new(AtomicBool::new(false));
+        let server_woven = woven.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("node-{id}"))
+            .spawn(move || serve(server_weaver, marshal, rx, server_woven))
+            .expect("spawning node thread");
+        NodeRuntime {
+            id,
+            weaver,
+            tx,
+            handle: Mutex::new(Some(handle)),
+            down: Arc::new(AtomicBool::new(false)),
+            woven,
+        }
+    }
+
+    /// Failure injection: mark the node as crashed. Requests already queued
+    /// still drain (in-flight packets), but every later submission fails
+    /// with a [`WeaveError::Remote`] — the `RemoteException` the paper's
+    /// Figure 14 wraps in try/catch.
+    pub fn kill(&self) {
+        self.down.store(true, Ordering::SeqCst);
+    }
+
+    /// Is the node marked as crashed?
+    pub fn is_down(&self) -> bool {
+        self.down.load(Ordering::SeqCst)
+    }
+
+    /// Server-side weaving: when enabled, incoming calls dispatch through
+    /// the node weaver's full join-point pipeline, so aspects plugged on the
+    /// *node's* weaver apply to remote executions — the paper's MPP sketch,
+    /// where the server JVM runs woven code too.
+    pub fn set_woven(&self, woven: bool) {
+        self.woven.store(woven, Ordering::SeqCst);
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The node's weaver (its private object space). Exposed so tests and
+    /// applications can register classes and inspect server-side state.
+    pub fn weaver(&self) -> &Weaver {
+        &self.weaver
+    }
+
+    /// Register a class on this node so construct/call requests can resolve
+    /// it by name.
+    pub fn register_class<T: Weaveable>(&self) {
+        self.weaver.register_class::<T>();
+    }
+
+    /// Submit a request to the node's queue.
+    pub fn submit(&self, request: Request) -> WeaveResult<()> {
+        if self.is_down() {
+            return Err(WeaveError::remote(format!("node {} is down", self.id)));
+        }
+        self.tx
+            .send(request)
+            .map_err(|_| WeaveError::remote(format!("node {} is down", self.id)))
+    }
+}
+
+impl Drop for NodeRuntime {
+    fn drop(&mut self) {
+        // Closing the channel ends the serve loop after the queue drains.
+        let (closed_tx, _) = unbounded();
+        self.tx = closed_tx;
+        if let Some(handle) = self.handle.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for NodeRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeRuntime")
+            .field("id", &self.id)
+            .field("objects", &self.weaver.space().len())
+            .finish()
+    }
+}
+
+/// The receive loop: decode, dispatch unwoven (the weaving happened on the
+/// client), encode the reply.
+fn serve(weaver: Weaver, marshal: MarshalRegistry, rx: Receiver<Request>, woven: Arc<AtomicBool>) {
+    while let Ok(request) = rx.recv() {
+        match request {
+            Request::Construct { class, args, reply } => {
+                let result = marshal
+                    .decode_args(&class, "new", &args)
+                    .and_then(|args| weaver.construct_dyn_unwoven(&class, args));
+                let _ = reply.send(result);
+            }
+            Request::Snapshot { obj, remove, reply } => {
+                let result = (|| {
+                    let class = weaver.space().class_of(obj)?;
+                    let state = marshal.snapshot_state(&weaver, class, obj)?;
+                    if remove {
+                        weaver.space().remove(obj);
+                    }
+                    Ok(state)
+                })();
+                let _ = reply.send(result);
+            }
+            Request::Restore { class, state, reply } => {
+                let _ = reply.send(marshal.restore_state(&weaver, &class, &state));
+            }
+            Request::Call { obj, method, args, reply } => {
+                let result = (|| {
+                    let class = weaver.space().class_of(obj)?;
+                    let decoded = marshal.decode_args(class, &method, &args)?;
+                    let ret = if woven.load(Ordering::SeqCst) {
+                        weaver.invoke_call_dyn(obj, &method, decoded)?
+                    } else {
+                        weaver.invoke_unwoven(obj, &method, decoded)?
+                    };
+                    marshal.encode_ret(class, &method, &ret)
+                })();
+                match reply {
+                    Some(reply) => {
+                        let _ = reply.send(result);
+                    }
+                    None => {
+                        // Oneway: failures have nowhere to go; drop them like
+                        // a lost datagram (the paper's MPP send has the same
+                        // property).
+                        let _ = result;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::bounded;
+    use weavepar_weave::WeaveResult as WR;
+
+    struct Adder {
+        total: u64,
+    }
+
+    weavepar_weave::weaveable! {
+        class Adder as AdderProxy {
+            fn new(start: u64) -> Self { Adder { total: start } }
+            fn add(&mut self, x: u64) -> u64 {
+                self.total += x;
+                self.total
+            }
+        }
+    }
+
+    fn marshal() -> MarshalRegistry {
+        let m = MarshalRegistry::new();
+        m.register::<(u64,), ()>("Adder", "new");
+        m.register::<(u64,), u64>("Adder", "add");
+        m
+    }
+
+    fn construct(node: &NodeRuntime, m: &MarshalRegistry, start: u64) -> WR<ObjId> {
+        let (tx, rx) = bounded(1);
+        let args = m.encode_args("Adder", "new", &weavepar_weave::args![start]).unwrap();
+        node.submit(Request::Construct { class: "Adder".into(), args, reply: tx })?;
+        rx.recv().map_err(|_| weavepar_weave::WeaveError::remote("no reply"))?
+    }
+
+    #[test]
+    fn construct_and_call_roundtrip() {
+        let m = marshal();
+        let node = NodeRuntime::spawn(0, m.clone());
+        node.register_class::<Adder>();
+        let obj = construct(&node, &m, 10).unwrap();
+
+        let (tx, rx) = bounded(1);
+        let args = m.encode_args("Adder", "add", &weavepar_weave::args![5u64]).unwrap();
+        node.submit(Request::Call { obj, method: "add".into(), args, reply: Some(tx) }).unwrap();
+        let ret = rx.recv().unwrap().unwrap();
+        let v = m.decode_ret("Adder", "add", &ret).unwrap();
+        assert_eq!(*v.downcast::<u64>().unwrap(), 15);
+    }
+
+    #[test]
+    fn oneway_calls_execute() {
+        let m = marshal();
+        let node = NodeRuntime::spawn(0, m.clone());
+        node.register_class::<Adder>();
+        let obj = construct(&node, &m, 0).unwrap();
+        for _ in 0..3 {
+            let args = m.encode_args("Adder", "add", &weavepar_weave::args![1u64]).unwrap();
+            node.submit(Request::Call { obj, method: "add".into(), args, reply: None }).unwrap();
+        }
+        // Synchronise via a replied call.
+        let (tx, rx) = bounded(1);
+        let args = m.encode_args("Adder", "add", &weavepar_weave::args![0u64]).unwrap();
+        node.submit(Request::Call { obj, method: "add".into(), args, reply: Some(tx) }).unwrap();
+        let ret = rx.recv().unwrap().unwrap();
+        let v = m.decode_ret("Adder", "add", &ret).unwrap();
+        assert_eq!(*v.downcast::<u64>().unwrap(), 3);
+    }
+
+    #[test]
+    fn unknown_class_fails_cleanly() {
+        let m = marshal();
+        let node = NodeRuntime::spawn(0, m.clone());
+        // Class NOT registered on the node.
+        let err = construct(&node, &m, 1).unwrap_err();
+        assert!(matches!(err, weavepar_weave::WeaveError::Construction(_)));
+    }
+
+    #[test]
+    fn call_on_missing_object_fails_cleanly() {
+        let m = marshal();
+        let node = NodeRuntime::spawn(0, m.clone());
+        node.register_class::<Adder>();
+        let (tx, rx) = bounded(1);
+        let args = m.encode_args("Adder", "add", &weavepar_weave::args![1u64]).unwrap();
+        node.submit(Request::Call {
+            obj: ObjId::from_raw(404),
+            method: "add".into(),
+            args,
+            reply: Some(tx),
+        })
+        .unwrap();
+        assert!(rx.recv().unwrap().is_err());
+    }
+
+    #[test]
+    fn killed_node_rejects_new_requests() {
+        let m = marshal();
+        let node = NodeRuntime::spawn(0, m.clone());
+        node.register_class::<Adder>();
+        let obj = construct(&node, &m, 0).unwrap();
+        assert!(!node.is_down());
+        node.kill();
+        assert!(node.is_down());
+        let (tx, _rx) = bounded(1);
+        let args = m.encode_args("Adder", "add", &weavepar_weave::args![1u64]).unwrap();
+        let err = node
+            .submit(Request::Call { obj, method: "add".into(), args, reply: Some(tx) })
+            .unwrap_err();
+        assert!(matches!(err, weavepar_weave::WeaveError::Remote(_)));
+    }
+
+    #[test]
+    fn server_side_weaving_applies_node_aspects() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use weavepar_weave::prelude::*;
+
+        let m = marshal();
+        let node = NodeRuntime::spawn(0, m.clone());
+        node.register_class::<Adder>();
+        let fired = std::sync::Arc::new(AtomicU64::new(0));
+        let fired2 = fired.clone();
+        node.weaver().plug(
+            Aspect::named("ServerLogging")
+                .before(Pointcut::call("Adder.add"), move |_| {
+                    fired2.fetch_add(1, Ordering::Relaxed);
+                    Ok(())
+                })
+                .build(),
+        );
+        let obj = construct(&node, &m, 0).unwrap();
+        let send = |obj| {
+            let (tx, rx) = bounded(1);
+            let args = m.encode_args("Adder", "add", &weavepar_weave::args![1u64]).unwrap();
+            node.submit(Request::Call { obj, method: "add".into(), args, reply: Some(tx) }).unwrap();
+            rx.recv().unwrap().unwrap();
+        };
+        // Unwoven (default): server aspects do not apply.
+        send(obj);
+        assert_eq!(fired.load(Ordering::Relaxed), 0);
+        // Woven: they do.
+        node.set_woven(true);
+        send(obj);
+        assert_eq!(fired.load(Ordering::Relaxed), 1);
+        node.set_woven(false);
+        send(obj);
+        assert_eq!(fired.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn drop_shuts_the_node_down() {
+        let m = marshal();
+        let node = NodeRuntime::spawn(7, m);
+        assert_eq!(node.id(), 7);
+        drop(node); // must join without hanging
+    }
+}

@@ -1,0 +1,592 @@
+//! Binary marshalling: the Java-serialisation stand-in.
+//!
+//! [`Wire`] is a minimal, explicit binary codec (little-endian, length-
+//! prefixed containers). [`WireArgs`] lifts it to whole argument packs, and a
+//! [`MarshalRegistry`] records, per `(class, method)`, how to convert between
+//! [`Args`](weavepar_weave::Args) and bytes — the knowledge the distribution
+//! aspect needs to put a call on the wire and a node runtime needs to take it
+//! off again.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use parking_lot::RwLock;
+
+use weavepar_weave::{AnyValue, Args, WeaveError, WeaveResult};
+
+/// A value with an explicit binary encoding.
+pub trait Wire: Sized + Send + 'static {
+    /// Append the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+    /// Decode a value from the front of `buf`.
+    fn decode(buf: &mut Bytes) -> WeaveResult<Self>;
+}
+
+fn short(context: &str) -> WeaveError {
+    WeaveError::remote(format!("wire: truncated input while decoding {context}"))
+}
+
+macro_rules! impl_wire_int {
+    ($($t:ty => $put:ident / $get:ident),* $(,)?) => {
+        $(
+            impl Wire for $t {
+                fn encode(&self, buf: &mut BytesMut) {
+                    buf.$put(*self);
+                }
+                fn decode(buf: &mut Bytes) -> WeaveResult<Self> {
+                    if buf.remaining() < std::mem::size_of::<$t>() {
+                        return Err(short(stringify!($t)));
+                    }
+                    Ok(buf.$get())
+                }
+            }
+        )*
+    };
+}
+
+impl_wire_int! {
+    u8 => put_u8 / get_u8,
+    u16 => put_u16_le / get_u16_le,
+    u32 => put_u32_le / get_u32_le,
+    u64 => put_u64_le / get_u64_le,
+    i8 => put_i8 / get_i8,
+    i16 => put_i16_le / get_i16_le,
+    i32 => put_i32_le / get_i32_le,
+    i64 => put_i64_le / get_i64_le,
+    f32 => put_f32_le / get_f32_le,
+    f64 => put_f64_le / get_f64_le,
+}
+
+impl Wire for bool {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(*self as u8);
+    }
+    fn decode(buf: &mut Bytes) -> WeaveResult<Self> {
+        if buf.remaining() < 1 {
+            return Err(short("bool"));
+        }
+        match buf.get_u8() {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(WeaveError::remote(format!("wire: invalid bool byte {other}"))),
+        }
+    }
+}
+
+impl Wire for usize {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(*self as u64);
+    }
+    fn decode(buf: &mut Bytes) -> WeaveResult<Self> {
+        if buf.remaining() < 8 {
+            return Err(short("usize"));
+        }
+        Ok(buf.get_u64_le() as usize)
+    }
+}
+
+impl Wire for () {
+    fn encode(&self, _buf: &mut BytesMut) {}
+    fn decode(_buf: &mut Bytes) -> WeaveResult<Self> {
+        Ok(())
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.len() as u32);
+        buf.put_slice(self.as_bytes());
+    }
+    fn decode(buf: &mut Bytes) -> WeaveResult<Self> {
+        let len = u32::decode(buf)? as usize;
+        if buf.remaining() < len {
+            return Err(short("String"));
+        }
+        let raw = buf.split_to(len);
+        String::from_utf8(raw.to_vec())
+            .map_err(|e| WeaveError::remote(format!("wire: invalid utf8: {e}")))
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.len() as u32);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+    fn decode(buf: &mut Bytes) -> WeaveResult<Self> {
+        let len = u32::decode(buf)? as usize;
+        // Conservative cap: each element takes at least one byte on the wire
+        // for all current `Wire` impls except `()`.
+        let mut out = Vec::with_capacity(len.min(buf.remaining().max(16)));
+        for _ in 0..len {
+            out.push(T::decode(buf)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            None => buf.put_u8(0),
+            Some(v) => {
+                buf.put_u8(1);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> WeaveResult<Self> {
+        match bool::decode(buf)? {
+            false => Ok(None),
+            true => Ok(Some(T::decode(buf)?)),
+        }
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> WeaveResult<Self> {
+        Ok((A::decode(buf)?, B::decode(buf)?))
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> WeaveResult<Self> {
+        Ok((A::decode(buf)?, B::decode(buf)?, C::decode(buf)?))
+    }
+}
+
+impl Wire for weavepar_weave::ObjId {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.raw());
+    }
+    fn decode(buf: &mut Bytes) -> WeaveResult<Self> {
+        Ok(weavepar_weave::ObjId::from_raw(u64::decode(buf)?))
+    }
+}
+
+/// Encode a single value to a standalone buffer.
+pub fn to_bytes<T: Wire>(value: &T) -> Bytes {
+    let mut buf = BytesMut::new();
+    value.encode(&mut buf);
+    buf.freeze()
+}
+
+/// Decode a single value from a standalone buffer.
+pub fn from_bytes<T: Wire>(bytes: &Bytes) -> WeaveResult<T> {
+    let mut buf = bytes.clone();
+    T::decode(&mut buf)
+}
+
+/// A *typed view* of an argument pack: encodes `Args` whose slots hold the
+/// tuple's element types, and rebuilds such `Args` from bytes.
+pub trait WireArgs: Send + 'static {
+    /// Number of argument slots.
+    fn arity() -> usize;
+    /// Encode the pack (by reference — the live call still needs its args).
+    fn encode_args(args: &Args, buf: &mut BytesMut) -> WeaveResult<()>;
+    /// Decode a fresh pack.
+    fn decode_args(buf: &mut Bytes) -> WeaveResult<Args>;
+}
+
+macro_rules! impl_wire_args {
+    ($( ($($T:ident @ $idx:tt),*) );* $(;)?) => {
+        $(
+            impl<$($T: Wire + Clone),*> WireArgs for ($($T,)*) {
+                fn arity() -> usize {
+                    <[&str]>::len(&[$(stringify!($T)),*])
+                }
+                #[allow(unused_variables)]
+                fn encode_args(args: &Args, buf: &mut BytesMut) -> WeaveResult<()> {
+                    $(
+                        args.get::<$T>($idx)?.encode(buf);
+                    )*
+                    Ok(())
+                }
+                #[allow(unused_mut, unused_variables)]
+                fn decode_args(buf: &mut Bytes) -> WeaveResult<Args> {
+                    let mut args = Args::empty();
+                    $(
+                        args.push($T::decode(buf)?);
+                    )*
+                    Ok(args)
+                }
+            }
+        )*
+    };
+}
+
+impl_wire_args! {
+    ();
+    (A @ 0);
+    (A @ 0, B @ 1);
+    (A @ 0, B @ 1, C @ 2);
+    (A @ 0, B @ 1, C @ 2, D @ 3);
+}
+
+type ArgsEncoder = Arc<dyn Fn(&Args) -> WeaveResult<Bytes> + Send + Sync>;
+type ArgsDecoder = Arc<dyn Fn(&Bytes) -> WeaveResult<Args> + Send + Sync>;
+type RetEncoder = Arc<dyn Fn(&AnyValue) -> WeaveResult<Bytes> + Send + Sync>;
+type RetDecoder = Arc<dyn Fn(&Bytes) -> WeaveResult<AnyValue> + Send + Sync>;
+
+struct MethodMarshal {
+    encode_args: ArgsEncoder,
+    decode_args: ArgsDecoder,
+    encode_ret: RetEncoder,
+    decode_ret: RetDecoder,
+}
+
+type StateSnapshot =
+    Arc<dyn Fn(&weavepar_weave::Weaver, weavepar_weave::ObjId) -> WeaveResult<Bytes> + Send + Sync>;
+type StateRestore =
+    Arc<dyn Fn(&weavepar_weave::Weaver, &Bytes) -> WeaveResult<weavepar_weave::ObjId> + Send + Sync>;
+
+/// Per-class object-state marshalling (used by migration: snapshot an
+/// instance's state to bytes on one node, rebuild it on another).
+#[derive(Clone)]
+pub struct StateCodec {
+    snapshot: StateSnapshot,
+    restore: StateRestore,
+}
+
+/// Per-`(class, method)` marshalling knowledge — what Java gets from
+/// serialisable classes, an application registers here once per remotable
+/// method (constructions use method name `"new"`).
+#[derive(Clone, Default)]
+pub struct MarshalRegistry {
+    inner: Arc<RwLock<HashMap<(String, String), Arc<MethodMarshal>>>>,
+    states: Arc<RwLock<HashMap<String, StateCodec>>>,
+}
+
+impl MarshalRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register marshalling for `class.method` with argument tuple `A` and
+    /// return type `R`.
+    pub fn register<A: WireArgs, R: Wire>(&self, class: &str, method: &str) {
+        let marshal = MethodMarshal {
+            encode_args: Arc::new(|args| {
+                let mut buf = BytesMut::new();
+                A::encode_args(args, &mut buf)?;
+                Ok(buf.freeze())
+            }),
+            decode_args: Arc::new(|bytes| {
+                let mut buf = bytes.clone();
+                A::decode_args(&mut buf)
+            }),
+            encode_ret: Arc::new(|ret| {
+                let typed = ret.downcast_ref::<R>().ok_or_else(|| WeaveError::TypeMismatch {
+                    expected: std::any::type_name::<R>(),
+                    context: "marshalling return value".into(),
+                })?;
+                Ok(to_bytes(typed))
+            }),
+            decode_ret: Arc::new(|bytes| {
+                let v: R = from_bytes(bytes)?;
+                Ok(Box::new(v) as AnyValue)
+            }),
+        };
+        self.inner
+            .write()
+            .insert((class.to_string(), method.to_string()), Arc::new(marshal));
+    }
+
+    fn get(&self, class: &str, method: &str) -> WeaveResult<Arc<MethodMarshal>> {
+        self.inner
+            .read()
+            .get(&(class.to_string(), method.to_string()))
+            .cloned()
+            .ok_or_else(|| {
+                WeaveError::remote(format!("no marshaller registered for {class}.{method}"))
+            })
+    }
+
+    /// Encode an argument pack for `class.method`.
+    pub fn encode_args(&self, class: &str, method: &str, args: &Args) -> WeaveResult<Bytes> {
+        (self.get(class, method)?.encode_args)(args)
+    }
+
+    /// Decode an argument pack for `class.method`.
+    pub fn decode_args(&self, class: &str, method: &str, bytes: &Bytes) -> WeaveResult<Args> {
+        (self.get(class, method)?.decode_args)(bytes)
+    }
+
+    /// Encode a return value for `class.method`.
+    pub fn encode_ret(&self, class: &str, method: &str, ret: &AnyValue) -> WeaveResult<Bytes> {
+        (self.get(class, method)?.encode_ret)(ret)
+    }
+
+    /// Decode a return value for `class.method`.
+    pub fn decode_ret(&self, class: &str, method: &str, bytes: &Bytes) -> WeaveResult<AnyValue> {
+        (self.get(class, method)?.decode_ret)(bytes)
+    }
+
+    /// Is marshalling known for `class.method`?
+    pub fn knows(&self, class: &str, method: &str) -> bool {
+        self.inner.read().contains_key(&(class.to_string(), method.to_string()))
+    }
+
+    /// Register object-state marshalling for `T`: `extract` captures the
+    /// instance's state as a [`Wire`] value, `rebuild` reconstructs an
+    /// instance from it. Required for migration (paper Figure 2's
+    /// `Point.migrate`).
+    pub fn register_state<T, S, E, R>(&self, extract: E, rebuild: R)
+    where
+        T: weavepar_weave::Weaveable,
+        S: Wire,
+        E: Fn(&T) -> S + Send + Sync + 'static,
+        R: Fn(S) -> T + Send + Sync + 'static,
+    {
+        let codec = StateCodec {
+            snapshot: Arc::new(move |weaver, obj| {
+                let state = weaver.space().with_object::<T, _>(obj, |t| extract(t))?;
+                Ok(to_bytes(&state))
+            }),
+            restore: Arc::new(move |weaver, bytes| {
+                let state: S = from_bytes(bytes)?;
+                Ok(weaver.space().insert(rebuild(state)))
+            }),
+        };
+        self.states.write().insert(T::CLASS.to_string(), codec);
+    }
+
+    /// Snapshot the state of a live object of `class`.
+    pub fn snapshot_state(
+        &self,
+        weaver: &weavepar_weave::Weaver,
+        class: &str,
+        obj: weavepar_weave::ObjId,
+    ) -> WeaveResult<Bytes> {
+        let codec = self.states.read().get(class).cloned().ok_or_else(|| {
+            WeaveError::remote(format!("no state codec registered for `{class}`"))
+        })?;
+        (codec.snapshot)(weaver, obj)
+    }
+
+    /// Rebuild an instance of `class` from snapshotted state.
+    pub fn restore_state(
+        &self,
+        weaver: &weavepar_weave::Weaver,
+        class: &str,
+        state: &Bytes,
+    ) -> WeaveResult<weavepar_weave::ObjId> {
+        let codec = self.states.read().get(class).cloned().ok_or_else(|| {
+            WeaveError::remote(format!("no state codec registered for `{class}`"))
+        })?;
+        (codec.restore)(weaver, state)
+    }
+
+    /// Is a state codec known for `class`?
+    pub fn knows_state(&self, class: &str) -> bool {
+        self.states.read().contains_key(class)
+    }
+}
+
+impl std::fmt::Debug for MarshalRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MarshalRegistry").field("methods", &self.inner.read().len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weavepar_weave::args;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug + Clone>(v: T) {
+        let bytes = to_bytes(&v);
+        let back: T = from_bytes(&bytes).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(1234u16);
+        roundtrip(u32::MAX);
+        roundtrip(u64::MAX / 3);
+        roundtrip(-7i8);
+        roundtrip(-30000i16);
+        roundtrip(i32::MIN);
+        roundtrip(i64::MIN);
+        roundtrip(3.25f32);
+        roundtrip(-1.5e300f64);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(42usize);
+        roundtrip(());
+    }
+
+    #[test]
+    fn container_roundtrips() {
+        roundtrip("hello wire".to_string());
+        roundtrip(String::new());
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(Vec::<u32>::new());
+        roundtrip(Some(9u8));
+        roundtrip(None::<u8>);
+        roundtrip((1u8, "two".to_string()));
+        roundtrip((1u8, 2u16, vec![3u32]));
+        roundtrip(weavepar_weave::ObjId::from_raw(77));
+        roundtrip(vec![vec![1u8], vec![], vec![2, 3]]);
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let bytes = to_bytes(&123456u32);
+        let mut cut = bytes.slice(0..2);
+        assert!(u32::decode(&mut cut).is_err());
+        let bytes = to_bytes(&"hello".to_string());
+        let mut cut = bytes.slice(0..6);
+        assert!(String::decode(&mut cut).is_err());
+    }
+
+    #[test]
+    fn invalid_bool_is_an_error() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(7);
+        let mut b = buf.freeze();
+        assert!(bool::decode(&mut b).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_is_an_error() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(2);
+        buf.put_slice(&[0xff, 0xfe]);
+        let mut b = buf.freeze();
+        assert!(String::decode(&mut b).is_err());
+    }
+
+    #[test]
+    fn wire_args_roundtrip() {
+        let args = args![5u64, vec![1u64, 2, 3]];
+        let mut buf = BytesMut::new();
+        <(u64, Vec<u64>)>::encode_args(&args, &mut buf).unwrap();
+        let mut bytes = buf.freeze();
+        let back = <(u64, Vec<u64>)>::decode_args(&mut bytes).unwrap();
+        assert_eq!(*back.get::<u64>(0).unwrap(), 5);
+        assert_eq!(*back.get::<Vec<u64>>(1).unwrap(), vec![1, 2, 3]);
+        assert_eq!(<(u64, Vec<u64>)>::arity(), 2);
+        assert_eq!(<()>::arity(), 0);
+    }
+
+    #[test]
+    fn wire_args_type_mismatch() {
+        let args = args!["oops".to_string()];
+        let mut buf = BytesMut::new();
+        assert!(<(u64,)>::encode_args(&args, &mut buf).is_err());
+    }
+
+    #[test]
+    fn registry_end_to_end() {
+        let reg = MarshalRegistry::new();
+        reg.register::<(u64, u64), ()>("PrimeFilter", "new");
+        reg.register::<(Vec<u64>,), Vec<u64>>("PrimeFilter", "filter");
+        assert!(reg.knows("PrimeFilter", "filter"));
+        assert!(!reg.knows("PrimeFilter", "other"));
+
+        let args = args![vec![9u64, 15, 21]];
+        let bytes = reg.encode_args("PrimeFilter", "filter", &args).unwrap();
+        let back = reg.decode_args("PrimeFilter", "filter", &bytes).unwrap();
+        assert_eq!(*back.get::<Vec<u64>>(0).unwrap(), vec![9, 15, 21]);
+
+        let ret: AnyValue = Box::new(vec![9u64]);
+        let rb = reg.encode_ret("PrimeFilter", "filter", &ret).unwrap();
+        let rv = reg.decode_ret("PrimeFilter", "filter", &rb).unwrap();
+        assert_eq!(*rv.downcast::<Vec<u64>>().unwrap(), vec![9]);
+    }
+
+    #[test]
+    fn registry_unknown_method_errors() {
+        let reg = MarshalRegistry::new();
+        let err = reg.encode_args("X", "y", &args![]).unwrap_err();
+        assert!(matches!(err, WeaveError::Remote(_)));
+    }
+
+    #[test]
+    fn registry_ret_type_mismatch() {
+        let reg = MarshalRegistry::new();
+        reg.register::<(), u64>("C", "m");
+        let ret: AnyValue = Box::new("not a u64".to_string());
+        assert!(reg.encode_ret("C", "m", &ret).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn u64_roundtrip(v in any::<u64>()) {
+            let b = to_bytes(&v);
+            prop_assert_eq!(from_bytes::<u64>(&b).unwrap(), v);
+        }
+
+        #[test]
+        fn i64_roundtrip(v in any::<i64>()) {
+            let b = to_bytes(&v);
+            prop_assert_eq!(from_bytes::<i64>(&b).unwrap(), v);
+        }
+
+        #[test]
+        fn f64_roundtrip(v in any::<f64>().prop_filter("not NaN", |f| !f.is_nan())) {
+            let b = to_bytes(&v);
+            prop_assert_eq!(from_bytes::<f64>(&b).unwrap(), v);
+        }
+
+        #[test]
+        fn string_roundtrip(v in ".{0,64}") {
+            let s = v.to_string();
+            let b = to_bytes(&s);
+            prop_assert_eq!(from_bytes::<String>(&b).unwrap(), s);
+        }
+
+        #[test]
+        fn vec_u64_roundtrip(v in proptest::collection::vec(any::<u64>(), 0..128)) {
+            let b = to_bytes(&v);
+            prop_assert_eq!(from_bytes::<Vec<u64>>(&b).unwrap(), v);
+        }
+
+        #[test]
+        fn nested_roundtrip(v in proptest::collection::vec(proptest::collection::vec(any::<u32>(), 0..8), 0..8)) {
+            let b = to_bytes(&v);
+            prop_assert_eq!(from_bytes::<Vec<Vec<u32>>>(&b).unwrap(), v);
+        }
+
+        #[test]
+        fn tuple_roundtrip(a in any::<u64>(), s in ".{0,16}", o in proptest::option::of(any::<i32>())) {
+            let v = (a, s.to_string(), vec![o]);
+            let b = to_bytes(&v);
+            prop_assert_eq!(from_bytes::<(u64, String, Vec<Option<i32>>)>(&b).unwrap(), v);
+        }
+
+        /// Decoding arbitrary junk never panics.
+        #[test]
+        fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let b = Bytes::from(bytes);
+            let _ = from_bytes::<u64>(&b);
+            let _ = from_bytes::<String>(&b);
+            let _ = from_bytes::<Vec<u64>>(&b);
+            let _ = from_bytes::<(u64, String)>(&b);
+            let _ = from_bytes::<Option<Vec<u8>>>(&b);
+        }
+    }
+}

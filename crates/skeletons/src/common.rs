@@ -1,0 +1,109 @@
+//! Shared pieces of the partition protocols.
+
+use std::sync::Arc;
+
+use weavepar_weave::{AnyValue, Args, ObjId, WeaveResult, Weaver};
+
+/// How a concrete application refines an abstract partition protocol —
+/// the closure-shaped analogue of implementing the paper's `Pipe` marker
+/// interface under the abstract `PipelineProtocol` aspect (Figure 9).
+#[derive(Clone)]
+pub struct Protocol {
+    /// Weaveable class the protocol quantifies over.
+    pub class: &'static str,
+    /// The compute method whose calls are split (`filter`, `compute`, ...).
+    pub method: &'static str,
+    /// Number of aspect-managed workers/stages to create.
+    pub workers: usize,
+    /// Derive worker `rank`'s constructor arguments from the original
+    /// construction's arguments (`rank` ∈ `0..workers`). A farm typically
+    /// broadcasts the originals; a pipeline slices a range per stage.
+    pub worker_args: Arc<dyn Fn(usize, usize, &Args) -> WeaveResult<Args> + Send + Sync>,
+    /// Split the original call's arguments into per-pack argument packs.
+    pub split: Arc<dyn Fn(&Args) -> WeaveResult<Vec<Args>> + Send + Sync>,
+    /// Rebuild call arguments from a value flowing between stages (pipeline
+    /// forwarding: the previous stage's output becomes the next stage's
+    /// input).
+    pub reforward: Arc<dyn Fn(AnyValue) -> WeaveResult<Args> + Send + Sync>,
+    /// Combine the per-pack results into the original call's result.
+    pub combine: Arc<dyn Fn(Vec<AnyValue>) -> WeaveResult<AnyValue> + Send + Sync>,
+}
+
+impl Protocol {
+    /// Create the protocol's aspect-managed workers through *woven*
+    /// constructions (provenance: aspect), so a plugged distribution aspect
+    /// places each of them remotely, and return their ids in rank order.
+    pub fn create_workers(&self, weaver: &Weaver, original_ctor_args: &Args) -> WeaveResult<Vec<ObjId>> {
+        let mut ids = Vec::with_capacity(self.workers);
+        for rank in 0..self.workers {
+            let args = (self.worker_args)(rank, self.workers, original_ctor_args)?;
+            ids.push(weaver.construct_dyn(self.class, args)?);
+        }
+        Ok(ids)
+    }
+}
+
+impl std::fmt::Debug for Protocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Protocol")
+            .field("class", &self.class)
+            .field("method", &self.method)
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+/// Inter-type field linking a pipeline stage to its successor
+/// (the paper's `next` HashMap in Figure 8).
+pub const NEXT_FIELD: &str = "pipeline.next";
+
+/// Inter-type field on the lead object listing all farm workers.
+pub const WORKERS_FIELD: &str = "farm.workers";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weavepar_weave::args;
+
+    struct W {
+        rank: u64,
+    }
+
+    weavepar_weave::weaveable! {
+        class W as WProxy {
+            fn new(rank: u64) -> Self { W { rank } }
+            fn rank(&mut self) -> u64 { self.rank }
+        }
+    }
+
+    fn protocol(workers: usize) -> Protocol {
+        Protocol {
+            class: "W",
+            method: "rank",
+            workers,
+            worker_args: Arc::new(|rank, _n, _orig| Ok(args![rank as u64])),
+            split: Arc::new(|_args| Ok(vec![])),
+            reforward: Arc::new(|_v| Ok(args![])),
+            combine: Arc::new(|_v| Ok(weavepar_weave::ret!())),
+        }
+    }
+
+    #[test]
+    fn create_workers_in_rank_order() {
+        let weaver = Weaver::new();
+        weaver.register_class::<W>();
+        let ids = protocol(4).create_workers(&weaver, &args![]).unwrap();
+        assert_eq!(ids.len(), 4);
+        for (rank, id) in ids.iter().enumerate() {
+            let got = weaver.space().with_object::<W, _>(*id, |w| w.rank).unwrap();
+            assert_eq!(got, rank as u64);
+        }
+    }
+
+    #[test]
+    fn create_workers_requires_registered_class() {
+        let weaver = Weaver::new();
+        let err = protocol(1).create_workers(&weaver, &args![]).unwrap_err();
+        assert!(matches!(err, weavepar_weave::WeaveError::Construction(_)));
+    }
+}

@@ -1,0 +1,186 @@
+//! The divide-and-conquer partition aspect.
+//!
+//! §4.1: "Object duplication is specified by intercepting the creation of
+//! objects and method split calls are specified by intercepting method
+//! calls, but **it is also possible to perform object creations when
+//! intercepting method calls (e.g., in divide and conquer algorithms)**."
+//!
+//! That is exactly what this aspect does: intercepting a `solve` call whose
+//! problem is still large, it *creates sub-worker objects at the call join
+//! point*, dispatches the sub-problems to them, and combines. The sub-calls
+//! are themselves intercepted (advice applies recursively to aspect-made
+//! calls, like the pipeline's forwarding), so the recursion tree unfolds
+//! through the weaver — and the concurrency/distribution aspects apply at
+//! every level.
+
+use std::sync::Arc;
+
+use weavepar_concurrency::resolve_any;
+use weavepar_weave::aspect::precedence;
+use weavepar_weave::prelude::*;
+
+/// Configuration of a concrete divide-and-conquer computation.
+#[derive(Clone)]
+pub struct DivideConquerConfig {
+    /// Weaveable class of the solvers.
+    pub class: &'static str,
+    /// The recursive method (e.g. `solve`).
+    pub method: &'static str,
+    /// Should this call's problem be divided further (false = solve
+    /// directly via `proceed`)?
+    pub should_divide: Arc<dyn Fn(&Args) -> WeaveResult<bool> + Send + Sync>,
+    /// Split the call's arguments into sub-problem argument packs.
+    pub divide: Arc<dyn Fn(&Args) -> WeaveResult<Vec<Args>> + Send + Sync>,
+    /// Constructor arguments for a sub-worker created for the given
+    /// sub-problem.
+    pub worker_args: Arc<dyn Fn(&Args) -> WeaveResult<Args> + Send + Sync>,
+    /// Combine the sub-results into this call's result.
+    pub combine: Arc<dyn Fn(Vec<AnyValue>) -> WeaveResult<AnyValue> + Send + Sync>,
+}
+
+impl std::fmt::Debug for DivideConquerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DivideConquerConfig")
+            .field("class", &self.class)
+            .field("method", &self.method)
+            .finish()
+    }
+}
+
+/// Build the divide-and-conquer aspect for `config`.
+pub fn divide_conquer_aspect(name: impl Into<String>, config: DivideConquerConfig) -> Aspect {
+    let cfg = config.clone();
+    Aspect::named(name)
+        .precedence(precedence::PARTITION)
+        // Applies to every call site — core and aspect alike — so the
+        // recursion unfolds until `should_divide` says stop.
+        .around(Pointcut::call_sig(config.class, config.method), move |inv: &mut Invocation| {
+            if !(cfg.should_divide)(inv.args()?)? {
+                return inv.proceed();
+            }
+            let weaver = inv.weaver().clone();
+            let subproblems = (cfg.divide)(inv.args()?)?;
+            let mut pending = Vec::with_capacity(subproblems.len());
+            for sub in subproblems {
+                // Object creation at a *call* join point: a fresh
+                // aspect-managed worker per sub-problem, constructed through
+                // the weaver so distribution places it.
+                let worker = weaver.construct_dyn(cfg.class, (cfg.worker_args)(&sub)?)?;
+                pending.push(weaver.invoke_call(worker, cfg.class, cfg.method, sub)?);
+            }
+            let mut results = Vec::with_capacity(pending.len());
+            for ret in pending {
+                results.push(resolve_any(ret)?);
+            }
+            (cfg.combine)(results)
+        })
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weavepar_concurrency::{future_concurrency_aspect, Executor};
+    use weavepar_weave::{args, value::downcast_ret};
+
+    /// Summation solver: trivially divisible, easy to verify.
+    struct Summer {
+        calls: u64,
+    }
+
+    weavepar_weave::weaveable! {
+        class Summer as SummerProxy {
+            fn new() -> Self { Summer { calls: 0 } }
+            fn solve(&mut self, xs: Vec<u64>) -> u64 {
+                self.calls += 1;
+                xs.iter().sum()
+            }
+        }
+    }
+
+    fn config(threshold: usize) -> DivideConquerConfig {
+        DivideConquerConfig {
+            class: "Summer",
+            method: "solve",
+            should_divide: Arc::new(move |a: &Args| Ok(a.get::<Vec<u64>>(0)?.len() > threshold)),
+            divide: Arc::new(|a: &Args| {
+                let xs = a.get::<Vec<u64>>(0)?;
+                let mid = xs.len() / 2;
+                Ok(vec![args![xs[..mid].to_vec()], args![xs[mid..].to_vec()]])
+            }),
+            worker_args: Arc::new(|_sub| Ok(args![])),
+            combine: Arc::new(|vs: Vec<AnyValue>| {
+                let mut total = 0u64;
+                for v in vs {
+                    total += downcast_ret::<u64>(v)?;
+                }
+                Ok(weavepar_weave::ret!(total))
+            }),
+        }
+    }
+
+    #[test]
+    fn recursion_divides_to_the_threshold() {
+        let weaver = Weaver::new();
+        weaver.register_class::<Summer>();
+        weaver.plug(divide_conquer_aspect("Partition.dc", config(4)));
+        let s = SummerProxy::construct(&weaver).unwrap();
+        let xs: Vec<u64> = (1..=32).collect();
+        assert_eq!(s.solve(xs).unwrap(), 32 * 33 / 2);
+        // 32 elements over threshold 4: the tree creates workers at every
+        // divide — 2 + 4 + 8 = 14 internal splits' children... at minimum
+        // more than one object must now exist.
+        let objects = weaver.space().ids_of_class("Summer").len();
+        assert!(objects > 8, "recursive division must create sub-workers: {objects}");
+    }
+
+    #[test]
+    fn small_problems_solve_directly() {
+        let weaver = Weaver::new();
+        weaver.register_class::<Summer>();
+        weaver.plug(divide_conquer_aspect("Partition.dc", config(100)));
+        let s = SummerProxy::construct(&weaver).unwrap();
+        assert_eq!(s.solve(vec![1, 2, 3]).unwrap(), 6);
+        assert_eq!(weaver.space().ids_of_class("Summer").len(), 1, "no division, no workers");
+    }
+
+    #[test]
+    fn concurrent_divide_conquer_matches() {
+        let weaver = Weaver::new();
+        weaver.register_class::<Summer>();
+        weaver.plug(divide_conquer_aspect("Partition.dc", config(8)));
+        let executor = Executor::thread_per_call();
+        for a in future_concurrency_aspect(
+            "Concurrency",
+            Pointcut::call("Summer.solve"),
+            executor.clone(),
+        ) {
+            weaver.plug(a);
+        }
+        let s = SummerProxy::construct(&weaver).unwrap();
+        let xs: Vec<u64> = (0..256).collect();
+        let raw = s.handle().call("solve", args![xs]).unwrap();
+        let total = downcast_ret::<u64>(resolve_any(raw).unwrap()).unwrap();
+        assert_eq!(total, 255 * 256 / 2);
+        executor.wait_idle();
+    }
+
+    #[test]
+    fn unplugged_solves_sequentially() {
+        let weaver = Weaver::new();
+        let plugged = weaver.plug(divide_conquer_aspect("Partition.dc", config(2)));
+        weaver.unplug(&plugged);
+        let s = SummerProxy::construct(&weaver).unwrap();
+        assert_eq!(s.solve((0..64).collect()).unwrap(), 63 * 64 / 2);
+        assert_eq!(weaver.space().ids_of_class("Summer").len(), 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        let weaver = Weaver::new();
+        weaver.register_class::<Summer>();
+        weaver.plug(divide_conquer_aspect("Partition.dc", config(4)));
+        let s = SummerProxy::construct(&weaver).unwrap();
+        assert_eq!(s.solve(vec![]).unwrap(), 0);
+    }
+}

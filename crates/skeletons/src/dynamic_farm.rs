@@ -1,0 +1,215 @@
+//! The dynamic (demand-driven) farm.
+//!
+//! The paper's `FarmDRMI` row in Table 1: packs are not pre-assigned
+//! round-robin but pulled by whichever worker becomes free, which absorbs
+//! load imbalance. The paper notes this is the one strategy where it could
+//! not separate partition from concurrency — the demand-driven pull *is*
+//! the concurrency structure. The same holds here: this aspect owns its
+//! worker threads, and is meant to be plugged **without** a separate
+//! concurrency aspect.
+
+use crossbeam::channel::unbounded;
+
+use weavepar_concurrency::resolve_any;
+use weavepar_weave::aspect::precedence;
+use weavepar_weave::context::CurrentContext;
+use weavepar_weave::prelude::*;
+
+use crate::common::{Protocol, WORKERS_FIELD};
+
+/// Configuration of a concrete dynamic farm (see [`Protocol`]).
+pub type DynamicFarmConfig = Protocol;
+
+/// Build the dynamic-farm aspect (partition *and* concurrency, merged).
+pub fn dynamic_farm_aspect(name: impl Into<String>, protocol: DynamicFarmConfig) -> Aspect {
+    let dup = protocol.clone();
+    let drive = protocol.clone();
+
+    Aspect::named(name)
+        .precedence(precedence::PARTITION)
+        // Object duplication, identical to the static farm.
+        .around(
+            Pointcut::construct(protocol.class).and(Pointcut::within_core()),
+            move |inv: &mut Invocation| {
+                let weaver = inv.weaver().clone();
+                let ids = dup.create_workers(&weaver, inv.args()?)?;
+                let first = *ids.first().ok_or_else(|| {
+                    WeaveError::app("dynamic farm protocol needs at least one worker")
+                })?;
+                weaver.intertype().set_field(first, WORKERS_FIELD, ids);
+                Ok(weavepar_weave::ret!(first))
+            },
+        )
+        // Split + demand-driven execution on per-worker threads.
+        .around(
+            Pointcut::call_sig(protocol.class, protocol.method).and(Pointcut::within_core()),
+            move |inv: &mut Invocation| {
+                let weaver = inv.weaver().clone();
+                let target = inv.target_required()?;
+                let workers = weaver
+                    .intertype()
+                    .get_field::<Vec<ObjId>>(target, WORKERS_FIELD)
+                    .unwrap_or_else(|| vec![target]);
+                let packs = (drive.split)(inv.args()?)?;
+                let total = packs.len();
+
+                let (task_tx, task_rx) = unbounded::<(usize, Args)>();
+                for item in packs.into_iter().enumerate() {
+                    task_tx.send(item).expect("queue open");
+                }
+                drop(task_tx); // workers stop when the queue drains
+
+                let (res_tx, res_rx) = unbounded::<(usize, WeaveResult<AnyValue>)>();
+                let ctx = CurrentContext::capture();
+                let mut threads = Vec::with_capacity(workers.len());
+                for worker in workers {
+                    let rx = task_rx.clone();
+                    let tx = res_tx.clone();
+                    let weaver = weaver.clone();
+                    let ctx = ctx.clone();
+                    let (class, method) = (drive.class, drive.method);
+                    threads.push(std::thread::spawn(move || {
+                        // Keep aspect provenance (and the trace context) on
+                        // this thread so the farm's own calls do not re-match
+                        // its within-core pointcut.
+                        let _guards = ctx.install();
+                        while let Ok((k, pack)) = rx.recv() {
+                            // Each pack's data comes from the client's queue,
+                            // not from the previous pack this thread happened
+                            // to execute: mask the data-dependency marker so
+                            // traces don't record a spurious node-local edge
+                            // (per-worker serialisation is already captured
+                            // by the object monitor).
+                            let _dep = weavepar_weave::trace::push_data_dep(None);
+                            let result = weaver
+                                .invoke_call(worker, class, method, pack)
+                                .and_then(resolve_any);
+                            if tx.send((k, result)).is_err() {
+                                break;
+                            }
+                        }
+                    }));
+                }
+                drop(res_tx);
+
+                let mut slots: Vec<Option<AnyValue>> = (0..total).map(|_| None).collect();
+                let mut first_error = None;
+                for (k, result) in res_rx {
+                    match result {
+                        Ok(v) => slots[k] = Some(v),
+                        Err(e) => {
+                            if first_error.is_none() {
+                                first_error = Some(e);
+                            }
+                        }
+                    }
+                }
+                for t in threads {
+                    let _ = t.join();
+                }
+                if let Some(e) = first_error {
+                    return Err(e);
+                }
+                let results: WeaveResult<Vec<AnyValue>> = slots
+                    .into_iter()
+                    .map(|s| s.ok_or_else(|| WeaveError::app("dynamic farm lost a pack")))
+                    .collect();
+                (drive.combine)(results?)
+            },
+        )
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use weavepar_weave::{args, value::downcast_ret};
+
+    /// Workload with deliberately unequal pack costs.
+    struct Uneven {
+        served: u64,
+    }
+
+    weavepar_weave::weaveable! {
+        class Uneven as UnevenProxy {
+            fn new(_seed: u64) -> Self { Uneven { served: 0 } }
+            fn crunch(&mut self, items: Vec<u64>) -> Vec<u64> {
+                self.served += 1;
+                // Item value doubles as per-item cost.
+                let cost: u64 = items.iter().sum();
+                std::thread::sleep(std::time::Duration::from_micros(cost * 20));
+                items.into_iter().map(|x| x + 1).collect()
+            }
+        }
+    }
+
+    fn protocol(workers: usize, packs: usize) -> DynamicFarmConfig {
+        Protocol {
+            class: "Uneven",
+            method: "crunch",
+            workers,
+            worker_args: Arc::new(|_r, _n, orig: &Args| Ok(args![*orig.get::<u64>(0)?])),
+            split: Arc::new(move |a: &Args| {
+                let items = a.get::<Vec<u64>>(0)?;
+                let chunk = items.len().div_ceil(packs.max(1)).max(1);
+                Ok(items.chunks(chunk).map(|c| args![c.to_vec()]).collect())
+            }),
+            reforward: Arc::new(|v: AnyValue| Ok(Args::from_values(vec![v]))),
+            combine: Arc::new(|vs: Vec<AnyValue>| {
+                let mut all = Vec::new();
+                for v in vs {
+                    all.extend(downcast_ret::<Vec<u64>>(v)?);
+                }
+                Ok(weavepar_weave::ret!(all))
+            }),
+        }
+    }
+
+    #[test]
+    fn dynamic_farm_computes_in_order() {
+        let weaver = Weaver::new();
+        weaver.plug(dynamic_farm_aspect("Partition+Concurrency", protocol(3, 9)));
+        let w = UnevenProxy::construct(&weaver, 0).unwrap();
+        assert_eq!(weaver.space().ids_of_class("Uneven").len(), 3);
+        let input: Vec<u64> = (0..18).collect();
+        let out = w.crunch(input.clone()).unwrap();
+        assert_eq!(out, input.iter().map(|x| x + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn demand_driven_pull_uses_parallel_workers() {
+        let weaver = Weaver::new();
+        weaver.plug(dynamic_farm_aspect("Partition+Concurrency", protocol(4, 8)));
+        let w = UnevenProxy::construct(&weaver, 0).unwrap();
+        // 8 packs, each sleeping ~: with 4 pulling workers wall time is well
+        // under the serial sum.
+        let input: Vec<u64> = vec![100; 32]; // 32*100*20 µs = 64 ms serial
+        let start = std::time::Instant::now();
+        let out = w.crunch(input).unwrap();
+        let elapsed = start.elapsed();
+        assert_eq!(out.len(), 32);
+        assert!(
+            elapsed < std::time::Duration::from_millis(45),
+            "no demand-driven parallelism: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn single_worker_degenerates_to_sequential() {
+        let weaver = Weaver::new();
+        weaver.plug(dynamic_farm_aspect("Partition+Concurrency", protocol(1, 4)));
+        let w = UnevenProxy::construct(&weaver, 0).unwrap();
+        let out = w.crunch(vec![1, 2, 3, 4]).unwrap();
+        assert_eq!(out, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let weaver = Weaver::new();
+        weaver.plug(dynamic_farm_aspect("Partition+Concurrency", protocol(2, 4)));
+        let w = UnevenProxy::construct(&weaver, 0).unwrap();
+        let out = w.crunch(vec![]).unwrap();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,270 @@
+//! The reusable farm partition aspect (paper Figure 10).
+//!
+//! "In a simple farming parallelisation each filter has ALL the primes up to
+//! the square root of the maximum number and each pack of numbers can be
+//! processed by ANY PrimeFilter." Relative to the pipeline this changes two
+//! things: worker constructor arguments are broadcast (every worker gets the
+//! full problem), and each pack is routed to exactly one worker instead of
+//! being forwarded along a chain.
+//!
+//! The paper realises routing by editing the forward advice's `next`
+//! selection (its blocks 2 and 3); here routing lives in the split advice
+//! directly, since both blocks are private to the partition module — a
+//! deviation recorded in DESIGN.md.
+
+use weavepar_concurrency::resolve_any;
+use weavepar_weave::aspect::precedence;
+use weavepar_weave::prelude::*;
+
+use crate::common::{Protocol, WORKERS_FIELD};
+
+/// Configuration of a concrete farm (see [`Protocol`]). `worker_args`
+/// typically broadcasts the original constructor arguments.
+pub type FarmConfig = Protocol;
+
+/// Build the farm partition aspect for `protocol`.
+pub fn farm_aspect(name: impl Into<String>, protocol: FarmConfig) -> Aspect {
+    let dup = protocol.clone();
+    let route = protocol.clone();
+
+    Aspect::named(name)
+        .precedence(precedence::PARTITION)
+        // Object duplication with broadcast construction.
+        .around(
+            Pointcut::construct(protocol.class).and(Pointcut::within_core()),
+            move |inv: &mut Invocation| {
+                let weaver = inv.weaver().clone();
+                let ids = dup.create_workers(&weaver, inv.args()?)?;
+                let first = *ids
+                    .first()
+                    .ok_or_else(|| WeaveError::app("farm protocol needs at least one worker"))?;
+                weaver.intertype().set_field(first, WORKERS_FIELD, ids);
+                Ok(weavepar_weave::ret!(first))
+            },
+        )
+        // Split + round-robin routing of packs to workers.
+        .around(
+            Pointcut::call_sig(protocol.class, protocol.method).and(Pointcut::within_core()),
+            move |inv: &mut Invocation| {
+                let weaver = inv.weaver().clone();
+                let target = inv.target_required()?;
+                let workers = weaver
+                    .intertype()
+                    .get_field::<Vec<ObjId>>(target, WORKERS_FIELD)
+                    .unwrap_or_else(|| vec![target]);
+                let packs = (route.split)(inv.args()?)?;
+                let mut pending = Vec::with_capacity(packs.len());
+                for (k, pack) in packs.into_iter().enumerate() {
+                    let worker = workers[k % workers.len()];
+                    pending.push(weaver.invoke_call(worker, route.class, route.method, pack)?);
+                }
+                let mut results = Vec::with_capacity(pending.len());
+                for ret in pending {
+                    results.push(resolve_any(ret)?);
+                }
+                (route.combine)(results)
+            },
+        )
+        .build()
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use weavepar_concurrency::{future_concurrency_aspect, Executor};
+    use weavepar_weave::{args, value::downcast_ret};
+
+    /// Doubles every item; counts how many packs it served.
+    pub(crate) struct Worker {
+        pub(crate) served: u64,
+    }
+
+    weavepar_weave::weaveable! {
+        class Worker as WorkerProxy {
+            fn new(_seed: u64) -> Self { Worker { served: 0 } }
+            fn compute(&mut self, items: Vec<u64>) -> Vec<u64> {
+                self.served += 1;
+                items.into_iter().map(|x| x * 2).collect()
+            }
+            fn served(&mut self) -> u64 { self.served }
+        }
+    }
+
+    fn protocol(workers: usize, packs: usize) -> FarmConfig {
+        Protocol {
+            class: "Worker",
+            method: "compute",
+            workers,
+            // Broadcast: every worker receives the original arguments.
+            worker_args: Arc::new(|_rank, _n, orig: &Args| {
+                Ok(args![*orig.get::<u64>(0)?])
+            }),
+            split: Arc::new(move |a: &Args| {
+                let items = a.get::<Vec<u64>>(0)?;
+                let chunk = items.len().div_ceil(packs.max(1)).max(1);
+                Ok(items.chunks(chunk).map(|c| args![c.to_vec()]).collect())
+            }),
+            reforward: Arc::new(|v: AnyValue| Ok(Args::from_values(vec![v]))),
+            combine: Arc::new(|vs: Vec<AnyValue>| {
+                let mut all = Vec::new();
+                for v in vs {
+                    all.extend(downcast_ret::<Vec<u64>>(v)?);
+                }
+                Ok(weavepar_weave::ret!(all))
+            }),
+        }
+    }
+
+    #[test]
+    fn farm_computes_and_preserves_order() {
+        let weaver = Weaver::new();
+        weaver.plug(farm_aspect("Partition", protocol(3, 6)));
+        let w = WorkerProxy::construct(&weaver, 42).unwrap();
+        assert_eq!(weaver.space().ids_of_class("Worker").len(), 3);
+        let input: Vec<u64> = (0..24).collect();
+        let out = w.compute(input.clone()).unwrap();
+        assert_eq!(out, input.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn packs_are_spread_round_robin() {
+        let weaver = Weaver::new();
+        weaver.plug(farm_aspect("Partition", protocol(3, 6)));
+        let w = WorkerProxy::construct(&weaver, 0).unwrap();
+        w.compute((0..24).collect()).unwrap();
+        // 6 packs over 3 workers: 2 each.
+        for id in weaver.space().ids_of_class("Worker") {
+            let served = weaver.space().with_object::<Worker, _>(id, |w| w.served).unwrap();
+            assert_eq!(served, 2, "round robin must balance packs");
+        }
+        let _ = w;
+    }
+
+    #[test]
+    fn farm_with_concurrency_matches_sequential() {
+        let weaver = Weaver::new();
+        weaver.plug(farm_aspect("Partition", protocol(4, 8)));
+        let executor = Executor::thread_per_call();
+        for a in future_concurrency_aspect(
+            "Concurrency",
+            Pointcut::call("Worker.compute"),
+            executor.clone(),
+        ) {
+            weaver.plug(a);
+        }
+        let w = WorkerProxy::construct(&weaver, 0).unwrap();
+        let ret = w.handle().call("compute", args![(0..64).collect::<Vec<u64>>()]).unwrap();
+        let out = downcast_ret::<Vec<u64>>(resolve_any(ret).unwrap()).unwrap();
+        assert_eq!(out, (0..64).map(|x| x * 2).collect::<Vec<_>>());
+        executor.wait_idle();
+    }
+
+    #[test]
+    fn unmanaged_target_falls_back_to_itself() {
+        // Plug the farm aspect *after* construction: the object has no
+        // workers field, so packs all route to the original object.
+        let weaver = Weaver::new();
+        let w = WorkerProxy::construct(&weaver, 0).unwrap();
+        weaver.plug(farm_aspect("Partition", protocol(3, 2)));
+        let out = w.compute(vec![1, 2, 3, 4]).unwrap();
+        assert_eq!(out, vec![2, 4, 6, 8]);
+        assert_eq!(w.served().unwrap(), 2, "both packs served by the original");
+    }
+
+    #[test]
+    fn swap_pipeline_for_farm_is_a_replug(){
+        // The paper's headline: exchanging one partition strategy for the
+        // other is plugging a different aspect — core code untouched.
+        let weaver = Weaver::new();
+        let pipeline = weaver.plug(crate::pipeline::pipeline_aspect(
+            "Partition",
+            crate::pipeline::PipelineConfig {
+                // Pipeline of no-op-ish taggers is unsuitable for Worker, so
+                // use a 1-stage pipeline: semantically same as the farm of 1.
+                workers: 1,
+                ..protocol(1, 2)
+            },
+        ));
+        let w = WorkerProxy::construct(&weaver, 0).unwrap();
+        assert_eq!(w.compute(vec![3]).unwrap(), vec![6]);
+        weaver.unplug(&pipeline);
+        weaver.plug(farm_aspect("Partition", protocol(3, 3)));
+        let w2 = WorkerProxy::construct(&weaver, 0).unwrap();
+        assert_eq!(w2.compute(vec![3]).unwrap(), vec![6]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::tests::{Worker, WorkerProxy};
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::Arc;
+    use weavepar_weave::{args, value::downcast_ret};
+
+    fn protocol(workers: usize, packs: usize) -> FarmConfig {
+        Protocol {
+            class: "Worker",
+            method: "compute",
+            workers,
+            worker_args: Arc::new(|_rank, _n, orig: &Args| Ok(args![*orig.get::<u64>(0)?])),
+            split: Arc::new(move |a: &Args| {
+                let items = a.get::<Vec<u64>>(0)?;
+                if items.is_empty() {
+                    return Ok(Vec::new());
+                }
+                let chunk = items.len().div_ceil(packs.max(1)).max(1);
+                Ok(items.chunks(chunk).map(|c| args![c.to_vec()]).collect())
+            }),
+            reforward: Arc::new(|v: AnyValue| Ok(Args::from_values(vec![v]))),
+            combine: Arc::new(|vs: Vec<AnyValue>| {
+                let mut all = Vec::new();
+                for v in vs {
+                    all.extend(downcast_ret::<Vec<u64>>(v)?);
+                }
+                Ok(weavepar_weave::ret!(all))
+            }),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Farming is semantically invisible: any input, worker count and
+        /// pack count produces exactly the sequential map, in order.
+        #[test]
+        fn farm_is_semantically_invisible(
+            input in proptest::collection::vec(any::<u32>(), 0..200),
+            workers in 1usize..6,
+            packs in 1usize..10,
+        ) {
+            let input: Vec<u64> = input.into_iter().map(u64::from).collect();
+            let weaver = Weaver::new();
+            weaver.plug(farm_aspect("Partition", protocol(workers, packs)));
+            let w = WorkerProxy::construct(&weaver, 0).unwrap();
+            let out = w.compute(input.clone()).unwrap();
+            let expect: Vec<u64> = input.iter().map(|x| x * 2).collect();
+            prop_assert_eq!(out, expect);
+            // The duplication invariant: exactly `workers` aspect-managed
+            // objects exist besides nothing else.
+            prop_assert_eq!(weaver.space().ids_of_class("Worker").len(), workers);
+        }
+
+        /// Pack routing covers every worker when there are at least as many
+        /// packs as workers (round-robin coverage).
+        #[test]
+        fn round_robin_covers_all_workers(workers in 1usize..5, multiplier in 1usize..4) {
+            let packs = workers * multiplier;
+            let weaver = Weaver::new();
+            weaver.plug(farm_aspect("Partition", protocol(workers, packs)));
+            let w = WorkerProxy::construct(&weaver, 0).unwrap();
+            let input: Vec<u64> = (0..(packs as u64 * 4)).collect();
+            w.compute(input).unwrap();
+            for id in weaver.space().ids_of_class("Worker") {
+                let served = weaver.space().with_object::<Worker, _>(id, |w| w.served).unwrap();
+                prop_assert!(served >= 1, "worker {id} starved");
+            }
+        }
+    }
+}

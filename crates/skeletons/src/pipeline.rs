@@ -1,0 +1,285 @@
+//! The reusable pipeline partition aspect — Figure 8's three blocks, made
+//! generic (Figure 9).
+//!
+//! 1. **Object duplication** (`around Class.new`, core-made only): the single
+//!    core construction becomes a chain of `workers` stage objects linked by
+//!    the `pipeline.next` inter-type field; the client receives the first.
+//! 2. **Method-call split** (`around Class.method`, core-made only): the one
+//!    big call becomes one call per pack; pack results are combined into the
+//!    original call's result.
+//! 3. **Forwarding** (`around Class.method`, *all* call sites — applies
+//!    recursively to the aspect's own calls, as the paper highlights): after
+//!    the stage processes a pack, its output is forwarded to the next stage;
+//!    the value of a pack call is the value produced by the *end* of the
+//!    chain.
+//!
+//! Block 3 runs *inside* a plugged asynchronous-invocation aspect (see
+//! `weavepar_weave::aspect::precedence`), so with concurrency plugged every
+//! hop returns a future and packs stream through the stages concurrently —
+//! the paper's Figure 11.
+
+use weavepar_concurrency::resolve_any;
+use weavepar_weave::aspect::precedence;
+use weavepar_weave::prelude::*;
+
+use crate::common::{Protocol, NEXT_FIELD};
+
+/// Configuration of a concrete pipeline (see [`Protocol`]).
+pub type PipelineConfig = Protocol;
+
+/// Build the pipeline partition aspect for `protocol`.
+pub fn pipeline_aspect(name: impl Into<String>, protocol: PipelineConfig) -> Aspect {
+    let dup = protocol.clone();
+    let split = protocol.clone();
+    let fwd = protocol.clone();
+
+    Aspect::named(name)
+        .precedence(precedence::PARTITION)
+        // Block 1: object duplication (core constructions only).
+        .around(
+            Pointcut::construct(protocol.class).and(Pointcut::within_core()),
+            move |inv: &mut Invocation| {
+                let weaver = inv.weaver().clone();
+                let ids = dup.create_workers(&weaver, inv.args()?)?;
+                // Link the chain: ids[i] -> ids[i+1], last -> None.
+                for (i, id) in ids.iter().enumerate() {
+                    let next = ids.get(i + 1).copied();
+                    weaver.intertype().set_field(*id, NEXT_FIELD, next);
+                }
+                let first = *ids.first().ok_or_else(|| {
+                    WeaveError::app("pipeline protocol needs at least one stage")
+                })?;
+                Ok(weavepar_weave::ret!(first))
+            },
+        )
+        // Block 2: method-call split (core calls only).
+        .around(
+            Pointcut::call_sig(protocol.class, protocol.method).and(Pointcut::within_core()),
+            move |inv: &mut Invocation| {
+                let weaver = inv.weaver().clone();
+                let target = inv.target_required()?;
+                let packs = (split.split)(inv.args()?)?;
+                // Issue every pack call (aspect provenance: matched by the
+                // forward advice and by concurrency/distribution, not by this
+                // split again), then resolve and combine.
+                let mut pending = Vec::with_capacity(packs.len());
+                for pack in packs {
+                    pending.push(weaver.invoke_call(target, split.class, split.method, pack)?);
+                }
+                let mut results = Vec::with_capacity(pending.len());
+                for ret in pending {
+                    results.push(resolve_any(ret)?);
+                }
+                (split.combine)(results)
+            },
+        )
+        // Block 3: forwarding (all call sites, applied recursively).
+        .around(
+            Pointcut::call_sig(protocol.class, protocol.method),
+            move |inv: &mut Invocation| {
+                let weaver = inv.weaver().clone();
+                let target = inv.target_required()?;
+                let out = inv.proceed()?;
+                match weaver.intertype().get_field::<Option<ObjId>>(target, NEXT_FIELD) {
+                    Some(Some(next)) => {
+                        // Forward this stage's output down the chain; the
+                        // downstream return value (possibly a future) IS this
+                        // pack's result.
+                        let fwd_args = (fwd.reforward)(out)?;
+                        weaver.invoke_call(next, fwd.class, fwd.method, fwd_args)
+                    }
+                    // Last stage (or an unmanaged object): its output is final.
+                    _ => Ok(out),
+                }
+            },
+        )
+        .build()
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use weavepar_concurrency::{future_concurrency_aspect, Executor};
+    use weavepar_weave::{args, value::downcast_ret};
+
+    /// A stage that appends its tag to every item it sees.
+    pub(crate) struct Tagger {
+        pub(crate) tag: u64,
+    }
+
+    weavepar_weave::weaveable! {
+        class Tagger as TaggerProxy {
+            fn new(tag: u64) -> Self { Tagger { tag } }
+            fn process(&mut self, items: Vec<u64>) -> Vec<u64> {
+                items.into_iter().map(|x| x * 10 + self.tag).collect()
+            }
+        }
+    }
+
+    fn protocol(stages: usize, packs: usize) -> PipelineConfig {
+        Protocol {
+            class: "Tagger",
+            method: "process",
+            workers: stages,
+            worker_args: Arc::new(|rank, _n, _orig| Ok(args![rank as u64 + 1])),
+            split: Arc::new(move |a: &Args| {
+                let items = a.get::<Vec<u64>>(0)?;
+                let chunk = items.len().div_ceil(packs.max(1)).max(1);
+                Ok(items.chunks(chunk).map(|c| args![c.to_vec()]).collect())
+            }),
+            reforward: Arc::new(|v: AnyValue| Ok(Args::from_values(vec![v]))),
+            combine: Arc::new(|vs: Vec<AnyValue>| {
+                let mut all = Vec::new();
+                for v in vs {
+                    all.extend(downcast_ret::<Vec<u64>>(v)?);
+                }
+                Ok(weavepar_weave::ret!(all))
+            }),
+        }
+    }
+
+    #[test]
+    fn sequential_pipeline_transforms_through_all_stages() {
+        let weaver = Weaver::new();
+        weaver.plug(pipeline_aspect("Partition", protocol(3, 2)));
+        let p = TaggerProxy::construct(&weaver, 99).unwrap();
+        // 3 stages exist, not 1, and the ctor arg 99 was replaced per stage.
+        assert_eq!(weaver.space().ids_of_class("Tagger").len(), 3);
+        // Each item passes stages 1, 2, 3: x -> x*10+1 -> ... -> ((x*10+1)*10+2)*10+3.
+        let out = p.process(vec![0, 1]).unwrap();
+        let f = |x: u64| ((x * 10 + 1) * 10 + 2) * 10 + 3;
+        assert_eq!(out, vec![f(0), f(1)]);
+    }
+
+    #[test]
+    fn pack_order_is_preserved_by_combine() {
+        let weaver = Weaver::new();
+        weaver.plug(pipeline_aspect("Partition", protocol(1, 4)));
+        let p = TaggerProxy::construct(&weaver, 0).unwrap();
+        let input: Vec<u64> = (0..16).collect();
+        let out = p.process(input.clone()).unwrap();
+        let expect: Vec<u64> = input.iter().map(|x| x * 10 + 1).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn concurrent_pipeline_gives_same_answer() {
+        let weaver = Weaver::new();
+        weaver.plug(pipeline_aspect("Partition", protocol(3, 4)));
+        let executor = Executor::thread_per_call();
+        for a in future_concurrency_aspect(
+            "Concurrency",
+            Pointcut::call("Tagger.process"),
+            executor.clone(),
+        ) {
+            weaver.plug(a);
+        }
+        let p = TaggerProxy::construct(&weaver, 0).unwrap();
+        // With concurrency plugged the core-level call returns a future.
+        let ret = p.handle().call("process", args![(0..32).collect::<Vec<u64>>()]).unwrap();
+        let out = downcast_ret::<Vec<u64>>(resolve_any(ret).unwrap()).unwrap();
+        let f = |x: u64| ((x * 10 + 1) * 10 + 2) * 10 + 3;
+        let expect: Vec<u64> = (0..32).map(f).collect();
+        assert_eq!(out, expect);
+        executor.wait_idle();
+    }
+
+    #[test]
+    fn unplugging_restores_single_object_semantics() {
+        let weaver = Weaver::new();
+        let plugged = weaver.plug(pipeline_aspect("Partition", protocol(3, 2)));
+        weaver.unplug(&plugged);
+        let p = TaggerProxy::construct(&weaver, 7).unwrap();
+        assert_eq!(weaver.space().ids_of_class("Tagger").len(), 1);
+        assert_eq!(p.process(vec![1]).unwrap(), vec![17]);
+    }
+
+    #[test]
+    fn zero_stage_pipeline_is_an_error() {
+        let weaver = Weaver::new();
+        weaver.plug(pipeline_aspect("Partition", protocol(0, 1)));
+        assert!(TaggerProxy::construct(&weaver, 0).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::tests::{Tagger, TaggerProxy};
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::Arc;
+    use weavepar_weave::{args, value::downcast_ret};
+
+    fn protocol(stages: usize, packs: usize) -> PipelineConfig {
+        Protocol {
+            class: "Tagger",
+            method: "process",
+            workers: stages,
+            worker_args: Arc::new(|rank, _n, _orig| Ok(args![rank as u64 + 1])),
+            split: Arc::new(move |a: &Args| {
+                let items = a.get::<Vec<u64>>(0)?;
+                if items.is_empty() {
+                    return Ok(Vec::new());
+                }
+                let chunk = items.len().div_ceil(packs.max(1)).max(1);
+                Ok(items.chunks(chunk).map(|c| args![c.to_vec()]).collect())
+            }),
+            reforward: Arc::new(|v: AnyValue| Ok(Args::from_values(vec![v]))),
+            combine: Arc::new(|vs: Vec<AnyValue>| {
+                let mut all = Vec::new();
+                for v in vs {
+                    all.extend(downcast_ret::<Vec<u64>>(v)?);
+                }
+                Ok(weavepar_weave::ret!(all))
+            }),
+        }
+    }
+
+    /// What a pipeline of `stages` tag-appenders computes, by definition.
+    fn staged_reference(input: &[u64], stages: usize) -> Vec<u64> {
+        let mut data = input.to_vec();
+        for stage in 1..=stages as u64 {
+            let mut t = Tagger { tag: stage };
+            data = t.process(data);
+        }
+        data
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Every pack crosses every stage exactly once, in stage order, and
+        /// pack order survives the combine.
+        #[test]
+        fn pipeline_composes_stages_in_order(
+            input in proptest::collection::vec(0u64..1000, 0..120),
+            stages in 1usize..5,
+            packs in 1usize..8,
+        ) {
+            let weaver = Weaver::new();
+            weaver.plug(pipeline_aspect("Partition", protocol(stages, packs)));
+            let p = TaggerProxy::construct(&weaver, 0).unwrap();
+            let out = p.process(input.clone()).unwrap();
+            prop_assert_eq!(out, staged_reference(&input, stages));
+            prop_assert_eq!(weaver.space().ids_of_class("Tagger").len(), stages);
+        }
+
+        /// Pack granularity never changes the result.
+        #[test]
+        fn pack_count_is_irrelevant(
+            input in proptest::collection::vec(0u64..1000, 1..80),
+            stages in 1usize..4,
+        ) {
+            let run = |packs: usize| {
+                let weaver = Weaver::new();
+                weaver.plug(pipeline_aspect("Partition", protocol(stages, packs)));
+                let p = TaggerProxy::construct(&weaver, 0).unwrap();
+                p.process(input.clone()).unwrap()
+            };
+            let one = run(1);
+            let many = run(7);
+            prop_assert_eq!(one, many);
+        }
+    }
+}

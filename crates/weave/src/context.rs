@@ -1,0 +1,191 @@
+//! Call-site provenance tracking.
+//!
+//! The paper's pointcuts distinguish *where a call comes from*: the split
+//! advice of the Partition aspect applies only to calls made by core
+//! functionality, while the forward advice also applies (recursively) to calls
+//! the aspect itself makes (Figure 7, block 3). AspectJ gets this from
+//! `within(..)`; we reproduce it with a thread-local provenance stack that the
+//! runtime pushes around base-method execution and around advice execution.
+
+use std::cell::RefCell;
+
+use crate::aspect::AspectId;
+use crate::signature::{MethodPattern, Signature};
+
+/// Who issued the call currently being woven.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Provenance {
+    /// Top-level application code or a core-functionality method body.
+    Core,
+    /// Code executing inside an advice body of the given aspect.
+    Aspect(AspectId),
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Provenance>> = const { RefCell::new(Vec::new()) };
+    // The join points currently executing on this thread, outermost first —
+    // the dynamic extent AspectJ's `cflow` quantifies over.
+    static CFLOW: RefCell<Vec<Signature>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard for one frame of the control-flow stack.
+pub struct CflowGuard {
+    _priv: (),
+}
+
+impl Drop for CflowGuard {
+    fn drop(&mut self) {
+        CFLOW.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// Push a join point onto the control-flow stack (runtime use).
+pub fn push_cflow(sig: Signature) -> CflowGuard {
+    CFLOW.with(|s| s.borrow_mut().push(sig));
+    CflowGuard { _priv: () }
+}
+
+/// Is the current thread executing within the dynamic extent of a join point
+/// matching `pattern` — AspectJ's `cflow(call(pattern))`?
+///
+/// Pointcut *matching* is cached per static signature, so `cflow` cannot be a
+/// static designator here; use it as the guard of
+/// [`AspectBuilder::around_if`](crate::aspect::AspectBuilder::around_if),
+/// which is evaluated per join point.
+pub fn in_cflow_of(pattern: &MethodPattern) -> bool {
+    CFLOW.with(|s| s.borrow().iter().any(|sig| pattern.matches(sig)))
+}
+
+/// Snapshot of the control-flow stack (crossing async boundaries).
+pub fn cflow_snapshot() -> Vec<Signature> {
+    CFLOW.with(|s| s.borrow().clone())
+}
+
+/// Install a captured control-flow stack beneath the current one; frames pop
+/// when the guard drops.
+pub fn install_cflow(stack: &[Signature]) -> Vec<CflowGuard> {
+    stack.iter().map(|sig| push_cflow(*sig)).collect()
+}
+
+/// The provenance of the code currently executing on this thread.
+///
+/// Defaults to [`Provenance::Core`] when nothing has been pushed — top-level
+/// application code *is* core functionality.
+pub fn current() -> Provenance {
+    STACK.with(|s| s.borrow().last().copied().unwrap_or(Provenance::Core))
+}
+
+/// Depth of the provenance stack (used in tests and diagnostics).
+pub fn depth() -> usize {
+    STACK.with(|s| s.borrow().len())
+}
+
+/// RAII guard that restores the previous provenance when dropped.
+pub struct ProvenanceGuard {
+    _priv: (),
+}
+
+impl Drop for ProvenanceGuard {
+    fn drop(&mut self) {
+        STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// Push a provenance frame for the duration of the returned guard.
+pub fn push(p: Provenance) -> ProvenanceGuard {
+    STACK.with(|s| s.borrow_mut().push(p));
+    ProvenanceGuard { _priv: () }
+}
+
+/// Snapshot of the per-thread weaving context, used by
+/// [`Detached`](crate::invocation::Detached) to re-establish provenance (and by
+/// the trace recorder to re-establish the causal parent) on another thread.
+#[derive(Debug, Clone)]
+pub struct CurrentContext {
+    /// Provenance at capture time.
+    pub provenance: Provenance,
+    /// Trace task identifier at capture time, if recording.
+    pub task: Option<crate::trace::TaskId>,
+    /// Data-dependency marker at capture time (see
+    /// [`trace::note_completion`](crate::trace::note_completion)).
+    pub data_dep: Option<(u64, crate::trace::TaskId)>,
+    /// Control-flow stack at capture time (so `cflow` guards keep working
+    /// across asynchronous boundaries).
+    pub cflow: Vec<Signature>,
+}
+
+impl CurrentContext {
+    /// Capture the current thread's weaving context.
+    pub fn capture() -> Self {
+        CurrentContext {
+            provenance: current(),
+            task: crate::trace::current_task(),
+            data_dep: crate::trace::data_dep_raw(),
+            cflow: cflow_snapshot(),
+        }
+    }
+
+    /// Re-establish the captured context on the current thread for the
+    /// lifetime of the returned guards.
+    pub fn install(
+        &self,
+    ) -> (ProvenanceGuard, crate::trace::TaskGuard, crate::trace::DataDepGuard, Vec<CflowGuard>) {
+        (
+            push(self.provenance),
+            crate::trace::push_task(self.task),
+            crate::trace::push_data_dep(self.data_dep),
+            install_cflow(&self.cflow),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_core() {
+        assert_eq!(current(), Provenance::Core);
+        assert_eq!(depth(), 0);
+    }
+
+    #[test]
+    fn push_pop_nesting() {
+        assert_eq!(current(), Provenance::Core);
+        {
+            let _g1 = push(Provenance::Aspect(AspectId::from_raw(1)));
+            assert_eq!(current(), Provenance::Aspect(AspectId::from_raw(1)));
+            {
+                let _g2 = push(Provenance::Core);
+                assert_eq!(current(), Provenance::Core);
+                assert_eq!(depth(), 2);
+            }
+            assert_eq!(current(), Provenance::Aspect(AspectId::from_raw(1)));
+        }
+        assert_eq!(current(), Provenance::Core);
+        assert_eq!(depth(), 0);
+    }
+
+    #[test]
+    fn contexts_are_per_thread() {
+        let _g = push(Provenance::Aspect(AspectId::from_raw(9)));
+        let other = std::thread::spawn(|| current()).join().unwrap();
+        assert_eq!(other, Provenance::Core);
+        assert_eq!(current(), Provenance::Aspect(AspectId::from_raw(9)));
+    }
+
+    #[test]
+    fn capture_and_install_transfers_provenance() {
+        let snap = {
+            let _g = push(Provenance::Aspect(AspectId::from_raw(3)));
+            CurrentContext::capture()
+        };
+        assert_eq!(current(), Provenance::Core);
+        let _guards = snap.install();
+        assert_eq!(current(), Provenance::Aspect(AspectId::from_raw(3)));
+    }
+}

@@ -1,0 +1,201 @@
+//! Per-class dispatch: the [`Weaveable`] trait and the class registry.
+//!
+//! The [`weaveable!`](crate::weaveable) macro implements [`Weaveable`] for an
+//! application class. The implementation carries everything the runtime needs
+//! to construct and invoke instances through type-erased join points:
+//! a constructor, a method-dispatch table, the method list and an argument
+//! sizer for the trace recorder.
+//!
+//! Distribution middleware additionally needs to resolve classes *by name*
+//! (a remote node receives `"PrimeFilter"` off the wire), which is what the
+//! erased [`ClassInfo`] records registered on a weaver provide.
+
+use std::any::Any;
+
+use crate::error::{WeaveError, WeaveResult};
+use crate::value::{AnyValue, Args};
+
+/// Type-erased method dispatch on a live instance.
+pub type DispatchFn = fn(&mut (dyn Any + Send), &'static str, Args) -> WeaveResult<AnyValue>;
+
+/// Type-erased constructor producing a boxed instance.
+pub type ConstructorFn = fn(Args) -> WeaveResult<Box<dyn Any + Send>>;
+
+/// Approximate wire size of the arguments of a method call.
+pub type ArgSizerFn = fn(&'static str, &Args) -> usize;
+
+/// Approximate wire size of a method's return value.
+pub type RetSizerFn = fn(&'static str, &AnyValue) -> usize;
+
+/// A class whose constructions and method calls can act as join points.
+///
+/// Implemented by the [`weaveable!`](crate::weaveable) macro; not intended to
+/// be implemented by hand (but doing so is safe — everything is checked at
+/// run time).
+pub trait Weaveable: Send + Sized + 'static {
+    /// Class name used in signatures and pointcut patterns.
+    const CLASS: &'static str;
+
+    /// Construct an instance from a type-erased argument pack.
+    fn construct(args: Args) -> WeaveResult<Self>;
+
+    /// Invoke `method` with `args` on this instance.
+    fn dispatch(&mut self, method: &'static str, args: Args) -> WeaveResult<AnyValue>;
+
+    /// The method names this class dispatches.
+    fn methods() -> &'static [&'static str];
+
+    /// Approximate wire size of `args` for `method` (trace/network model).
+    /// The default is a conservative zero for classes that opt out.
+    fn arg_bytes(_method: &'static str, _args: &Args) -> usize {
+        0
+    }
+
+    /// Approximate wire size of a method's return value (trace/network model).
+    fn ret_bytes(_method: &'static str, _ret: &AnyValue) -> usize {
+        0
+    }
+}
+
+/// Runtime record for one weaveable class, with every entry type-erased so
+/// middleware and the object space can work without the concrete type.
+#[derive(Clone, Copy)]
+pub struct ClassInfo {
+    /// Class name ([`Weaveable::CLASS`]).
+    pub class: &'static str,
+    /// Type-erased constructor.
+    pub construct: ConstructorFn,
+    /// Type-erased dispatch.
+    pub dispatch: DispatchFn,
+    /// Method list.
+    pub methods: &'static [&'static str],
+    /// Argument sizer.
+    pub arg_bytes: ArgSizerFn,
+    /// Return-value sizer.
+    pub ret_bytes: RetSizerFn,
+}
+
+impl ClassInfo {
+    /// Build the erased record for `T`.
+    pub fn of<T: Weaveable>() -> Self {
+        ClassInfo {
+            class: T::CLASS,
+            construct: erased_construct::<T>,
+            dispatch: erased_dispatch::<T>,
+            methods: T::methods(),
+            arg_bytes: T::arg_bytes,
+            ret_bytes: T::ret_bytes,
+        }
+    }
+
+    /// Resolve a dynamic method name (e.g. received over the wire) to the
+    /// `'static` name used in signatures.
+    pub fn resolve_method(&self, name: &str) -> Option<&'static str> {
+        self.methods.iter().copied().find(|m| *m == name)
+    }
+}
+
+impl std::fmt::Debug for ClassInfo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClassInfo")
+            .field("class", &self.class)
+            .field("methods", &self.methods)
+            .finish()
+    }
+}
+
+fn erased_construct<T: Weaveable>(args: Args) -> WeaveResult<Box<dyn Any + Send>> {
+    Ok(Box::new(T::construct(args)?))
+}
+
+fn erased_dispatch<T: Weaveable>(
+    obj: &mut (dyn Any + Send),
+    method: &'static str,
+    args: Args,
+) -> WeaveResult<AnyValue> {
+    let typed = obj.downcast_mut::<T>().ok_or_else(|| WeaveError::TypeMismatch {
+        expected: std::any::type_name::<T>(),
+        context: format!("dispatch of {}.{method}", T::CLASS),
+    })?;
+    typed.dispatch(method, args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args;
+
+    struct Counter {
+        n: i64,
+    }
+
+    impl Weaveable for Counter {
+        const CLASS: &'static str = "Counter";
+
+        fn construct(mut args: Args) -> WeaveResult<Self> {
+            Ok(Counter { n: args.take(0)? })
+        }
+
+        fn dispatch(&mut self, method: &'static str, mut args: Args) -> WeaveResult<AnyValue> {
+            match method {
+                "add" => {
+                    self.n += args.take::<i64>(0)?;
+                    Ok(crate::ret!())
+                }
+                "get" => Ok(crate::ret!(self.n)),
+                _ => Err(WeaveError::NoSuchMethod { class: Self::CLASS.into(), method: method.into() }),
+            }
+        }
+
+        fn methods() -> &'static [&'static str] {
+            &["add", "get"]
+        }
+
+        fn arg_bytes(method: &'static str, args: &Args) -> usize {
+            match method {
+                "add" => args.get::<i64>(0).map(|_| 8).unwrap_or(0),
+                _ => 0,
+            }
+        }
+    }
+
+    #[test]
+    fn erased_construct_and_dispatch() {
+        let info = ClassInfo::of::<Counter>();
+        let mut boxed = (info.construct)(args![5i64]).unwrap();
+        let ret = (info.dispatch)(boxed.as_mut(), "add", args![2i64]).unwrap();
+        crate::value::downcast_ret::<()>(ret).unwrap();
+        let ret = (info.dispatch)(boxed.as_mut(), "get", args![]).unwrap();
+        assert_eq!(crate::value::downcast_ret::<i64>(ret).unwrap(), 7);
+    }
+
+    #[test]
+    fn dispatch_on_wrong_type_is_reported() {
+        let info = ClassInfo::of::<Counter>();
+        let mut not_a_counter: Box<dyn Any + Send> = Box::new(17u8);
+        let err = (info.dispatch)(not_a_counter.as_mut(), "get", args![]).unwrap_err();
+        assert!(matches!(err, WeaveError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn resolve_method_returns_static_name() {
+        let info = ClassInfo::of::<Counter>();
+        let dynamic = String::from("add");
+        assert_eq!(info.resolve_method(&dynamic), Some("add"));
+        assert_eq!(info.resolve_method("nope"), None);
+    }
+
+    #[test]
+    fn arg_sizer_is_exposed() {
+        let info = ClassInfo::of::<Counter>();
+        assert_eq!((info.arg_bytes)("add", &args![1i64]), 8);
+        assert_eq!((info.arg_bytes)("get", &args![]), 0);
+    }
+
+    #[test]
+    fn unknown_method_errors() {
+        let mut c = Counter { n: 0 };
+        let err = c.dispatch("nope", args![]).unwrap_err();
+        assert!(matches!(err, WeaveError::NoSuchMethod { .. }));
+    }
+}

@@ -1,0 +1,124 @@
+//! Error type shared by the whole weaving runtime.
+
+use std::fmt;
+
+use crate::object::ObjId;
+
+/// Result alias used across the workspace.
+pub type WeaveResult<T> = Result<T, WeaveError>;
+
+/// Errors raised by the weaving runtime, advice code or woven applications.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WeaveError {
+    /// An [`ObjId`](crate::object::ObjId) did not resolve to a live object.
+    NoSuchObject(ObjId),
+    /// A method name was not found in a class's dispatch table (nor among the
+    /// inter-type extension methods).
+    NoSuchMethod {
+        /// Class the call targeted.
+        class: String,
+        /// Method that could not be resolved.
+        method: String,
+    },
+    /// A value extracted from [`Args`](crate::value::Args) or a return value
+    /// had an unexpected concrete type.
+    TypeMismatch {
+        /// The Rust type the caller expected.
+        expected: &'static str,
+        /// Where the mismatch happened (method, argument index, ...).
+        context: String,
+    },
+    /// An argument index was out of range, or the argument was already moved
+    /// out of the argument pack.
+    MissingArg {
+        /// Index that was requested.
+        index: usize,
+        /// Number of slots in the pack.
+        len: usize,
+    },
+    /// `proceed` was called after the arguments were already consumed.
+    AlreadyProceeded,
+    /// The target object was expected on a join point but absent (e.g. advice
+    /// on a construction asked for a target).
+    NoTarget,
+    /// Failure while constructing an object.
+    Construction(String),
+    /// A distribution middleware failure (connection, marshalling, remote
+    /// dispatch). Mirrors Java's `RemoteException` in the paper's Figure 14.
+    Remote(String),
+    /// Error surfaced from aspect or application code.
+    App(String),
+}
+
+impl WeaveError {
+    /// Convenience constructor for application-level errors.
+    pub fn app(msg: impl Into<String>) -> Self {
+        WeaveError::App(msg.into())
+    }
+
+    /// Convenience constructor for remote/middleware errors.
+    pub fn remote(msg: impl Into<String>) -> Self {
+        WeaveError::Remote(msg.into())
+    }
+}
+
+impl fmt::Display for WeaveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WeaveError::NoSuchObject(id) => write!(f, "no such object: {id}"),
+            WeaveError::NoSuchMethod { class, method } => {
+                write!(f, "no method `{method}` on class `{class}`")
+            }
+            WeaveError::TypeMismatch { expected, context } => {
+                write!(f, "type mismatch (expected `{expected}`) in {context}")
+            }
+            WeaveError::MissingArg { index, len } => {
+                write!(f, "argument {index} missing or already taken (pack has {len} slots)")
+            }
+            WeaveError::AlreadyProceeded => {
+                write!(f, "proceed() called but the arguments were already consumed")
+            }
+            WeaveError::NoTarget => write!(f, "join point has no target object"),
+            WeaveError::Construction(msg) => write!(f, "construction failed: {msg}"),
+            WeaveError::Remote(msg) => write!(f, "remote invocation failed: {msg}"),
+            WeaveError::App(msg) => write!(f, "application error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WeaveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let cases: Vec<WeaveError> = vec![
+            WeaveError::NoSuchObject(ObjId::from_raw(7)),
+            WeaveError::NoSuchMethod { class: "A".into(), method: "m".into() },
+            WeaveError::TypeMismatch { expected: "u32", context: "arg 0".into() },
+            WeaveError::MissingArg { index: 2, len: 1 },
+            WeaveError::AlreadyProceeded,
+            WeaveError::NoTarget,
+            WeaveError::Construction("boom".into()),
+            WeaveError::Remote("link down".into()),
+            WeaveError::App("oops".into()),
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn app_and_remote_constructors() {
+        assert_eq!(WeaveError::app("x"), WeaveError::App("x".into()));
+        assert_eq!(WeaveError::remote("y"), WeaveError::Remote("y".into()));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(WeaveError::AlreadyProceeded, WeaveError::AlreadyProceeded);
+        assert_ne!(WeaveError::AlreadyProceeded, WeaveError::NoTarget);
+    }
+}

@@ -1,0 +1,267 @@
+//! Inter-type declarations: the static-crosscutting half of AspectJ.
+//!
+//! The paper's Figure 2 introduces a `migrate` method and a `Serializable`
+//! parent into class `Point` without touching its source. The runtime
+//! equivalents here are:
+//!
+//! * **extension methods** — `(class, method) → closure` entries consulted by
+//!   base dispatch when the class's own table misses;
+//! * **class tags** — the `declare parents` analogue: named capabilities
+//!   attached to a class (e.g. the distribution aspect tagging `PrimeFilter`
+//!   as `Remote`);
+//! * **per-object fields** — mixin state attached to individual objects
+//!   (e.g. the Partition aspect's `next` pipeline pointer from Figure 8).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::error::{WeaveError, WeaveResult};
+use crate::object::ObjId;
+use crate::registry::Weaver;
+use crate::value::{AnyValue, Args};
+
+/// Body of an extension method.
+pub type ExtensionFn = Arc<dyn Fn(&Weaver, ObjId, Args) -> WeaveResult<AnyValue> + Send + Sync>;
+
+/// Store of inter-type declarations, shared by all aspects on a weaver.
+#[derive(Default)]
+pub struct IntertypeStore {
+    extensions: RwLock<HashMap<(&'static str, &'static str), ExtensionFn>>,
+    class_tags: RwLock<HashSet<(&'static str, &'static str)>>,
+    // `Mutex`, not `RwLock`: the boxed values are `Send` but not `Sync`.
+    fields: Mutex<HashMap<(ObjId, &'static str), AnyValue>>,
+}
+
+impl IntertypeStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ---- extension methods -------------------------------------------------
+
+    /// Introduce `class.method`, dispatched when the class's own table misses.
+    /// Replaces any previous extension with the same name.
+    pub fn add_method(&self, class: &'static str, method: &'static str, f: ExtensionFn) {
+        self.extensions.write().insert((class, method), f);
+    }
+
+    /// Remove an extension method. Returns true when present.
+    pub fn remove_method(&self, class: &str, method: &str) -> bool {
+        let key = match self.resolve_method(class, method) {
+            Some(k) => k,
+            None => return false,
+        };
+        self.extensions.write().remove(&key).is_some()
+    }
+
+    /// Resolve a (possibly dynamic) class/method pair to the `'static` key it
+    /// was registered under.
+    pub fn resolve_method(
+        &self,
+        class: &str,
+        method: &str,
+    ) -> Option<(&'static str, &'static str)> {
+        self.extensions
+            .read()
+            .keys()
+            .copied()
+            .find(|(c, m)| *c == class && *m == method)
+    }
+
+    /// Invoke an extension method.
+    pub fn call_method(
+        &self,
+        weaver: &Weaver,
+        class: &str,
+        method: &str,
+        target: ObjId,
+        args: Args,
+    ) -> WeaveResult<AnyValue> {
+        let f = {
+            let key = self.resolve_method(class, method).ok_or_else(|| {
+                WeaveError::NoSuchMethod { class: class.into(), method: method.into() }
+            })?;
+            self.extensions.read().get(&key).cloned()
+        };
+        match f {
+            Some(f) => f(weaver, target, args),
+            None => Err(WeaveError::NoSuchMethod { class: class.into(), method: method.into() }),
+        }
+    }
+
+    // ---- class tags (declare parents) --------------------------------------
+
+    /// Declare that `class` carries `tag` (e.g. `"Remote"`).
+    pub fn declare_tag(&self, class: &'static str, tag: &'static str) {
+        self.class_tags.write().insert((class, tag));
+    }
+
+    /// Remove a declared tag. Returns true when present.
+    pub fn remove_tag(&self, class: &str, tag: &str) -> bool {
+        let key = {
+            let tags = self.class_tags.read();
+            tags.iter().copied().find(|(c, t)| *c == class && *t == tag)
+        };
+        match key {
+            Some(k) => self.class_tags.write().remove(&k),
+            None => false,
+        }
+    }
+
+    /// Does `class` carry `tag`?
+    pub fn has_tag(&self, class: &str, tag: &str) -> bool {
+        self.class_tags.read().iter().any(|(c, t)| *c == class && *t == tag)
+    }
+
+    // ---- per-object mixin fields -------------------------------------------
+
+    /// Attach (or overwrite) a named field on an object.
+    pub fn set_field<T: Send + 'static>(&self, obj: ObjId, key: &'static str, value: T) {
+        self.fields.lock().insert((obj, key), Box::new(value));
+    }
+
+    /// Read a copy of a field.
+    pub fn get_field<T: Clone + Send + 'static>(&self, obj: ObjId, key: &str) -> Option<T> {
+        let fields = self.fields.lock();
+        let (_, v) = fields.iter().find(|((o, k), _)| *o == obj && *k == key)?;
+        v.downcast_ref::<T>().cloned()
+    }
+
+    /// Run a closure with mutable access to a field.
+    pub fn with_field_mut<T: Send + 'static, R>(
+        &self,
+        obj: ObjId,
+        key: &str,
+        f: impl FnOnce(&mut T) -> R,
+    ) -> WeaveResult<R> {
+        let mut fields = self.fields.lock();
+        let (_, v) = fields
+            .iter_mut()
+            .find(|((o, k), _)| *o == obj && *k == key)
+            .ok_or_else(|| WeaveError::app(format!("no inter-type field `{key}` on {obj}")))?;
+        let typed = v.downcast_mut::<T>().ok_or_else(|| WeaveError::TypeMismatch {
+            expected: std::any::type_name::<T>(),
+            context: format!("inter-type field `{key}` on {obj}"),
+        })?;
+        Ok(f(typed))
+    }
+
+    /// Does the object carry the field?
+    pub fn has_field(&self, obj: ObjId, key: &str) -> bool {
+        self.fields.lock().keys().any(|(o, k)| *o == obj && *k == key)
+    }
+
+    /// Remove a field. Returns true when present.
+    pub fn remove_field(&self, obj: ObjId, key: &str) -> bool {
+        let found = {
+            let fields = self.fields.lock();
+            fields.keys().copied().find(|(o, k)| *o == obj && *k == key)
+        };
+        match found {
+            Some(k) => self.fields.lock().remove(&k).is_some(),
+            None => false,
+        }
+    }
+
+    /// Drop all fields attached to an object (object garbage collection).
+    pub fn remove_object(&self, obj: ObjId) {
+        self.fields.lock().retain(|(o, _), _| *o != obj);
+    }
+}
+
+impl std::fmt::Debug for IntertypeStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IntertypeStore")
+            .field("extensions", &self.extensions.read().len())
+            .field("class_tags", &self.class_tags.read().len())
+            .field("fields", &self.fields.lock().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(n: u64) -> ObjId {
+        ObjId::from_raw(n)
+    }
+
+    #[test]
+    fn tags_declare_and_remove() {
+        let store = IntertypeStore::new();
+        assert!(!store.has_tag("Point", "Serializable"));
+        store.declare_tag("Point", "Serializable");
+        assert!(store.has_tag("Point", "Serializable"));
+        assert!(!store.has_tag("Point", "Remote"));
+        assert!(store.remove_tag("Point", "Serializable"));
+        assert!(!store.remove_tag("Point", "Serializable"));
+        assert!(!store.has_tag("Point", "Serializable"));
+    }
+
+    #[test]
+    fn fields_set_get_mutate() {
+        let store = IntertypeStore::new();
+        store.set_field(obj(1), "next", Some(obj(2)));
+        assert_eq!(store.get_field::<Option<ObjId>>(obj(1), "next"), Some(Some(obj(2))));
+        assert_eq!(store.get_field::<Option<ObjId>>(obj(9), "next"), None);
+        store
+            .with_field_mut::<Option<ObjId>, _>(obj(1), "next", |n| *n = None)
+            .unwrap();
+        assert_eq!(store.get_field::<Option<ObjId>>(obj(1), "next"), Some(None));
+    }
+
+    #[test]
+    fn field_type_mismatch_is_reported() {
+        let store = IntertypeStore::new();
+        store.set_field(obj(1), "count", 3u32);
+        let err = store.with_field_mut::<String, _>(obj(1), "count", |_| ()).unwrap_err();
+        assert!(matches!(err, WeaveError::TypeMismatch { .. }));
+        // get_field with the wrong type yields None rather than panicking.
+        assert_eq!(store.get_field::<String>(obj(1), "count"), None);
+    }
+
+    #[test]
+    fn missing_field_is_an_app_error() {
+        let store = IntertypeStore::new();
+        let err = store.with_field_mut::<u32, _>(obj(1), "nope", |_| ()).unwrap_err();
+        assert!(matches!(err, WeaveError::App(_)));
+    }
+
+    #[test]
+    fn remove_field_and_object_gc() {
+        let store = IntertypeStore::new();
+        store.set_field(obj(1), "a", 1u8);
+        store.set_field(obj(1), "b", 2u8);
+        store.set_field(obj(2), "a", 3u8);
+        assert!(store.remove_field(obj(1), "a"));
+        assert!(!store.remove_field(obj(1), "a"));
+        assert!(store.has_field(obj(1), "b"));
+        store.remove_object(obj(1));
+        assert!(!store.has_field(obj(1), "b"));
+        assert!(store.has_field(obj(2), "a"));
+    }
+
+    #[test]
+    fn extension_methods_register_and_resolve() {
+        let store = IntertypeStore::new();
+        store.add_method("Point", "migrate", Arc::new(|_w, _o, _a| Ok(crate::ret!("migrated".to_string()))));
+        assert!(store.resolve_method("Point", "migrate").is_some());
+        assert!(store.resolve_method("Point", "fly").is_none());
+        assert!(store.remove_method("Point", "migrate"));
+        assert!(!store.remove_method("Point", "migrate"));
+    }
+
+    #[test]
+    fn call_unknown_extension_is_no_such_method() {
+        let store = IntertypeStore::new();
+        let weaver = Weaver::new();
+        let err = store
+            .call_method(&weaver, "Point", "migrate", obj(1), Args::empty())
+            .unwrap_err();
+        assert!(matches!(err, WeaveError::NoSuchMethod { .. }));
+    }
+}

@@ -1,0 +1,304 @@
+//! Join-point invocations: the advice chain walker with `proceed` semantics.
+//!
+//! An [`Invocation`] is handed to around advice. The advice may:
+//!
+//! * call [`Invocation::proceed`] zero, one or (with explicit arguments,
+//!   [`Invocation::proceed_with`]) several times — replacing, executing or
+//!   duplicating the original event;
+//! * inspect or rewrite the arguments first;
+//! * [`Invocation::detach`] the remainder of the chain and run it on another
+//!   thread — the primitive the concurrency aspect uses to turn a method call
+//!   into an asynchronous invocation;
+//! * on construction join points, create extra *aspect-managed* sibling
+//!   objects ([`Invocation::construct_sibling`]) exactly like the paper's
+//!   Partition aspect creates the pipeline of `PrimeFilter`s.
+
+use std::sync::Arc;
+
+use crate::advice::AdviceEntry;
+use crate::context::{self, CurrentContext, Provenance};
+use crate::dispatch::ClassInfo;
+use crate::error::{WeaveError, WeaveResult};
+use crate::object::ObjId;
+use crate::registry::Weaver;
+use crate::signature::Signature;
+use crate::value::{AnyValue, Args};
+
+/// The two join-point kinds the paper's methodology intercepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinPointKind {
+    /// A method call on a woven object.
+    Call,
+    /// A construction of a woven object.
+    Construct,
+}
+
+/// What executing the innermost `proceed` does.
+#[derive(Clone, Copy)]
+pub(crate) enum BaseAction {
+    /// Dispatch the method on the target object.
+    Call,
+    /// Construct an instance of the class and insert it into the object space.
+    Construct(ClassInfo),
+}
+
+/// A join point in flight, walking its advice chain towards the base event.
+pub struct Invocation {
+    weaver: Weaver,
+    signature: Signature,
+    kind: JoinPointKind,
+    target: Option<ObjId>,
+    caller: Provenance,
+    args: Option<Args>,
+    chain: Arc<[Arc<AdviceEntry>]>,
+    index: usize,
+    base: BaseAction,
+    async_boundary: bool,
+    issuer: u64,
+}
+
+impl Invocation {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        weaver: Weaver,
+        signature: Signature,
+        kind: JoinPointKind,
+        target: Option<ObjId>,
+        caller: Provenance,
+        args: Args,
+        chain: Arc<[Arc<AdviceEntry>]>,
+        base: BaseAction,
+        async_boundary: bool,
+    ) -> Self {
+        Invocation {
+            weaver,
+            signature,
+            kind,
+            target,
+            caller,
+            args: Some(args),
+            chain,
+            index: 0,
+            base,
+            async_boundary,
+            issuer: crate::trace::thread_tag(),
+        }
+    }
+
+    /// Drive the chain from the top.
+    pub(crate) fn run(mut self) -> WeaveResult<AnyValue> {
+        let args = self.args.take().expect("fresh invocation always has args");
+        self.proceed_with(args)
+    }
+
+    /// Static signature of the join point.
+    pub fn signature(&self) -> Signature {
+        self.signature
+    }
+
+    /// Call or construction.
+    pub fn kind(&self) -> JoinPointKind {
+        self.kind
+    }
+
+    /// Target object (present on calls; `None` on constructions).
+    pub fn target(&self) -> Option<ObjId> {
+        self.target
+    }
+
+    /// Target object, or an error for advice that requires one.
+    pub fn target_required(&self) -> WeaveResult<ObjId> {
+        self.target.ok_or(WeaveError::NoTarget)
+    }
+
+    /// Provenance of the call site that created this join point.
+    pub fn caller(&self) -> Provenance {
+        self.caller
+    }
+
+    /// The weaver this invocation runs under (for advice that makes further
+    /// woven calls, constructs objects or touches inter-type state).
+    pub fn weaver(&self) -> &Weaver {
+        &self.weaver
+    }
+
+    /// True when this invocation crossed an asynchronous boundary (it is the
+    /// re-animated remainder of a detached chain).
+    pub fn is_async_boundary(&self) -> bool {
+        self.async_boundary
+    }
+
+    /// Borrow the (not yet consumed) argument pack.
+    pub fn args(&self) -> WeaveResult<&Args> {
+        self.args.as_ref().ok_or(WeaveError::AlreadyProceeded)
+    }
+
+    /// Mutably borrow the argument pack (advice rewriting parameters).
+    pub fn args_mut(&mut self) -> WeaveResult<&mut Args> {
+        self.args.as_mut().ok_or(WeaveError::AlreadyProceeded)
+    }
+
+    /// Borrow argument `i` with its concrete type.
+    pub fn arg<T: 'static>(&self, i: usize) -> WeaveResult<&T> {
+        self.args()?.get(i)
+    }
+
+    /// Run the rest of the chain (and ultimately the base event) with the
+    /// original arguments. Consumes the arguments: a second plain `proceed`
+    /// fails with [`WeaveError::AlreadyProceeded`].
+    pub fn proceed(&mut self) -> WeaveResult<AnyValue> {
+        let args = self.args.take().ok_or(WeaveError::AlreadyProceeded)?;
+        self.proceed_with(args)
+    }
+
+    /// Run the rest of the chain with explicit arguments. May be called
+    /// multiple times (AspectJ allows repeated `proceed`); each call replays
+    /// the remainder of the chain.
+    pub fn proceed_with(&mut self, args: Args) -> WeaveResult<AnyValue> {
+        if self.index < self.chain.len() {
+            let entry = self.chain[self.index].clone();
+            let saved = self.index;
+            self.index += 1;
+            self.args = Some(args);
+            entry.fired.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let result = {
+                let _prov = context::push(Provenance::Aspect(entry.aspect));
+                entry.advice.around(self)
+            };
+            self.index = saved;
+            result
+        } else {
+            self.execute_base(args)
+        }
+    }
+
+    /// Move the remainder of this chain (advice not yet run, plus the base
+    /// event) into a [`Detached`] value that can be executed on another
+    /// thread. Consumes the arguments.
+    pub fn detach(&mut self) -> WeaveResult<Detached> {
+        let args = self.args.take().ok_or(WeaveError::AlreadyProceeded)?;
+        Ok(Detached {
+            weaver: self.weaver.clone(),
+            signature: self.signature,
+            kind: self.kind,
+            target: self.target,
+            caller: self.caller,
+            args,
+            chain: self.chain.clone(),
+            index: self.index,
+            base: self.base,
+            ctx: CurrentContext::capture(),
+            issuer: self.issuer,
+        })
+    }
+
+    /// On a construction join point: create one more instance of the class
+    /// being constructed, *without* re-triggering construction advice. This
+    /// is the paper's aspect-managed object duplication (Figure 4): the
+    /// Partition aspect's loop that builds the pipeline.
+    pub fn construct_sibling(&self, args: Args) -> WeaveResult<ObjId> {
+        match self.base {
+            BaseAction::Construct(info) => {
+                self.weaver.base_construct(info, args, false, crate::trace::thread_tag())
+            }
+            BaseAction::Call => Err(WeaveError::app(
+                "construct_sibling is only valid on construction join points",
+            )),
+        }
+    }
+
+    fn execute_base(&mut self, args: Args) -> WeaveResult<AnyValue> {
+        match self.base {
+            BaseAction::Call => {
+                let target = self.target.ok_or(WeaveError::NoTarget)?;
+                self.weaver
+                    .base_call(self.signature, target, args, self.async_boundary, self.issuer)
+            }
+            BaseAction::Construct(info) => {
+                let id =
+                    self.weaver.base_construct(info, args, self.async_boundary, self.issuer)?;
+                Ok(crate::ret!(id))
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Invocation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Invocation")
+            .field("signature", &self.signature.to_string())
+            .field("kind", &self.kind)
+            .field("target", &self.target)
+            .field("index", &self.index)
+            .field("chain_len", &self.chain.len())
+            .field("async_boundary", &self.async_boundary)
+            .finish()
+    }
+}
+
+/// The remainder of an advice chain, severed from its original thread.
+///
+/// Produced by [`Invocation::detach`]; running it executes the not-yet-run
+/// advice and the base event. The weaving context (provenance and trace
+/// parent) captured at detach time is re-established on the running thread,
+/// so causality in recorded traces survives the thread hop.
+pub struct Detached {
+    weaver: Weaver,
+    signature: Signature,
+    kind: JoinPointKind,
+    target: Option<ObjId>,
+    caller: Provenance,
+    args: Args,
+    chain: Arc<[Arc<AdviceEntry>]>,
+    index: usize,
+    base: BaseAction,
+    ctx: CurrentContext,
+    issuer: u64,
+}
+
+impl Detached {
+    /// Execute the remainder of the chain on the current thread.
+    pub fn run(self) -> WeaveResult<AnyValue> {
+        let _guards = self.ctx.install();
+        let _cflow = context::push_cflow(self.signature);
+        let mut inv = Invocation {
+            weaver: self.weaver,
+            signature: self.signature,
+            kind: self.kind,
+            target: self.target,
+            caller: self.caller,
+            args: None,
+            chain: self.chain,
+            index: self.index,
+            base: self.base,
+            async_boundary: true,
+            issuer: self.issuer,
+        };
+        inv.proceed_with(self.args)
+    }
+
+    /// Signature of the detached join point (for schedulers that route by
+    /// class or method).
+    pub fn signature(&self) -> Signature {
+        self.signature
+    }
+
+    /// Target of the detached join point.
+    pub fn target(&self) -> Option<ObjId> {
+        self.target
+    }
+}
+
+impl std::fmt::Debug for Detached {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Detached")
+            .field("signature", &self.signature.to_string())
+            .field("index", &self.index)
+            .field("chain_len", &self.chain.len())
+            .finish()
+    }
+}
+
+// Invocation tests live in `registry.rs` (they need a full weaver) and in the
+// crate-level integration tests; `Detached` is additionally exercised by
+// `weavepar-concurrency`.

@@ -1,0 +1,304 @@
+//! Pointcuts: predicates quantifying over join points.
+//!
+//! The vocabulary follows the paper's usage of AspectJ:
+//!
+//! * [`Pointcut::call`] — method-call join points matching a pattern;
+//! * [`Pointcut::construct`] — construction join points of matching classes;
+//! * [`Pointcut::within_core`] / [`Pointcut::within_aspects`] /
+//!   [`Pointcut::within_self`] — restrict by the *provenance* of the call
+//!   site, the device the paper's Partition aspect needs to apply its split
+//!   advice only to core-made calls while letting its forward advice apply
+//!   recursively to aspect-made calls (Figure 7);
+//! * `and` / `or` / `not` combinators.
+
+use crate::aspect::AspectId;
+use crate::context::Provenance;
+use crate::invocation::JoinPointKind;
+use crate::signature::{MethodPattern, Signature};
+
+/// Everything a pointcut can inspect about a join point at match time.
+#[derive(Debug, Clone, Copy)]
+pub struct JoinPointQuery {
+    /// Static signature.
+    pub signature: Signature,
+    /// Call or construction.
+    pub kind: JoinPointKind,
+    /// Provenance of the call site.
+    pub provenance: Provenance,
+    /// Aspect that owns the advice being matched (for [`Pointcut::within_self`]).
+    pub owner: AspectId,
+}
+
+/// A predicate over join points.
+#[derive(Debug, Clone)]
+pub enum Pointcut {
+    /// Method-call join points whose signature matches the pattern.
+    Call(MethodPattern),
+    /// Construction join points whose class matches the pattern.
+    Construct(MethodPattern),
+    /// Any join point whose signature matches the pattern.
+    AnyJoinPoint(MethodPattern),
+    /// Join points issued from core functionality (application code or base
+    /// method bodies) — AspectJ's `!within(AnyAspect)`.
+    WithinCore,
+    /// Join points issued from any aspect's advice.
+    WithinAspects,
+    /// Join points issued from the advice of the aspect that owns this advice.
+    WithinSelf,
+    /// Both sides must match.
+    And(Box<Pointcut>, Box<Pointcut>),
+    /// Either side must match.
+    Or(Box<Pointcut>, Box<Pointcut>),
+    /// Negation.
+    Not(Box<Pointcut>),
+    /// Matches every join point.
+    Always,
+    /// Matches nothing (useful as a fold identity).
+    Never,
+}
+
+impl Pointcut {
+    /// Calls matching `pattern` (e.g. `"PrimeFilter.filter"`, `"Point.move*"`).
+    pub fn call(pattern: &str) -> Self {
+        Pointcut::Call(MethodPattern::parse(pattern))
+    }
+
+    /// Calls to exactly `class.method` (convenience for pointcuts assembled
+    /// from separately-known class and method names).
+    pub fn call_sig(class: &str, method: &str) -> Self {
+        Pointcut::Call(MethodPattern::parse(&format!("{class}.{method}")))
+    }
+
+    /// Constructions of classes matching `class_pattern` (e.g. `"PrimeFilter"`).
+    pub fn construct(class_pattern: &str) -> Self {
+        Pointcut::Construct(MethodPattern::construction_of(class_pattern))
+    }
+
+    /// Any join point (call or construction) matching `pattern`.
+    pub fn any(pattern: &str) -> Self {
+        Pointcut::AnyJoinPoint(MethodPattern::parse(pattern))
+    }
+
+    /// Join points issued from core functionality.
+    pub fn within_core() -> Self {
+        Pointcut::WithinCore
+    }
+
+    /// Join points issued from aspect advice (any aspect).
+    pub fn within_aspects() -> Self {
+        Pointcut::WithinAspects
+    }
+
+    /// Join points issued from the owning aspect's own advice.
+    pub fn within_self() -> Self {
+        Pointcut::WithinSelf
+    }
+
+    /// Conjunction.
+    pub fn and(self, other: Pointcut) -> Self {
+        Pointcut::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction.
+    pub fn or(self, other: Pointcut) -> Self {
+        Pointcut::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        Pointcut::Not(Box::new(self))
+    }
+
+    /// Evaluate against a join point.
+    pub fn matches(&self, q: &JoinPointQuery) -> bool {
+        match self {
+            Pointcut::Call(p) => q.kind == JoinPointKind::Call && p.matches(&q.signature),
+            Pointcut::Construct(p) => {
+                q.kind == JoinPointKind::Construct && p.matches(&q.signature)
+            }
+            Pointcut::AnyJoinPoint(p) => p.matches(&q.signature),
+            Pointcut::WithinCore => q.provenance == Provenance::Core,
+            Pointcut::WithinAspects => matches!(q.provenance, Provenance::Aspect(_)),
+            Pointcut::WithinSelf => q.provenance == Provenance::Aspect(q.owner),
+            Pointcut::And(a, b) => a.matches(q) && b.matches(q),
+            Pointcut::Or(a, b) => a.matches(q) || b.matches(q),
+            Pointcut::Not(p) => !p.matches(q),
+            Pointcut::Always => true,
+            Pointcut::Never => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(sig: Signature, kind: JoinPointKind, provenance: Provenance) -> JoinPointQuery {
+        JoinPointQuery { signature: sig, kind, provenance, owner: AspectId::from_raw(1) }
+    }
+
+    const FILTER: Signature = Signature::new("PrimeFilter", "filter");
+    const NEW: Signature = Signature::construction("PrimeFilter");
+
+    #[test]
+    fn call_matches_only_calls() {
+        let pc = Pointcut::call("PrimeFilter.filter");
+        assert!(pc.matches(&q(FILTER, JoinPointKind::Call, Provenance::Core)));
+        assert!(!pc.matches(&q(NEW, JoinPointKind::Construct, Provenance::Core)));
+    }
+
+    #[test]
+    fn construct_matches_only_constructions() {
+        let pc = Pointcut::construct("PrimeFilter");
+        assert!(pc.matches(&q(NEW, JoinPointKind::Construct, Provenance::Core)));
+        assert!(!pc.matches(&q(FILTER, JoinPointKind::Call, Provenance::Core)));
+        // Construction of a different class does not match.
+        let other = Signature::construction("Other");
+        assert!(!pc.matches(&q(other, JoinPointKind::Construct, Provenance::Core)));
+    }
+
+    #[test]
+    fn any_matches_both_kinds() {
+        let pc = Pointcut::any("PrimeFilter.*");
+        assert!(pc.matches(&q(FILTER, JoinPointKind::Call, Provenance::Core)));
+        assert!(pc.matches(&q(NEW, JoinPointKind::Construct, Provenance::Core)));
+    }
+
+    #[test]
+    fn provenance_designators() {
+        let me = AspectId::from_raw(1);
+        let other = AspectId::from_raw(2);
+        let core = q(FILTER, JoinPointKind::Call, Provenance::Core);
+        let from_me = q(FILTER, JoinPointKind::Call, Provenance::Aspect(me));
+        let from_other = q(FILTER, JoinPointKind::Call, Provenance::Aspect(other));
+
+        assert!(Pointcut::within_core().matches(&core));
+        assert!(!Pointcut::within_core().matches(&from_me));
+
+        assert!(!Pointcut::within_aspects().matches(&core));
+        assert!(Pointcut::within_aspects().matches(&from_me));
+        assert!(Pointcut::within_aspects().matches(&from_other));
+
+        assert!(Pointcut::within_self().matches(&from_me));
+        assert!(!Pointcut::within_self().matches(&from_other));
+        assert!(!Pointcut::within_self().matches(&core));
+    }
+
+    #[test]
+    fn split_vs_forward_scenario() {
+        // The paper's Figure 8: split applies to core-made filter calls only,
+        // forward applies to *all* filter calls (including aspect-made ones).
+        let split = Pointcut::call("PrimeFilter.filter").and(Pointcut::within_core());
+        let forward = Pointcut::call("PrimeFilter.filter");
+
+        let from_core = q(FILTER, JoinPointKind::Call, Provenance::Core);
+        let from_aspect =
+            q(FILTER, JoinPointKind::Call, Provenance::Aspect(AspectId::from_raw(1)));
+
+        assert!(split.matches(&from_core));
+        assert!(!split.matches(&from_aspect));
+        assert!(forward.matches(&from_core));
+        assert!(forward.matches(&from_aspect));
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let core = q(FILTER, JoinPointKind::Call, Provenance::Core);
+        assert!(Pointcut::Always.matches(&core));
+        assert!(!Pointcut::Never.matches(&core));
+        assert!(Pointcut::Never.not().matches(&core));
+        assert!(Pointcut::Always.and(Pointcut::Always).matches(&core));
+        assert!(!Pointcut::Always.and(Pointcut::Never).matches(&core));
+        assert!(Pointcut::Never.or(Pointcut::Always).matches(&core));
+        assert!(!Pointcut::Never.or(Pointcut::Never).matches(&core));
+    }
+
+    #[test]
+    fn wildcard_call_pattern() {
+        let pc = Pointcut::call("*.filter");
+        let other = Signature::new("OtherFilter", "filter");
+        assert!(pc.matches(&q(other, JoinPointKind::Call, Provenance::Core)));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_query() -> impl Strategy<Value = JoinPointQuery> {
+        let sigs = prop_oneof![
+            Just(Signature::new("A", "m")),
+            Just(Signature::new("B", "m")),
+            Just(Signature::new("A", "n")),
+            Just(Signature::construction("A")),
+        ];
+        let kinds = prop_oneof![Just(JoinPointKind::Call), Just(JoinPointKind::Construct)];
+        let provs = prop_oneof![
+            Just(Provenance::Core),
+            Just(Provenance::Aspect(AspectId::from_raw(1))),
+            Just(Provenance::Aspect(AspectId::from_raw(2))),
+        ];
+        (sigs, kinds, provs).prop_map(|(signature, kind, provenance)| JoinPointQuery {
+            signature,
+            kind,
+            provenance,
+            owner: AspectId::from_raw(1),
+        })
+    }
+
+    fn arb_pointcut() -> impl Strategy<Value = Pointcut> {
+        let leaf = prop_oneof![
+            Just(Pointcut::call("A.m")),
+            Just(Pointcut::call("*.m")),
+            Just(Pointcut::construct("A")),
+            Just(Pointcut::within_core()),
+            Just(Pointcut::within_aspects()),
+            Just(Pointcut::within_self()),
+            Just(Pointcut::Always),
+            Just(Pointcut::Never),
+        ];
+        leaf.prop_recursive(3, 16, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Pointcut::And(Box::new(a), Box::new(b))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Pointcut::Or(Box::new(a), Box::new(b))),
+                inner.prop_map(|p| Pointcut::Not(Box::new(p))),
+            ]
+        })
+    }
+
+    proptest! {
+        /// Double negation is identity.
+        #[test]
+        fn double_negation(pc in arb_pointcut(), q in arb_query()) {
+            let not_not = pc.clone().not().not();
+            prop_assert_eq!(pc.matches(&q), not_not.matches(&q));
+        }
+
+        /// De Morgan: !(a && b) == !a || !b.
+        #[test]
+        fn de_morgan(a in arb_pointcut(), b in arb_pointcut(), q in arb_query()) {
+            let lhs = a.clone().and(b.clone()).not();
+            let rhs = a.not().or(b.not());
+            prop_assert_eq!(lhs.matches(&q), rhs.matches(&q));
+        }
+
+        /// `and` is commutative; `or` is commutative.
+        #[test]
+        fn commutativity(a in arb_pointcut(), b in arb_pointcut(), q in arb_query()) {
+            prop_assert_eq!(a.clone().and(b.clone()).matches(&q), b.clone().and(a.clone()).matches(&q));
+            prop_assert_eq!(a.clone().or(b.clone()).matches(&q), b.or(a).matches(&q));
+        }
+
+        /// WithinCore and WithinAspects partition all provenances.
+        #[test]
+        fn provenance_partition(q in arb_query()) {
+            let core = Pointcut::within_core().matches(&q);
+            let aspect = Pointcut::within_aspects().matches(&q);
+            prop_assert!(core != aspect);
+        }
+    }
+}

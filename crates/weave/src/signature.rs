@@ -1,0 +1,321 @@
+//! Join-point signatures and the wildcard patterns that quantify over them.
+//!
+//! A [`Signature`] identifies a join point's static shape: the class and the
+//! method (constructions use the reserved method name [`Signature::NEW`]).
+//! A [`MethodPattern`] is the textual quantification device of the paper —
+//! `PrimeFilter.filter*`, `*.new`, `Pipe.compute` — matched structurally
+//! against signatures.
+
+use std::fmt;
+
+/// The static identity of a join point: `Class.method`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Signature {
+    /// Class (weaveable type) name.
+    pub class: &'static str,
+    /// Method name; constructions use [`Signature::NEW`].
+    pub method: &'static str,
+}
+
+impl Signature {
+    /// Reserved method name used for construction join points.
+    pub const NEW: &'static str = "new";
+
+    /// Build a signature from class and method names.
+    pub const fn new(class: &'static str, method: &'static str) -> Self {
+        Signature { class, method }
+    }
+
+    /// The construction signature for `class`.
+    pub const fn construction(class: &'static str) -> Self {
+        Signature { class, method: Self::NEW }
+    }
+
+    /// True when this is a construction signature.
+    pub fn is_construction(&self) -> bool {
+        self.method == Self::NEW
+    }
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.class, self.method)
+    }
+}
+
+/// A glob-like pattern over signatures.
+///
+/// The pattern grammar mirrors what the paper's pointcuts use:
+///
+/// * `Class.method` — exact match;
+/// * `*` in either position matches any name (`*.filter`, `PrimeFilter.*`);
+/// * a trailing `*` in a segment matches any suffix (`Point.move*`);
+/// * a leading `*` in a segment matches any prefix (`*Filter.filter`);
+/// * a single interior `*` matches any infix (`Prime*Filter` ≡ prefix+suffix).
+///
+/// A pattern without a dot applies the segment to the *method* and matches any
+/// class (so `"filter"` ≡ `"*.filter"`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MethodPattern {
+    class: SegmentPattern,
+    method: SegmentPattern,
+}
+
+impl MethodPattern {
+    /// Parse a pattern from its textual form. Never fails: every string is a
+    /// valid pattern (empty segments match only empty names).
+    pub fn parse(pattern: &str) -> Self {
+        match pattern.split_once('.') {
+            Some((class, method)) => MethodPattern {
+                class: SegmentPattern::parse(class),
+                method: SegmentPattern::parse(method),
+            },
+            None => MethodPattern {
+                class: SegmentPattern::Any,
+                method: SegmentPattern::parse(pattern),
+            },
+        }
+    }
+
+    /// Pattern matching every construction of `class_pattern` (e.g. `Prime*`).
+    pub fn construction_of(class_pattern: &str) -> Self {
+        MethodPattern {
+            class: SegmentPattern::parse(class_pattern),
+            method: SegmentPattern::Exact(Signature::NEW.to_string()),
+        }
+    }
+
+    /// Test a signature against the pattern.
+    pub fn matches(&self, sig: &Signature) -> bool {
+        self.class.matches(sig.class) && self.method.matches(sig.method)
+    }
+}
+
+impl From<&str> for MethodPattern {
+    fn from(s: &str) -> Self {
+        MethodPattern::parse(s)
+    }
+}
+
+impl fmt::Display for MethodPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.class, self.method)
+    }
+}
+
+/// Pattern for one dot-separated segment (class or method name).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum SegmentPattern {
+    /// `*`
+    Any,
+    /// No wildcard.
+    Exact(String),
+    /// `foo*`
+    Prefix(String),
+    /// `*foo`
+    Suffix(String),
+    /// `foo*bar` (single interior star).
+    Infix(String, String),
+}
+
+impl SegmentPattern {
+    fn parse(segment: &str) -> Self {
+        if segment == "*" {
+            return SegmentPattern::Any;
+        }
+        match segment.find('*') {
+            None => SegmentPattern::Exact(segment.to_string()),
+            Some(pos) => {
+                let (head, tail) = (&segment[..pos], &segment[pos + 1..]);
+                // Additional stars inside `tail` are not part of the paper's
+                // pointcut vocabulary; treat them literally.
+                if head.is_empty() {
+                    SegmentPattern::Suffix(tail.to_string())
+                } else if tail.is_empty() {
+                    SegmentPattern::Prefix(head.to_string())
+                } else {
+                    SegmentPattern::Infix(head.to_string(), tail.to_string())
+                }
+            }
+        }
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        match self {
+            SegmentPattern::Any => true,
+            SegmentPattern::Exact(s) => name == s,
+            SegmentPattern::Prefix(p) => name.starts_with(p),
+            SegmentPattern::Suffix(s) => name.ends_with(s),
+            SegmentPattern::Infix(p, s) => {
+                name.len() >= p.len() + s.len() && name.starts_with(p) && name.ends_with(s)
+            }
+        }
+    }
+}
+
+impl fmt::Display for SegmentPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SegmentPattern::Any => write!(f, "*"),
+            SegmentPattern::Exact(s) => write!(f, "{s}"),
+            SegmentPattern::Prefix(p) => write!(f, "{p}*"),
+            SegmentPattern::Suffix(s) => write!(f, "*{s}"),
+            SegmentPattern::Infix(p, s) => write!(f, "{p}*{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(class: &'static str, method: &'static str) -> Signature {
+        Signature::new(class, method)
+    }
+
+    #[test]
+    fn exact_match() {
+        let p = MethodPattern::parse("PrimeFilter.filter");
+        assert!(p.matches(&sig("PrimeFilter", "filter")));
+        assert!(!p.matches(&sig("PrimeFilter", "filters")));
+        assert!(!p.matches(&sig("Prime", "filter")));
+    }
+
+    #[test]
+    fn method_prefix_wildcard() {
+        // The paper's Figure 3: `Point.move*`.
+        let p = MethodPattern::parse("Point.move*");
+        assert!(p.matches(&sig("Point", "move_x")));
+        assert!(p.matches(&sig("Point", "move")));
+        assert!(!p.matches(&sig("Point", "get")));
+        assert!(!p.matches(&sig("Line", "move_x")));
+    }
+
+    #[test]
+    fn class_wildcards() {
+        let p = MethodPattern::parse("*.filter");
+        assert!(p.matches(&sig("PrimeFilter", "filter")));
+        assert!(p.matches(&sig("Anything", "filter")));
+        let p = MethodPattern::parse("*Filter.filter");
+        assert!(p.matches(&sig("PrimeFilter", "filter")));
+        assert!(!p.matches(&sig("Filtering", "filter")));
+    }
+
+    #[test]
+    fn bare_method_matches_any_class() {
+        let p = MethodPattern::parse("filter");
+        assert!(p.matches(&sig("A", "filter")));
+        assert!(p.matches(&sig("B", "filter")));
+        assert!(!p.matches(&sig("A", "compute")));
+    }
+
+    #[test]
+    fn star_star_matches_everything() {
+        let p = MethodPattern::parse("*.*");
+        assert!(p.matches(&sig("A", "b")));
+        assert!(p.matches(&sig("", "")));
+    }
+
+    #[test]
+    fn infix_wildcard() {
+        let p = MethodPattern::parse("Prime*Filter.run");
+        assert!(p.matches(&sig("PrimeNumberFilter", "run")));
+        assert!(p.matches(&sig("PrimeFilter", "run")));
+        // Overlap must not double-count: "PrimeF" is too short for Prime+Filter.
+        assert!(!p.matches(&sig("PrimeF", "run")));
+    }
+
+    #[test]
+    fn construction_pattern() {
+        let p = MethodPattern::construction_of("PrimeFilter");
+        assert!(p.matches(&Signature::construction("PrimeFilter")));
+        assert!(!p.matches(&sig("PrimeFilter", "filter")));
+        let p = MethodPattern::construction_of("*");
+        assert!(p.matches(&Signature::construction("Anything")));
+    }
+
+    #[test]
+    fn construction_signature_properties() {
+        let s = Signature::construction("X");
+        assert!(s.is_construction());
+        assert_eq!(s.to_string(), "X.new");
+        assert!(!sig("X", "run").is_construction());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for text in ["A.b", "*.b", "A.*", "A.b*", "A.*b", "A.b*c", "*.*"] {
+            let p = MethodPattern::parse(text);
+            assert_eq!(p.to_string(), text);
+        }
+        // Bare method normalizes to `*.method`.
+        assert_eq!(MethodPattern::parse("filter").to_string(), "*.filter");
+    }
+
+    #[test]
+    fn empty_segments_match_only_empty() {
+        let p = MethodPattern::parse(".x");
+        assert!(!p.matches(&sig("A", "x")));
+    }
+
+    #[test]
+    fn from_str_impl() {
+        let p: MethodPattern = "Point.move*".into();
+        assert!(p.matches(&sig("Point", "move_y")));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn leak(s: String) -> &'static str {
+        Box::leak(s.into_boxed_str())
+    }
+
+    proptest! {
+        /// An exact pattern built from a signature always matches it.
+        #[test]
+        fn exact_pattern_matches_self(class in "[A-Za-z_][A-Za-z0-9_]{0,12}",
+                                      method in "[a-z_][a-z0-9_]{0,12}") {
+            let s = Signature::new(leak(class.clone()), leak(method.clone()));
+            let p = MethodPattern::parse(&format!("{class}.{method}"));
+            prop_assert!(p.matches(&s));
+        }
+
+        /// A prefix pattern matches exactly the names with that prefix.
+        #[test]
+        fn prefix_semantics(name in "[a-z]{1,10}", cut in 0usize..10) {
+            let cut = cut.min(name.len());
+            let prefix = &name[..cut];
+            let p = MethodPattern::parse(&format!("*.{prefix}*"));
+            let s = Signature::new("C", leak(name.clone()));
+            prop_assert!(p.matches(&s));
+        }
+
+        /// `*.*` matches any signature.
+        #[test]
+        fn star_star_total(class in "[A-Za-z]{1,8}", method in "[a-z]{1,8}") {
+            let s = Signature::new(leak(class), leak(method));
+            prop_assert!(MethodPattern::parse("*.*").matches(&s));
+        }
+
+        /// Matching is deterministic (pure function of the inputs).
+        #[test]
+        fn matching_is_pure(pat in "[A-Za-z*]{1,6}\\.[a-z*]{1,6}",
+                            class in "[A-Za-z]{1,8}", method in "[a-z]{1,8}") {
+            let p = MethodPattern::parse(&pat);
+            let s = Signature::new(leak(class), leak(method));
+            prop_assert_eq!(p.matches(&s), p.matches(&s));
+        }
+
+        /// Parsing then displaying then re-parsing is a fixpoint.
+        #[test]
+        fn parse_display_fixpoint(pat in "[A-Za-z*]{1,6}\\.[a-z*]{1,6}") {
+            let p1 = MethodPattern::parse(&pat);
+            let p2 = MethodPattern::parse(&p1.to_string());
+            prop_assert_eq!(p1, p2);
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Type-erased values and argument packs flowing through join points.
+//!
+//! Join points carry heterogeneous arguments, so the runtime moves them as
+//! `Box<dyn Any + Send>`. Typed access is recovered at the edges: the
+//! macro-generated dispatch tables *take* arguments by concrete type, and
+//! advice code *borrows* them by concrete type before deciding how to proceed.
+
+use std::any::Any;
+
+use crate::error::{WeaveError, WeaveResult};
+
+/// A type-erased, thread-mobile value (argument or return value).
+pub type AnyValue = Box<dyn Any + Send>;
+
+/// Build an [`Args`] pack from a list of expressions.
+///
+/// ```
+/// use weavepar_weave::args;
+/// let a = args![1u32, "hello".to_string(), vec![1u64, 2]];
+/// assert_eq!(a.len(), 3);
+/// ```
+#[macro_export]
+macro_rules! args {
+    () => { $crate::value::Args::empty() };
+    ($($v:expr),+ $(,)?) => {
+        $crate::value::Args::from_values(vec![$(Box::new($v) as $crate::value::AnyValue),+])
+    };
+}
+
+/// Box a value as a type-erased return value.
+///
+/// ```
+/// use weavepar_weave::ret;
+/// let r = ret!(42u32);
+/// assert_eq!(*r.downcast::<u32>().unwrap(), 42);
+/// ```
+#[macro_export]
+macro_rules! ret {
+    () => { Box::new(()) as $crate::value::AnyValue };
+    ($v:expr) => { Box::new($v) as $crate::value::AnyValue };
+}
+
+/// An ordered pack of type-erased arguments.
+///
+/// Slots are `Option`al so that dispatch code can *move* each argument out
+/// exactly once while advice that ran earlier may have *borrowed* them.
+pub struct Args {
+    slots: Vec<Option<AnyValue>>,
+}
+
+impl Args {
+    /// An empty argument pack.
+    pub fn empty() -> Self {
+        Args { slots: Vec::new() }
+    }
+
+    /// Build a pack from already-boxed values.
+    pub fn from_values(values: Vec<AnyValue>) -> Self {
+        Args { slots: values.into_iter().map(Some).collect() }
+    }
+
+    /// Number of slots (including ones already moved out).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the pack has no slots at all.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Borrow the argument at `index` with its concrete type.
+    pub fn get<T: 'static>(&self, index: usize) -> WeaveResult<&T> {
+        let slot = self
+            .slots
+            .get(index)
+            .and_then(|s| s.as_ref())
+            .ok_or(WeaveError::MissingArg { index, len: self.slots.len() })?;
+        slot.downcast_ref::<T>().ok_or_else(|| WeaveError::TypeMismatch {
+            expected: std::any::type_name::<T>(),
+            context: format!("argument {index}"),
+        })
+    }
+
+    /// Mutably borrow the argument at `index` with its concrete type.
+    pub fn get_mut<T: 'static>(&mut self, index: usize) -> WeaveResult<&mut T> {
+        let len = self.slots.len();
+        let slot = self
+            .slots
+            .get_mut(index)
+            .and_then(|s| s.as_mut())
+            .ok_or(WeaveError::MissingArg { index, len })?;
+        slot.downcast_mut::<T>().ok_or_else(|| WeaveError::TypeMismatch {
+            expected: std::any::type_name::<T>(),
+            context: format!("argument {index}"),
+        })
+    }
+
+    /// Move the argument at `index` out of the pack with its concrete type.
+    ///
+    /// Subsequent `take`/`get` calls on the same slot fail with
+    /// [`WeaveError::MissingArg`].
+    pub fn take<T: 'static>(&mut self, index: usize) -> WeaveResult<T> {
+        let len = self.slots.len();
+        let slot = self
+            .slots
+            .get_mut(index)
+            .ok_or(WeaveError::MissingArg { index, len })?;
+        let value = slot.take().ok_or(WeaveError::MissingArg { index, len })?;
+        match value.downcast::<T>() {
+            Ok(v) => Ok(*v),
+            Err(original) => {
+                // Put the value back so a retry with the right type still works.
+                *slot = Some(original);
+                Err(WeaveError::TypeMismatch {
+                    expected: std::any::type_name::<T>(),
+                    context: format!("argument {index}"),
+                })
+            }
+        }
+    }
+
+    /// Replace the argument at `index` with a new value (e.g. advice rewriting
+    /// a method-call parameter before proceeding).
+    pub fn set<T: Any + Send>(&mut self, index: usize, value: T) -> WeaveResult<()> {
+        let len = self.slots.len();
+        let slot = self
+            .slots
+            .get_mut(index)
+            .ok_or(WeaveError::MissingArg { index, len })?;
+        *slot = Some(Box::new(value));
+        Ok(())
+    }
+
+    /// Append a new argument slot.
+    pub fn push<T: Any + Send>(&mut self, value: T) {
+        self.slots.push(Some(Box::new(value)));
+    }
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args::empty()
+    }
+}
+
+impl std::fmt::Debug for Args {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Args[{} slots", self.slots.len())?;
+        let taken = self.slots.iter().filter(|s| s.is_none()).count();
+        if taken > 0 {
+            write!(f, ", {taken} taken")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Downcast a type-erased return value to a concrete type.
+pub fn downcast_ret<T: 'static>(value: AnyValue) -> WeaveResult<T> {
+    value.downcast::<T>().map(|b| *b).map_err(|_| WeaveError::TypeMismatch {
+        expected: std::any::type_name::<T>(),
+        context: "return value".into(),
+    })
+}
+
+/// Approximate serialized size of a value, used by the trace recorder to model
+/// message sizes without a full marshalling pass.
+///
+/// The distribution middleware has its own exact codec; `ByteSize` only needs
+/// to be proportional to it, which is what the network model consumes.
+pub trait ByteSize {
+    /// Approximate number of bytes this value would occupy on the wire.
+    fn byte_size(&self) -> usize;
+}
+
+macro_rules! impl_bytesize_prim {
+    ($($t:ty),*) => {
+        $(impl ByteSize for $t {
+            fn byte_size(&self) -> usize { std::mem::size_of::<$t>() }
+        })*
+    };
+}
+
+impl_bytesize_prim!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char);
+
+impl ByteSize for () {
+    fn byte_size(&self) -> usize {
+        0
+    }
+}
+
+impl ByteSize for String {
+    fn byte_size(&self) -> usize {
+        4 + self.len()
+    }
+}
+
+impl<'a> ByteSize for &'a str {
+    fn byte_size(&self) -> usize {
+        4 + self.len()
+    }
+}
+
+impl<T: ByteSize> ByteSize for Vec<T> {
+    fn byte_size(&self) -> usize {
+        4 + self.iter().map(ByteSize::byte_size).sum::<usize>()
+    }
+}
+
+impl<T: ByteSize> ByteSize for Option<T> {
+    fn byte_size(&self) -> usize {
+        1 + self.as_ref().map_or(0, ByteSize::byte_size)
+    }
+}
+
+impl<T: ByteSize> ByteSize for Box<T> {
+    fn byte_size(&self) -> usize {
+        self.as_ref().byte_size()
+    }
+}
+
+impl<A: ByteSize, B: ByteSize> ByteSize for (A, B) {
+    fn byte_size(&self) -> usize {
+        self.0.byte_size() + self.1.byte_size()
+    }
+}
+
+impl<A: ByteSize, B: ByteSize, C: ByteSize> ByteSize for (A, B, C) {
+    fn byte_size(&self) -> usize {
+        self.0.byte_size() + self.1.byte_size() + self.2.byte_size()
+    }
+}
+
+impl<A: ByteSize, B: ByteSize, C: ByteSize, D: ByteSize> ByteSize for (A, B, C, D) {
+    fn byte_size(&self) -> usize {
+        self.0.byte_size() + self.1.byte_size() + self.2.byte_size() + self.3.byte_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_macro_and_len() {
+        let a = args![1u32, 2u64];
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+        assert!(args![].is_empty());
+    }
+
+    #[test]
+    fn get_typed_borrow() {
+        let a = args![7u32, "hi".to_string()];
+        assert_eq!(*a.get::<u32>(0).unwrap(), 7);
+        assert_eq!(a.get::<String>(1).unwrap(), "hi");
+    }
+
+    #[test]
+    fn get_wrong_type_reports_mismatch() {
+        let a = args![7u32];
+        let err = a.get::<u64>(0).unwrap_err();
+        assert!(matches!(err, WeaveError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn get_out_of_range_reports_missing() {
+        let a = args![7u32];
+        assert!(matches!(a.get::<u32>(5), Err(WeaveError::MissingArg { index: 5, len: 1 })));
+    }
+
+    #[test]
+    fn take_moves_once() {
+        let mut a = args![vec![1u64, 2, 3]];
+        let v: Vec<u64> = a.take(0).unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        assert!(matches!(a.take::<Vec<u64>>(0), Err(WeaveError::MissingArg { .. })));
+    }
+
+    #[test]
+    fn take_wrong_type_keeps_value() {
+        let mut a = args![42u32];
+        assert!(a.take::<u64>(0).is_err());
+        // A wrong-typed take must not destroy the argument.
+        assert_eq!(a.take::<u32>(0).unwrap(), 42);
+    }
+
+    #[test]
+    fn set_replaces_and_push_appends() {
+        let mut a = args![1u32];
+        a.set(0, 9u32).unwrap();
+        assert_eq!(*a.get::<u32>(0).unwrap(), 9);
+        a.push("x".to_string());
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get::<String>(1).unwrap(), "x");
+    }
+
+    #[test]
+    fn get_mut_allows_in_place_edit() {
+        let mut a = args![vec![1u64]];
+        a.get_mut::<Vec<u64>>(0).unwrap().push(2);
+        assert_eq!(a.get::<Vec<u64>>(0).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn downcast_ret_roundtrip() {
+        let r = ret!(3.5f64);
+        assert_eq!(downcast_ret::<f64>(r).unwrap(), 3.5);
+        let r = ret!();
+        downcast_ret::<()>(r).unwrap();
+        let r = ret!(1u8);
+        assert!(downcast_ret::<u16>(r).is_err());
+    }
+
+    #[test]
+    fn byte_sizes_are_proportional() {
+        assert_eq!(5u64.byte_size(), 8);
+        assert_eq!("abc".to_string().byte_size(), 7);
+        assert_eq!(vec![1u32, 2, 3].byte_size(), 4 + 12);
+        assert_eq!(Some(1u16).byte_size(), 3);
+        assert_eq!(None::<u16>.byte_size(), 1);
+        assert_eq!((1u8, 2u8, 3u8).byte_size(), 3);
+        assert_eq!((1u8, 2u8, 3u8, 4u64).byte_size(), 11);
+        assert_eq!(().byte_size(), 0);
+        assert_eq!(Box::new(9u32).byte_size(), 4);
+        assert_eq!("ab".byte_size(), 6);
+    }
+
+    #[test]
+    fn args_debug_shows_taken_slots() {
+        let mut a = args![1u8, 2u8];
+        let _ = a.take::<u8>(0).unwrap();
+        let d = format!("{a:?}");
+        assert!(d.contains("2 slots"));
+        assert!(d.contains("1 taken"));
+    }
+}

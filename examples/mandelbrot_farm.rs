@@ -1,0 +1,53 @@
+//! Mandelbrot over the farm protocols: static farm vs dynamic (demand-driven)
+//! farm on a workload with wildly uneven row costs, plus a small ASCII
+//! rendering to prove the output is real.
+//!
+//! Run with: `cargo run --release --example mandelbrot_farm`
+
+use std::time::Instant;
+
+use weavepar_apps::mandel::{render_dynamic, render_farmed, render_sequential};
+
+fn main() {
+    let (width, height, max_iter) = (96u64, 32u64, 1_500u64);
+
+    let t0 = Instant::now();
+    let reference = render_sequential(width, height, max_iter);
+    let seq = t0.elapsed();
+    println!("sequential render:    {seq:?}");
+
+    let t0 = Instant::now();
+    let farmed = render_farmed(width, height, max_iter, 4, 8, true).expect("farm failed");
+    let farm_time = t0.elapsed();
+    println!("static farm (4 wrk):  {farm_time:?}  ({})", check(&farmed, &reference));
+
+    let t0 = Instant::now();
+    let dynamic = render_dynamic(width, height, max_iter, 4, 16).expect("dynamic farm failed");
+    let dyn_time = t0.elapsed();
+    println!("dynamic farm (4 wrk): {dyn_time:?}  ({})", check(&dynamic, &reference));
+
+    // ASCII art from the iteration counts.
+    println!();
+    let ramp: &[u8] = b" .:-=+*#%@";
+    for row in 0..height {
+        let mut line = String::with_capacity(width as usize);
+        for col in 0..width {
+            let count = reference[(row * width + col) as usize];
+            let idx = if count >= max_iter {
+                ramp.len() - 1
+            } else {
+                (count as usize * (ramp.len() - 1)) / max_iter as usize
+            };
+            line.push(ramp[idx] as char);
+        }
+        println!("{line}");
+    }
+}
+
+fn check(got: &[u64], reference: &[u64]) -> &'static str {
+    if got == reference {
+        "matches sequential"
+    } else {
+        "MISMATCH"
+    }
+}

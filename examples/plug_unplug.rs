@@ -1,0 +1,66 @@
+//! The incremental-development workflow, step by step: the paper's central
+//! demonstration that parallelisation concerns can be added — and removed —
+//! without touching core functionality.
+//!
+//! Run with: `cargo run --release --example plug_unplug`
+
+use weavepar::prelude::*;
+use weavepar_apps::sieve::{build_sieve, run_sieve, sequential_sieve, SieveConfig};
+
+fn main() -> WeaveResult<()> {
+    let max = 200_000;
+    let reference = sequential_sieve(max);
+    println!("step 0  sequential core:               {} primes", reference.len());
+
+    // Step 1: plug the farm partition (still single-threaded).
+    let run = build_sieve(SieveConfig {
+        concurrency: false,
+        ..SieveConfig::farm_threads(4)
+    });
+    let got = run_sieve(&run, max)?;
+    println!(
+        "step 1  + partition (farm, 4 filters): {} primes, {}",
+        got.len(),
+        status(&got, &reference)
+    );
+    println!("        stack: {}", run.stack.describe());
+
+    // Step 2: plug the concurrency module — now genuinely parallel.
+    let run = build_sieve(SieveConfig::farm_threads(4));
+    let got = run_sieve(&run, max)?;
+    println!("step 2  + concurrency:                 {} primes, {}", got.len(), status(&got, &reference));
+
+    // Step 3: plug the distribution aspect — remote filters over RMI.
+    let run = build_sieve(SieveConfig::farm_rmi(4));
+    let got = run_sieve(&run, max)?;
+    println!("step 3  + distribution (RMI):          {} primes, {}", got.len(), status(&got, &reference));
+    println!("        stack: {}", run.stack.describe());
+    println!(
+        "        name server bindings: {:?}",
+        run.fabric.as_ref().unwrap().nameserver().names()
+    );
+
+    // Step 4: debugging — disable concurrency on the fly, run, re-enable.
+    run.stack.set_enabled(Concern::Concurrency, false);
+    let got = run_sieve(&run, max)?;
+    println!("step 4  concurrency disabled (debug):  {} primes, {}", got.len(), status(&got, &reference));
+    run.stack.set_enabled(Concern::Concurrency, true);
+
+    // Step 5: unplug everything — back to the sequential program.
+    run.stack.unplug(Concern::Partition);
+    run.stack.unplug(Concern::Concurrency);
+    run.stack.unplug(Concern::Distribution);
+    let got = run_sieve(&run, max)?;
+    println!("step 5  all concerns unplugged:        {} primes, {}", got.len(), status(&got, &reference));
+    println!("        stack: {}", run.stack.describe());
+
+    Ok(())
+}
+
+fn status(got: &[u64], reference: &[u64]) -> &'static str {
+    if got == reference {
+        "correct"
+    } else {
+        "MISMATCH"
+    }
+}

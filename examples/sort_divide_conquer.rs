@@ -1,0 +1,38 @@
+//! Merge sort on the divide-and-conquer partition aspect (§4.1's remark on
+//! object creation at call join points).
+//!
+//! Run with: `cargo run --release --example sort_divide_conquer`
+
+use std::time::Instant;
+
+use weavepar_apps::sort::sort_divide_conquer;
+
+fn pseudo_random(n: usize, mut seed: u64) -> Vec<u64> {
+    (0..n)
+        .map(|_| {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed >> 33
+        })
+        .collect()
+}
+
+fn main() {
+    let xs = pseudo_random(400_000, 2026);
+    let mut expect = xs.clone();
+    let t0 = Instant::now();
+    expect.sort_unstable();
+    println!("std sort:                     {:?}", t0.elapsed());
+
+    for (label, threshold, concurrent) in [
+        ("divide & conquer, sequential", 20_000usize, false),
+        ("divide & conquer, concurrent", 20_000, true),
+    ] {
+        let t0 = Instant::now();
+        let got = sort_divide_conquer(xs.clone(), threshold, concurrent).expect("sort failed");
+        let elapsed = t0.elapsed();
+        println!(
+            "{label}: {elapsed:?}  ({})",
+            if got == expect { "correct" } else { "MISMATCH" }
+        );
+    }
+}

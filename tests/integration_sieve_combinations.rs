@@ -1,0 +1,97 @@
+//! Table 1, end to end: every module combination the paper evaluates must
+//! produce exactly the sequential sieve's output — the correctness half of
+//! the methodology's (un)pluggability claim.
+
+use weavepar_apps::sieve::{
+    build_sieve, run_sieve, sequential_sieve, Middleware, PartitionStrategy, SieveConfig,
+};
+
+const MAX: u64 = 4_000;
+
+fn check(config: SieveConfig) {
+    let run = build_sieve(config);
+    let got = run_sieve(&run, MAX).expect("sieve run failed");
+    assert_eq!(got, sequential_sieve(MAX), "{} diverged from sequential", config.label());
+}
+
+#[test]
+fn table1_farm_threads_across_filter_counts() {
+    for filters in [1usize, 2, 4, 7] {
+        check(SieveConfig { packs: 10, ..SieveConfig::farm_threads(filters) });
+    }
+}
+
+#[test]
+fn table1_pipe_rmi_across_filter_counts() {
+    for filters in [1usize, 3, 5] {
+        check(SieveConfig { packs: 6, nodes: 3, ..SieveConfig::pipe_rmi(filters) });
+    }
+}
+
+#[test]
+fn table1_farm_rmi() {
+    check(SieveConfig { packs: 8, nodes: 4, ..SieveConfig::farm_rmi(6) });
+}
+
+#[test]
+fn table1_farm_drmi() {
+    check(SieveConfig { packs: 8, nodes: 4, ..SieveConfig::farm_drmi(5) });
+}
+
+#[test]
+fn table1_farm_mpp() {
+    check(SieveConfig { packs: 8, nodes: 4, ..SieveConfig::farm_mpp(6) });
+}
+
+#[test]
+fn partition_without_concurrency_still_correct() {
+    // The paper: "the program must be valid without concurrency" (§4.2).
+    for strategy in [PartitionStrategy::Pipeline, PartitionStrategy::Farm] {
+        check(SieveConfig {
+            partition: strategy,
+            concurrency: false,
+            middleware: Middleware::None,
+            filters: 3,
+            packs: 5,
+            nodes: 1,
+        });
+    }
+}
+
+#[test]
+fn distribution_without_concurrency_still_correct() {
+    // Debugging combination: remote objects, synchronous calls.
+    check(SieveConfig {
+        partition: PartitionStrategy::Farm,
+        concurrency: false,
+        middleware: Middleware::Rmi,
+        filters: 3,
+        packs: 5,
+        nodes: 2,
+    });
+}
+
+#[test]
+fn paper_pack_shape_scaled_down() {
+    // The paper uses 50 packs; keep 50 packs over a smaller range.
+    check(SieveConfig { packs: 50, ..SieveConfig::farm_threads(4) });
+    check(SieveConfig { packs: 50, nodes: 7, ..SieveConfig::farm_mpp(7) });
+}
+
+#[test]
+fn every_combination_agrees_with_every_other() {
+    let combos = [
+        SieveConfig { packs: 6, ..SieveConfig::farm_threads(3) },
+        SieveConfig { packs: 6, nodes: 3, ..SieveConfig::pipe_rmi(3) },
+        SieveConfig { packs: 6, nodes: 3, ..SieveConfig::farm_rmi(3) },
+        SieveConfig { packs: 6, nodes: 3, ..SieveConfig::farm_drmi(3) },
+        SieveConfig { packs: 6, nodes: 3, ..SieveConfig::farm_mpp(3) },
+    ];
+    let outputs: Vec<Vec<u64>> = combos
+        .iter()
+        .map(|c| run_sieve(&build_sieve(*c), 2_500).expect("run failed"))
+        .collect();
+    for window in outputs.windows(2) {
+        assert_eq!(window[0], window[1]);
+    }
+}
