@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Local CI gate: formatting, lints (deny warnings), build, full test suite.
+# Everything runs offline against the vendored shims (see vendor/README.md).
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "CI OK"

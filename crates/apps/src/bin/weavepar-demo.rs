@@ -107,7 +107,11 @@ fn main() -> ExitCode {
                         if ok { "validated" } else { "MISMATCH" }
                     );
                     println!("stack: {}", run.stack.describe());
-                    if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE }
+                    if ok {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
                 }
                 Err(e) => {
                     eprintln!("sieve failed: {e}");
@@ -136,7 +140,11 @@ fn main() -> ExitCode {
                         image.len(),
                         if ok { "validated" } else { "MISMATCH" }
                     );
-                    if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE }
+                    if ok {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
                 }
                 Err(e) => {
                     eprintln!("mandel failed: {e}");
@@ -211,7 +219,11 @@ fn main() -> ExitCode {
                         "sort n={n} threshold={threshold} concurrent={concurrent}: {elapsed:?} ({})",
                         if ok { "validated" } else { "MISMATCH" }
                     );
-                    if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE }
+                    if ok {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
                 }
                 Err(e) => {
                     eprintln!("sort failed: {e}");

@@ -48,10 +48,10 @@ weaveable! {
         fn step(&mut self) {
             let n = self.cells.len();
             let mut next = self.cells.clone();
-            for i in 0..n {
+            for (i, cell) in next.iter_mut().enumerate() {
                 let left = if i == 0 { self.left_halo } else { self.cells[i - 1] };
                 let right = if i + 1 == n { self.right_halo } else { self.cells[i + 1] };
-                next[i] = (left + right) / 2.0;
+                *cell = (left + right) / 2.0;
             }
             self.cells = next;
         }
@@ -70,7 +70,13 @@ weaveable! {
 }
 
 /// The sequential reference solution.
-pub fn solve_sequential(len: u64, initial: f64, left: f64, right: f64, iterations: u64) -> Vec<f64> {
+pub fn solve_sequential(
+    len: u64,
+    initial: f64,
+    left: f64,
+    right: f64,
+    iterations: u64,
+) -> Vec<f64> {
     let mut rod = Rod::new(len, initial, left, right);
     rod.run(iterations)
 }

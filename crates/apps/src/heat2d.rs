@@ -145,11 +145,8 @@ pub fn heat2d_config(workers: usize) -> HeartbeatConfig {
                 } else {
                     edges[i - 1].1.clone()
                 };
-                let bottom = if i + 1 == workers.len() {
-                    Vec::new()
-                } else {
-                    edges[i + 1].0.clone()
-                };
+                let bottom =
+                    if i + 1 == workers.len() { Vec::new() } else { edges[i + 1].0.clone() };
                 if !top.is_empty() || !bottom.is_empty() {
                     // Empty vectors are ignored by set_halo_rows (length
                     // mismatch), preserving fixed outer halos.
@@ -184,7 +181,10 @@ pub fn solve2d_heartbeat(
     // rows, which would break the exchange chain.
     let workers = workers.clamp(1, height.max(1) as usize);
     let stack = ConcernStack::new();
-    stack.plug(Concern::Partition, heartbeat_aspect("Partition.heartbeat2d", heat2d_config(workers)));
+    stack.plug(
+        Concern::Partition,
+        heartbeat_aspect("Partition.heartbeat2d", heat2d_config(workers)),
+    );
     let slab = SlabProxy::construct(stack.weaver(), width, height, initial, top, bottom)?;
     slab.run(iterations)
 }

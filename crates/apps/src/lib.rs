@@ -27,6 +27,4 @@ pub mod mandel;
 pub mod sieve;
 pub mod sort;
 
-pub use sieve::{
-    build_sieve, run_sieve, Middleware, PartitionStrategy, SieveConfig, SieveRun,
-};
+pub use sieve::{build_sieve, run_sieve, Middleware, PartitionStrategy, SieveConfig, SieveRun};

@@ -71,11 +71,7 @@ pub fn mandel_protocol(workers: usize, packs: usize) -> Protocol {
         method: "render_rows",
         workers,
         worker_args: Arc::new(|_rank, _n, orig: &Args| {
-            Ok(args![
-                *orig.get::<u64>(0)?,
-                *orig.get::<u64>(1)?,
-                *orig.get::<u64>(2)?
-            ])
+            Ok(args![*orig.get::<u64>(0)?, *orig.get::<u64>(1)?, *orig.get::<u64>(2)?])
         }),
         split: Arc::new(move |a: &Args| {
             let rows = a.get::<Vec<u64>>(0)?;
@@ -165,7 +161,7 @@ mod tests {
         let img = render_sequential(16, 8, 50);
         assert_eq!(img.len(), 16 * 8);
         // Interior points reach max_iter, exterior don't: image not constant.
-        assert!(img.iter().any(|c| *c == 50));
+        assert!(img.contains(&50));
         assert!(img.iter().any(|c| *c < 50));
     }
 

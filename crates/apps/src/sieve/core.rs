@@ -26,7 +26,7 @@ pub fn isqrt(n: u64) -> u64 {
     // Float guess, corrected with overflow-checked arithmetic (a saturating
     // square cannot distinguish "overflowed" from "equals u64::MAX").
     let mut r = (n as f64).sqrt() as u64;
-    while r.checked_mul(r).map_or(true, |sq| sq > n) {
+    while r.checked_mul(r).is_none_or(|sq| sq > n) {
         r -= 1;
     }
     while (r + 1).checked_mul(r + 1).is_some_and(|sq| sq <= n) {
@@ -191,7 +191,7 @@ mod proptests {
         }
         let mut d = 2;
         while d * d <= n {
-            if n % d == 0 {
+            if n.is_multiple_of(d) {
                 return false;
             }
             d += 1;

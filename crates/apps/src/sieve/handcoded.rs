@@ -25,7 +25,12 @@ fn marshal() -> MarshalRegistry {
 /// Run the hand-coded RMI pipeline: `filters` stages spread round-robin over
 /// `nodes` nodes, `packs` packs pushed through by one client thread per pack.
 /// Returns all primes `<= max`.
-pub fn run_handcoded_rmi(max: u64, filters: usize, packs: usize, nodes: usize) -> WeaveResult<Vec<u64>> {
+pub fn run_handcoded_rmi(
+    max: u64,
+    filters: usize,
+    packs: usize,
+    nodes: usize,
+) -> WeaveResult<Vec<u64>> {
     if max < 2 {
         return Ok(Vec::new());
     }
@@ -104,7 +109,11 @@ mod tests {
     fn handcoded_matches_sequential() {
         for (filters, packs, nodes) in [(1, 1, 1), (3, 4, 2), (4, 8, 3), (7, 5, 7)] {
             let got = run_handcoded_rmi(3_000, filters, packs, nodes).unwrap();
-            assert_eq!(got, sequential_sieve(3_000), "filters={filters} packs={packs} nodes={nodes}");
+            assert_eq!(
+                got,
+                sequential_sieve(3_000),
+                "filters={filters} packs={packs} nodes={nodes}"
+            );
         }
     }
 

@@ -20,7 +20,9 @@ use weavepar::distribution::{
     mpp_distribution_aspect, rmi_distribution_aspect, InProcFabric, MarshalRegistry, Policy,
 };
 use weavepar::prelude::*;
-use weavepar::skeletons::{dynamic_farm_aspect, farm_aspect, pipeline_aspect, Protocol};
+use weavepar::skeletons::{
+    dynamic_farm_aspect, farm_aspect, pipeline_aspect, Protocol, RankedArgsFn,
+};
 use weavepar::weave::value::downcast_ret;
 use weavepar::{args, ret};
 
@@ -75,7 +77,10 @@ impl SieveConfig {
 
     /// Partition only — no concurrency, no distribution (debugging mode).
     pub fn sequential_pipeline(filters: usize) -> Self {
-        SieveConfig { concurrency: false, ..Self::base(PartitionStrategy::Pipeline, Middleware::None, filters) }
+        SieveConfig {
+            concurrency: false,
+            ..Self::base(PartitionStrategy::Pipeline, Middleware::None, filters)
+        }
     }
 
     /// Table 1 `FarmThreads`.
@@ -95,7 +100,10 @@ impl SieveConfig {
 
     /// Table 1 `FarmDRMI` (dynamic farm; concurrency merged into partition).
     pub fn farm_drmi(filters: usize) -> Self {
-        SieveConfig { concurrency: false, ..Self::base(PartitionStrategy::DynamicFarm, Middleware::Rmi, filters) }
+        SieveConfig {
+            concurrency: false,
+            ..Self::base(PartitionStrategy::DynamicFarm, Middleware::Rmi, filters)
+        }
     }
 
     /// Table 1 `FarmMPP`.
@@ -138,21 +146,18 @@ pub fn stage_ranges(pmin: u64, pmax: u64, stages: usize) -> Vec<(u64, u64)> {
 
 /// The `Protocol` closures shared by all sieve partitions.
 fn sieve_protocol(strategy: PartitionStrategy, filters: usize, packs: usize) -> Protocol {
-    let worker_args: Arc<dyn Fn(usize, usize, &Args) -> WeaveResult<Args> + Send + Sync> =
-        match strategy {
-            PartitionStrategy::Pipeline => Arc::new(|rank, n, orig: &Args| {
-                let pmin = *orig.get::<u64>(0)?;
-                let pmax = *orig.get::<u64>(1)?;
-                let (lo, hi) = stage_ranges(pmin, pmax, n)[rank];
-                Ok(args![lo, hi])
-            }),
-            // Farms broadcast: every worker owns the full divisor range.
-            PartitionStrategy::Farm | PartitionStrategy::DynamicFarm => {
-                Arc::new(|_rank, _n, orig: &Args| {
-                    Ok(args![*orig.get::<u64>(0)?, *orig.get::<u64>(1)?])
-                })
-            }
-        };
+    let worker_args: RankedArgsFn = match strategy {
+        PartitionStrategy::Pipeline => Arc::new(|rank, n, orig: &Args| {
+            let pmin = *orig.get::<u64>(0)?;
+            let pmax = *orig.get::<u64>(1)?;
+            let (lo, hi) = stage_ranges(pmin, pmax, n)[rank];
+            Ok(args![lo, hi])
+        }),
+        // Farms broadcast: every worker owns the full divisor range.
+        PartitionStrategy::Farm | PartitionStrategy::DynamicFarm => {
+            Arc::new(|_rank, _n, orig: &Args| Ok(args![*orig.get::<u64>(0)?, *orig.get::<u64>(1)?]))
+        }
+    };
     Protocol {
         class: "PrimeFilter",
         method: "filter",

@@ -87,12 +87,17 @@ pub fn sort_divide_conquer(
 ) -> WeaveResult<Vec<u64>> {
     let stack = ConcernStack::new();
     stack.weaver().register_class::<Sorter>();
-    stack.plug(Concern::Partition, divide_conquer_aspect("Partition.dc", sort_dc_config(threshold)));
+    stack
+        .plug(Concern::Partition, divide_conquer_aspect("Partition.dc", sort_dc_config(threshold)));
     let executor = if concurrent {
         let executor = Executor::thread_per_call();
         stack.plug_all(
             Concern::Concurrency,
-            future_concurrency_aspect("Concurrency", Pointcut::call("Sorter.sort"), executor.clone()),
+            future_concurrency_aspect(
+                "Concurrency",
+                Pointcut::call("Sorter.sort"),
+                executor.clone(),
+            ),
         );
         Some(executor)
     } else {

@@ -4,6 +4,8 @@
 //!
 //! * `match_cache` — advice-match caching on vs off (the per-join-point
 //!   matching cost the cache removes);
+//! * `match_cache_sharding` — the generation-stamped snapshot cache under
+//!   concurrent dispatch over many signatures, vs re-matching every call;
 //! * `executor` — thread-per-call vs pooled execution of a farmed workload
 //!   (the §4.4 thread-pool optimisation);
 //! * `object_cache` — the §4.4 cache-objects aspect on a repeat-heavy
@@ -47,15 +49,70 @@ fn bench_match_cache(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_match_cache_sharding(c: &mut Criterion) {
+    // The generation-stamped snapshot cache (thread-local chains backed by a
+    // sharded per-snapshot map) vs no caching at all, under concurrent
+    // dispatch over several distinct join-point signatures — the workload the
+    // sharding exists for. `no_cache` re-runs pointcut matching on every call.
+    struct Hot;
+    weavepar::weaveable! {
+        class Hot as HotProxy {
+            fn new() -> Self { Hot }
+            fn m0(&mut self, x: u64) -> u64 { x }
+            fn m1(&mut self, x: u64) -> u64 { x }
+            fn m2(&mut self, x: u64) -> u64 { x }
+            fn m3(&mut self, x: u64) -> u64 { x }
+            fn m4(&mut self, x: u64) -> u64 { x }
+            fn m5(&mut self, x: u64) -> u64 { x }
+            fn m6(&mut self, x: u64) -> u64 { x }
+            fn m7(&mut self, x: u64) -> u64 { x }
+        }
+    }
+    const METHODS: [&str; 8] = ["m0", "m1", "m2", "m3", "m4", "m5", "m6", "m7"];
+    const OPS: u64 = 2_000;
+
+    let mut group = c.benchmark_group("match_cache_sharding");
+    group.sample_size(15);
+    for (name, cached) in [("sharded_cache", true), ("no_cache", false)] {
+        for threads in [1usize, 4] {
+            group.bench_function(format!("{name}_{threads}t"), |b| {
+                let weaver = Weaver::new();
+                for aspect in ["Partition", "Concurrency", "Distribution"] {
+                    weaver.plug(
+                        Aspect::named(aspect)
+                            .around(Pointcut::call("Hot.*"), |inv: &mut Invocation| inv.proceed())
+                            .build(),
+                    );
+                }
+                weaver.set_match_cache(cached);
+                let proxies: Vec<HotProxy> =
+                    (0..threads).map(|_| HotProxy::construct(&weaver).unwrap()).collect();
+                b.iter(|| {
+                    std::thread::scope(|s| {
+                        for proxy in &proxies {
+                            s.spawn(move || {
+                                for i in 0..OPS {
+                                    let method = METHODS[(i & 7) as usize];
+                                    let ret =
+                                        proxy.handle().call(method, weavepar::args![i]).unwrap();
+                                    black_box(ret);
+                                }
+                            });
+                        }
+                    });
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_executor(c: &mut Criterion) {
     use weavepar::concurrency::future_concurrency_aspect;
     use weavepar_apps::sieve::PrimeFilter;
 
     let sqrt = isqrt(MAX);
-    let packs: Vec<Vec<u64>> = candidates(MAX)
-        .chunks(8_000)
-        .map(|c| c.to_vec())
-        .collect();
+    let packs: Vec<Vec<u64>> = candidates(MAX).chunks(8_000).map(|c| c.to_vec()).collect();
 
     let mut group = c.benchmark_group("executor");
     group.sample_size(10);
@@ -64,11 +121,8 @@ fn bench_executor(c: &mut Criterion) {
             b.iter(|| {
                 let weaver = Weaver::new();
                 weaver.register_class::<PrimeFilter>();
-                let executor = if pooled {
-                    Executor::pool(4, "bench")
-                } else {
-                    Executor::thread_per_call()
-                };
+                let executor =
+                    if pooled { Executor::pool(4, "bench") } else { Executor::thread_per_call() };
                 for a in future_concurrency_aspect(
                     "Concurrency",
                     Pointcut::call("PrimeFilter.filter"),
@@ -167,6 +221,7 @@ fn bench_wire_roundtrip(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_match_cache,
+    bench_match_cache_sharding,
     bench_executor,
     bench_object_cache,
     bench_monitor,

@@ -67,8 +67,8 @@ fn shape_checks(fig16: &[FigurePoint], fig17: &[FigurePoint]) -> Vec<String> {
     ));
 
     // Figure 17: distributed farms keep improving where FarmThreads cannot.
-    let breaks_through = at(fig17, "FarmMPP", 16) < t16 * 0.8
-        && at(fig17, "FarmMPP", 16) < at(fig17, "FarmMPP", 4);
+    let breaks_through =
+        at(fig17, "FarmMPP", 16) < t16 * 0.8 && at(fig17, "FarmMPP", 16) < at(fig17, "FarmMPP", 4);
     notes.push(format!(
         "fig17: distributed farm beats the shared-memory plateau at 16 filters {}",
         if breaks_through { "— holds" } else { "— VIOLATED" }

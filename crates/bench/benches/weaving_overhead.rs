@@ -33,11 +33,7 @@ fn bench_dispatch(c: &mut Criterion) {
 
     group.bench_function("direct_call", |b| {
         let mut filter = PrimeFilter::new(2, sqrt);
-        b.iter_batched(
-            || pack.clone(),
-            |p| black_box(filter.filter(p)),
-            BatchSize::LargeInput,
-        );
+        b.iter_batched(|| pack.clone(), |p| black_box(filter.filter(p)), BatchSize::LargeInput);
     });
 
     group.bench_function("proxy_no_aspects", |b| {
@@ -82,9 +78,7 @@ fn bench_join_point(c: &mut Criterion) {
             for i in 0..aspects {
                 weaver.plug(
                     Aspect::named(format!("P{i}"))
-                        .around(Pointcut::call("Noop.poke"), |inv: &mut Invocation| {
-                            inv.proceed()
-                        })
+                        .around(Pointcut::call("Noop.poke"), |inv: &mut Invocation| inv.proceed())
                         .build(),
                 );
             }
@@ -99,5 +93,50 @@ fn bench_join_point(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dispatch, bench_join_point);
+fn bench_dispatch_contended(c: &mut Criterion) {
+    struct Busy;
+    weavepar::weaveable! {
+        class Busy as BusyProxy {
+            fn new() -> Self { Busy }
+            fn poke(&mut self, x: u64) -> u64 { x.wrapping_mul(0x9e37_79b9) }
+        }
+    }
+
+    // Per-thread operations per timed round: large enough that thread spawn
+    // cost is noise next to the dispatch work being measured.
+    const OPS: u64 = 4_000;
+
+    let mut group = c.benchmark_group("dispatch_contended");
+    group.sample_size(20);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(format!("{threads}_threads"), |b| {
+            let weaver = Weaver::new();
+            for name in ["Partition", "Concurrency", "Distribution"] {
+                weaver.plug(
+                    Aspect::named(name)
+                        .around(Pointcut::call("Busy.poke"), |inv: &mut Invocation| inv.proceed())
+                        .build(),
+                );
+            }
+            let proxies: Vec<BusyProxy> =
+                (0..threads).map(|_| BusyProxy::construct(&weaver).unwrap()).collect();
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for proxy in &proxies {
+                        s.spawn(move || {
+                            let mut acc = 0u64;
+                            for i in 0..OPS {
+                                acc = acc.wrapping_add(proxy.poke(black_box(i)).unwrap());
+                            }
+                            black_box(acc)
+                        });
+                    }
+                });
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch, bench_join_point, bench_dispatch_contended);
 criterion_main!(benches);

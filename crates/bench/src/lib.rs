@@ -130,7 +130,11 @@ pub fn measure_filter_work(max: u64) -> Duration {
 }
 
 /// Capture a trace and normalise its filter costs (the harness default).
-pub fn capture_normalized(config: SieveConfig, max: u64, filter_work: Duration) -> WeaveResult<TraceGraph> {
+pub fn capture_normalized(
+    config: SieveConfig,
+    max: u64,
+    filter_work: Duration,
+) -> WeaveResult<TraceGraph> {
     let mut trace = capture_trace(config, max)?;
     normalize_costs(&mut trace, "filter", filter_work);
     Ok(trace)
@@ -308,9 +312,12 @@ pub struct Table1Row {
 
 /// Regenerate Table 1: assemble each combination for real (including the
 /// in-process distribution fabric), check correctness, record wall time.
+/// One Table 1 combination: config builder plus display columns.
+type Table1Combo = (fn(usize) -> SieveConfig, &'static str, &'static str, &'static str);
+
 pub fn table1(max: u64) -> WeaveResult<Vec<Table1Row>> {
     let reference = sequential_sieve(max);
-    let combos: [(fn(usize) -> SieveConfig, &str, &str, &str); 5] = [
+    let combos: [Table1Combo; 5] = [
         (SieveConfig::farm_threads, "Farm", "Yes", "No"),
         (SieveConfig::pipe_rmi, "Pipeline", "Yes", "RMI"),
         (SieveConfig::farm_rmi, "Farm", "Yes", "RMI"),
@@ -381,9 +388,11 @@ pub fn render_ascii_chart(title: &str, points: &[FigurePoint], height: usize) ->
     }
     let max_y = points.iter().map(|p| p.seconds).fold(0.0f64, f64::max);
     if max_y <= 0.0 || series.is_empty() {
-        return format!("{title}
+        return format!(
+            "{title}
 (no data)
-");
+"
+        );
     }
     let height = height.max(4);
     let columns = FILTER_COUNTS.len();
@@ -436,16 +445,13 @@ mod tests {
 
     #[test]
     fn captured_traces_have_expected_shape() {
-        let farm = capture_trace(SieveConfig { packs: 8, ..SieveConfig::farm_threads(4) }, SMALL)
-            .unwrap();
+        let farm =
+            capture_trace(SieveConfig { packs: 8, ..SieveConfig::farm_threads(4) }, SMALL).unwrap();
         let filters = farm.tasks.iter().filter(|t| t.signature.method == "filter").count();
         assert_eq!(filters, 8);
 
-        let pipe = capture_trace(
-            SieveConfig { packs: 8, ..SieveConfig::pipe_rmi(4) },
-            SMALL,
-        )
-        .unwrap();
+        let pipe =
+            capture_trace(SieveConfig { packs: 8, ..SieveConfig::pipe_rmi(4) }, SMALL).unwrap();
         let filters = pipe.tasks.iter().filter(|t| t.signature.method == "filter").count();
         assert_eq!(filters, 8 * 4, "each pack crosses each stage");
     }
@@ -463,10 +469,10 @@ mod tests {
         // strategy in all cases." Modelled (deterministic) costs keep this
         // regression test independent of test-suite load; only the captured
         // *structure* varies, and that is what is under test.
-        let pipe = capture_modelled(SieveConfig { packs: 8, ..SieveConfig::pipe_rmi(7) }, SMALL)
-            .unwrap();
-        let farm = capture_modelled(SieveConfig { packs: 8, ..SieveConfig::farm_rmi(7) }, SMALL)
-            .unwrap();
+        let pipe =
+            capture_modelled(SieveConfig { packs: 8, ..SieveConfig::pipe_rmi(7) }, SMALL).unwrap();
+        let farm =
+            capture_modelled(SieveConfig { packs: 8, ..SieveConfig::farm_rmi(7) }, SMALL).unwrap();
         let pipe_t = replay(&pipe, "PipeRMI", 1.0, 1.0).makespan;
         let farm_t = replay(&farm, "FarmRMI", 1.0, 1.0).makespan;
         assert!(farm_t < pipe_t, "farm {farm_t} should beat pipeline {pipe_t}");
@@ -474,8 +480,8 @@ mod tests {
 
     #[test]
     fn mpp_no_slower_than_rmi_on_the_same_farm_trace() {
-        let trace = capture_modelled(SieveConfig { packs: 8, ..SieveConfig::farm_mpp(7) }, SMALL)
-            .unwrap();
+        let trace =
+            capture_modelled(SieveConfig { packs: 8, ..SieveConfig::farm_mpp(7) }, SMALL).unwrap();
         let mpp = replay(&trace, "FarmMPP", 1.0, 1.0).makespan;
         let rmi = replay(&trace, "FarmRMI", 1.0, 1.0).makespan;
         assert!(mpp <= rmi * 1.001, "MPP {mpp} vs RMI {rmi}");

@@ -89,7 +89,11 @@ mod tests {
     #[test]
     fn chain_cp_is_sum() {
         let g = TraceGraph {
-            tasks: vec![task(0, None, None, 100), task(1, None, Some(0), 100), task(2, None, Some(1), 100)],
+            tasks: vec![
+                task(0, None, None, 100),
+                task(1, None, Some(0), 100),
+                task(2, None, Some(1), 100),
+            ],
         };
         assert!((critical_path(&g) - 0.3).abs() < 1e-9);
     }
@@ -106,11 +110,15 @@ mod tests {
 
     #[test]
     fn lower_bound_uses_cores() {
-        let g = TraceGraph {
-            tasks: (0..8).map(|i| task(i, None, None, 100)).collect(),
-        };
+        let g = TraceGraph { tasks: (0..8).map(|i| task(i, None, None, 100)).collect() };
         let params = SimParams {
-            cluster: ClusterConfig { nodes: 1, cores_per_node: 2, link_latency: 0.0, bandwidth: f64::INFINITY, cpu_speed: 1.0 },
+            cluster: ClusterConfig {
+                nodes: 1,
+                cores_per_node: 2,
+                link_latency: 0.0,
+                bandwidth: f64::INFINITY,
+                cpu_speed: 1.0,
+            },
             middleware: MiddlewareProfile::local(),
             placement: Placement::AllOn(0),
             client_node: 0,
@@ -141,13 +149,7 @@ mod proptests {
 
     fn arb_trace() -> impl Strategy<Value = TraceGraph> {
         proptest::collection::vec(
-            (
-                proptest::option::of(1u64..4),
-                0u64..6,
-                0u64..50,
-                proptest::bool::ANY,
-                0usize..10_000,
-            )
+            (proptest::option::of(1u64..4), 0u64..6, 0u64..50, proptest::bool::ANY, 0usize..10_000)
                 .prop_map(|(after_offset, target, cost_ms, async_spawn, bytes)| RandTask {
                     after_offset,
                     target,

@@ -39,7 +39,13 @@ impl ClusterConfig {
     /// A single shared-memory machine (the paper's FarmThreads target): one
     /// dual-Xeon HT node, no network.
     pub fn single_node() -> Self {
-        ClusterConfig { nodes: 1, cores_per_node: 4, link_latency: 0.0, bandwidth: f64::INFINITY, cpu_speed: 1.0 }
+        ClusterConfig {
+            nodes: 1,
+            cores_per_node: 4,
+            link_latency: 0.0,
+            bandwidth: f64::INFINITY,
+            cpu_speed: 1.0,
+        }
     }
 
     /// Custom node/core count with the paper's interconnect.
@@ -109,7 +115,11 @@ impl MiddlewareProfile {
 
     /// Sender- or receiver-side CPU to marshal `bytes`.
     pub fn marshal_cpu(&self, bytes: usize) -> f64 {
-        if self.ser_bandwidth.is_finite() { bytes as f64 / self.ser_bandwidth } else { 0.0 }
+        if self.ser_bandwidth.is_finite() {
+            bytes as f64 / self.ser_bandwidth
+        } else {
+            0.0
+        }
     }
 }
 

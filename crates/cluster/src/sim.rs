@@ -359,12 +359,7 @@ impl<'a> Engine<'a> {
             self.start.iter().all(Option::is_some) || self.trace.is_empty(),
             "trace contains tasks whose constraints never resolved"
         );
-        let makespan = self
-            .end
-            .iter()
-            .flatten()
-            .copied()
-            .fold(self.client_clock, f64::max);
+        let makespan = self.end.iter().flatten().copied().fold(self.client_clock, f64::max);
         let entries = self
             .trace
             .tasks
@@ -533,7 +528,13 @@ mod tests {
         }
 
         /// Worker-issued forwarded task (pipeline hop).
-        pub fn forwarded(&mut self, after: u64, target: u64, cost_ms: u64, args_bytes: usize) -> u64 {
+        pub fn forwarded(
+            &mut self,
+            after: u64,
+            target: u64,
+            cost_ms: u64,
+            args_bytes: usize,
+        ) -> u64 {
             self.task_with_issuer(None, Some(after), target, cost_ms, true, args_bytes, 1)
         }
 
@@ -544,7 +545,13 @@ mod tests {
 
     fn local_params(nodes: usize, cores: usize) -> SimParams {
         SimParams {
-            cluster: ClusterConfig { nodes, cores_per_node: cores, link_latency: 0.0, bandwidth: f64::INFINITY, cpu_speed: 1.0 },
+            cluster: ClusterConfig {
+                nodes,
+                cores_per_node: cores,
+                link_latency: 0.0,
+                bandwidth: f64::INFINITY,
+                cpu_speed: 1.0,
+            },
             middleware: MiddlewareProfile::local(),
             placement: Placement::RoundRobin { nodes },
             client_node: 0,
@@ -624,7 +631,13 @@ mod tests {
         b.forwarded(t0, 1, 0, 1_000_000);
         let trace = b.build();
         let mut p = SimParams {
-            cluster: ClusterConfig { nodes: 2, cores_per_node: 1, link_latency: 0.001, bandwidth: 1e6, cpu_speed: 1.0 },
+            cluster: ClusterConfig {
+                nodes: 2,
+                cores_per_node: 1,
+                link_latency: 0.001,
+                bandwidth: 1e6,
+                cpu_speed: 1.0,
+            },
             middleware: MiddlewareProfile {
                 name: "t",
                 send_cpu: 0.0,
@@ -654,7 +667,13 @@ mod tests {
         let mut b = TraceBuilder::new();
         b.task(None, None, 1, 0, false, 100);
         let params = SimParams {
-            cluster: ClusterConfig { nodes: 2, cores_per_node: 1, link_latency: 0.0, bandwidth: f64::INFINITY, cpu_speed: 1.0 },
+            cluster: ClusterConfig {
+                nodes: 2,
+                cores_per_node: 1,
+                link_latency: 0.0,
+                bandwidth: f64::INFINITY,
+                cpu_speed: 1.0,
+            },
             middleware: MiddlewareProfile {
                 name: "t",
                 send_cpu: 0.010,

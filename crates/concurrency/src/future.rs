@@ -56,7 +56,9 @@ impl<T> Default for FutureValue<T> {
 impl<T> FutureValue<T> {
     /// A pending future.
     pub fn new() -> Self {
-        FutureValue { shared: Arc::new(Shared { state: Mutex::new(State::Pending), cv: Condvar::new() }) }
+        FutureValue {
+            shared: Arc::new(Shared { state: Mutex::new(State::Pending), cv: Condvar::new() }),
+        }
     }
 
     /// Fulfil the future. Returns `false` (and drops `value`) if it was

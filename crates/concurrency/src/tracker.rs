@@ -6,6 +6,7 @@
 //! A [`CompletionTracker`] counts in-flight tasks; [`CompletionTracker::wait_idle`]
 //! blocks until the count reaches zero.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -13,14 +14,18 @@ use parking_lot::{Condvar, Mutex};
 
 /// Counts in-flight tasks and lets callers block until none remain.
 ///
-/// Cloning shares the counter.
+/// Cloning shares the counter. Registering and finishing a task is a single
+/// atomic op — the asynchronous-invocation aspect calls `begin` once per
+/// woven call, so the common path must not serialise spawners on a lock.
+/// The mutex exists only to park waiters in `wait_idle`.
 #[derive(Clone)]
 pub struct CompletionTracker {
     inner: Arc<Inner>,
 }
 
 struct Inner {
-    count: Mutex<usize>,
+    count: AtomicUsize,
+    idle_lock: Mutex<()>,
     cv: Condvar,
 }
 
@@ -31,9 +36,12 @@ pub struct TaskToken {
 
 impl Drop for TaskToken {
     fn drop(&mut self) {
-        let mut count = self.inner.count.lock();
-        *count -= 1;
-        if *count == 0 {
+        // Release pairs with the Acquire load in `wait_idle`: a waiter woken
+        // by the count reaching zero also sees the task's side effects.
+        if self.inner.count.fetch_sub(1, Ordering::Release) == 1 {
+            // Take the waiters' lock before notifying so a waiter cannot slip
+            // between its count check and `cv.wait` and miss this wakeup.
+            let _guard = self.inner.idle_lock.lock();
             self.inner.cv.notify_all();
         }
     }
@@ -42,37 +50,43 @@ impl Drop for TaskToken {
 impl CompletionTracker {
     /// A tracker with nothing in flight.
     pub fn new() -> Self {
-        CompletionTracker { inner: Arc::new(Inner { count: Mutex::new(0), cv: Condvar::new() }) }
+        CompletionTracker {
+            inner: Arc::new(Inner {
+                count: AtomicUsize::new(0),
+                idle_lock: Mutex::new(()),
+                cv: Condvar::new(),
+            }),
+        }
     }
 
     /// Register one in-flight task. The returned token must travel with the
     /// task and be dropped when it finishes (a panic unwinding through the
     /// task still drops it, so a crashing task cannot wedge `wait_idle`).
     pub fn begin(&self) -> TaskToken {
-        *self.inner.count.lock() += 1;
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
         TaskToken { inner: self.inner.clone() }
     }
 
     /// Number of tasks currently in flight.
     pub fn in_flight(&self) -> usize {
-        *self.inner.count.lock()
+        self.inner.count.load(Ordering::Acquire)
     }
 
     /// Block until no task is in flight.
     pub fn wait_idle(&self) {
-        let mut count = self.inner.count.lock();
-        while *count > 0 {
-            self.inner.cv.wait(&mut count);
+        let mut guard = self.inner.idle_lock.lock();
+        while self.inner.count.load(Ordering::Acquire) > 0 {
+            self.inner.cv.wait(&mut guard);
         }
     }
 
     /// Block until idle or the timeout elapses; returns true when idle.
     pub fn wait_idle_timeout(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
-        let mut count = self.inner.count.lock();
-        while *count > 0 {
-            if self.inner.cv.wait_until(&mut count, deadline).timed_out() {
-                return *count == 0;
+        let mut guard = self.inner.idle_lock.lock();
+        while self.inner.count.load(Ordering::Acquire) > 0 {
+            if self.inner.cv.wait_until(&mut guard, deadline).timed_out() {
+                return self.inner.count.load(Ordering::Acquire) == 0;
             }
         }
         true

@@ -47,12 +47,18 @@ pub fn pooled_invocation_aspect(
 /// How an application describes cacheable calls to [`object_cache_aspect`]:
 /// a stable key for the arguments and a way to duplicate a result (results
 /// are handed out both to the caller and to the cache).
+/// Derives a stable cache key from a call's arguments.
+pub type CacheKeyFn = Arc<dyn Fn(&Args) -> WeaveResult<String> + Send + Sync>;
+
+/// Duplicates a (type-erased) result.
+pub type CloneRetFn = Arc<dyn Fn(&AnyValue) -> WeaveResult<AnyValue> + Send + Sync>;
+
 #[derive(Clone)]
 pub struct CachePolicy {
     /// Derive a stable cache key from the call's arguments.
-    pub key: Arc<dyn Fn(&Args) -> WeaveResult<String> + Send + Sync>,
+    pub key: CacheKeyFn,
     /// Duplicate a (type-erased) result.
-    pub clone_ret: Arc<dyn Fn(&AnyValue) -> WeaveResult<AnyValue> + Send + Sync>,
+    pub clone_ret: CloneRetFn,
 }
 
 impl CachePolicy {
@@ -104,7 +110,8 @@ pub fn object_cache_aspect(
 ) -> (Aspect, CacheStats) {
     let stats = CacheStats::default();
     let stats_inner = stats.clone();
-    let cache: Arc<Mutex<HashMap<(ObjId, String), AnyValue>>> = Arc::new(Mutex::new(HashMap::new()));
+    let cache: Arc<Mutex<HashMap<(ObjId, String), AnyValue>>> =
+        Arc::new(Mutex::new(HashMap::new()));
     let aspect = Aspect::named(name)
         .precedence(precedence::OPTIMISATION)
         .around(pointcut, move |inv: &mut Invocation| {

@@ -212,10 +212,7 @@ mod tests {
         assert_eq!(d.apply(0).unwrap(), 5);
         // The *remote* instance took the calls; the local stub took none.
         assert_eq!(d.calls().unwrap(), 2);
-        let local_calls = weaver
-            .space()
-            .with_object::<Doubler, _>(d.id(), |o| o.calls)
-            .unwrap();
+        let local_calls = weaver.space().with_object::<Doubler, _>(d.id(), |o| o.calls).unwrap();
         assert_eq!(local_calls, 0, "stub must not execute redirected calls");
         // And the remote object lives on node 1.
         assert_eq!(f.node(1).unwrap().weaver().space().len(), 1);

@@ -10,7 +10,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use crossbeam::channel::bounded;
 
-use weavepar_weave::{ObjId, Weaveable, WeaveError, WeaveResult};
+use weavepar_weave::{ObjId, WeaveError, WeaveResult, Weaveable};
 
 use crate::nameserver::NameServer;
 use crate::node::{NodeRuntime, Request};
@@ -77,9 +77,9 @@ impl InProcFabric {
         let target = self.node(node)?;
         let (tx, rx) = bounded(1);
         target.submit(Request::Construct { class: class.to_string(), args, reply: tx })?;
-        let obj = rx
-            .recv()
-            .map_err(|_| WeaveError::remote(format!("node {node} dropped the construct reply")))??;
+        let obj = rx.recv().map_err(|_| {
+            WeaveError::remote(format!("node {node} dropped the construct reply"))
+        })??;
         Ok(RemoteRef { node, obj })
     }
 
@@ -185,7 +185,8 @@ mod tests {
             let args = f.marshal().encode_args("Echo", "new", &args![format!("n{node}")]).unwrap();
             let r = f.construct_on(node, "Echo", args).unwrap();
             assert_eq!(r.node, node);
-            let call_args = f.marshal().encode_args("Echo", "shout", &args!["hi".to_string()]).unwrap();
+            let call_args =
+                f.marshal().encode_args("Echo", "shout", &args!["hi".to_string()]).unwrap();
             let reply = f.call(r, "shout", call_args, true).unwrap().unwrap();
             let ret = f.marshal().decode_ret("Echo", "shout", &reply).unwrap();
             assert_eq!(*ret.downcast::<String>().unwrap(), format!("n{node}:hi"));

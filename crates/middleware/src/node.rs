@@ -13,7 +13,7 @@ use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
-use weavepar_weave::{ObjId, Weaveable, WeaveError, WeaveResult, Weaver};
+use weavepar_weave::{ObjId, WeaveError, WeaveResult, Weaveable, Weaver};
 
 use crate::wire::MarshalRegistry;
 
@@ -135,9 +135,7 @@ impl NodeRuntime {
         if self.is_down() {
             return Err(WeaveError::remote(format!("node {} is down", self.id)));
         }
-        self.tx
-            .send(request)
-            .map_err(|_| WeaveError::remote(format!("node {} is down", self.id)))
+        self.tx.send(request).map_err(|_| WeaveError::remote(format!("node {} is down", self.id)))
     }
 }
 
@@ -346,7 +344,8 @@ mod tests {
         let send = |obj| {
             let (tx, rx) = bounded(1);
             let args = m.encode_args("Adder", "add", &weavepar_weave::args![1u64]).unwrap();
-            node.submit(Request::Call { obj, method: "add".into(), args, reply: Some(tx) }).unwrap();
+            node.submit(Request::Call { obj, method: "add".into(), args, reply: Some(tx) })
+                .unwrap();
             rx.recv().unwrap().unwrap();
         };
         // Unwoven (default): server aspects do not apply.

@@ -249,8 +249,9 @@ struct MethodMarshal {
 
 type StateSnapshot =
     Arc<dyn Fn(&weavepar_weave::Weaver, weavepar_weave::ObjId) -> WeaveResult<Bytes> + Send + Sync>;
-type StateRestore =
-    Arc<dyn Fn(&weavepar_weave::Weaver, &Bytes) -> WeaveResult<weavepar_weave::ObjId> + Send + Sync>;
+type StateRestore = Arc<
+    dyn Fn(&weavepar_weave::Weaver, &Bytes) -> WeaveResult<weavepar_weave::ObjId> + Send + Sync,
+>;
 
 /// Per-class object-state marshalling (used by migration: snapshot an
 /// instance's state to bytes on one node, rebuild it on another).
@@ -263,9 +264,12 @@ pub struct StateCodec {
 /// Per-`(class, method)` marshalling knowledge — what Java gets from
 /// serialisable classes, an application registers here once per remotable
 /// method (constructions use method name `"new"`).
+/// Marshal table keyed by `(class, method)`.
+type MarshalTable = Arc<RwLock<HashMap<(String, String), Arc<MethodMarshal>>>>;
+
 #[derive(Clone, Default)]
 pub struct MarshalRegistry {
-    inner: Arc<RwLock<HashMap<(String, String), Arc<MethodMarshal>>>>,
+    inner: MarshalTable,
     states: Arc<RwLock<HashMap<String, StateCodec>>>,
 }
 
@@ -300,19 +304,13 @@ impl MarshalRegistry {
                 Ok(Box::new(v) as AnyValue)
             }),
         };
-        self.inner
-            .write()
-            .insert((class.to_string(), method.to_string()), Arc::new(marshal));
+        self.inner.write().insert((class.to_string(), method.to_string()), Arc::new(marshal));
     }
 
     fn get(&self, class: &str, method: &str) -> WeaveResult<Arc<MethodMarshal>> {
-        self.inner
-            .read()
-            .get(&(class.to_string(), method.to_string()))
-            .cloned()
-            .ok_or_else(|| {
-                WeaveError::remote(format!("no marshaller registered for {class}.{method}"))
-            })
+        self.inner.read().get(&(class.to_string(), method.to_string())).cloned().ok_or_else(|| {
+            WeaveError::remote(format!("no marshaller registered for {class}.{method}"))
+        })
     }
 
     /// Encode an argument pack for `class.method`.

@@ -4,6 +4,28 @@ use std::sync::Arc;
 
 use weavepar_weave::{AnyValue, Args, ObjId, WeaveResult, Weaver};
 
+/// Derives a worker's constructor arguments from `(rank, workers, original)`.
+pub type RankedArgsFn = Arc<dyn Fn(usize, usize, &Args) -> WeaveResult<Args> + Send + Sync>;
+
+/// Splits one call's arguments into per-pack argument packs.
+pub type SplitFn = Arc<dyn Fn(&Args) -> WeaveResult<Vec<Args>> + Send + Sync>;
+
+/// Maps one call's arguments to another call's arguments.
+pub type MapArgsFn = Arc<dyn Fn(&Args) -> WeaveResult<Args> + Send + Sync>;
+
+/// Decides a yes/no question about a call's arguments.
+pub type PredicateFn = Arc<dyn Fn(&Args) -> WeaveResult<bool> + Send + Sync>;
+
+/// Extracts an iteration count from a call's arguments.
+pub type IterationsFn = Arc<dyn Fn(&Args) -> WeaveResult<u64> + Send + Sync>;
+
+/// Boundary exchange between workers at a given iteration, expressed as
+/// woven calls so a plugged distribution aspect applies to it.
+pub type ExchangeFn = Arc<dyn Fn(&Weaver, &[ObjId], u64) -> WeaveResult<()> + Send + Sync>;
+
+/// Gathers a final result from the workers.
+pub type CollectFn = Arc<dyn Fn(&Weaver, &[ObjId]) -> WeaveResult<AnyValue> + Send + Sync>;
+
 /// How a concrete application refines an abstract partition protocol —
 /// the closure-shaped analogue of implementing the paper's `Pipe` marker
 /// interface under the abstract `PipelineProtocol` aspect (Figure 9).
@@ -18,9 +40,9 @@ pub struct Protocol {
     /// Derive worker `rank`'s constructor arguments from the original
     /// construction's arguments (`rank` ∈ `0..workers`). A farm typically
     /// broadcasts the originals; a pipeline slices a range per stage.
-    pub worker_args: Arc<dyn Fn(usize, usize, &Args) -> WeaveResult<Args> + Send + Sync>,
+    pub worker_args: RankedArgsFn,
     /// Split the original call's arguments into per-pack argument packs.
-    pub split: Arc<dyn Fn(&Args) -> WeaveResult<Vec<Args>> + Send + Sync>,
+    pub split: SplitFn,
     /// Rebuild call arguments from a value flowing between stages (pipeline
     /// forwarding: the previous stage's output becomes the next stage's
     /// input).
@@ -33,7 +55,11 @@ impl Protocol {
     /// Create the protocol's aspect-managed workers through *woven*
     /// constructions (provenance: aspect), so a plugged distribution aspect
     /// places each of them remotely, and return their ids in rank order.
-    pub fn create_workers(&self, weaver: &Weaver, original_ctor_args: &Args) -> WeaveResult<Vec<ObjId>> {
+    pub fn create_workers(
+        &self,
+        weaver: &Weaver,
+        original_ctor_args: &Args,
+    ) -> WeaveResult<Vec<ObjId>> {
         let mut ids = Vec::with_capacity(self.workers);
         for rank in 0..self.workers {
             let args = (self.worker_args)(rank, self.workers, original_ctor_args)?;

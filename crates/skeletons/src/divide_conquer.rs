@@ -19,6 +19,8 @@ use weavepar_concurrency::resolve_any;
 use weavepar_weave::aspect::precedence;
 use weavepar_weave::prelude::*;
 
+use crate::common::{MapArgsFn, PredicateFn, SplitFn};
+
 /// Configuration of a concrete divide-and-conquer computation.
 #[derive(Clone)]
 pub struct DivideConquerConfig {
@@ -28,12 +30,12 @@ pub struct DivideConquerConfig {
     pub method: &'static str,
     /// Should this call's problem be divided further (false = solve
     /// directly via `proceed`)?
-    pub should_divide: Arc<dyn Fn(&Args) -> WeaveResult<bool> + Send + Sync>,
+    pub should_divide: PredicateFn,
     /// Split the call's arguments into sub-problem argument packs.
-    pub divide: Arc<dyn Fn(&Args) -> WeaveResult<Vec<Args>> + Send + Sync>,
+    pub divide: SplitFn,
     /// Constructor arguments for a sub-worker created for the given
     /// sub-problem.
-    pub worker_args: Arc<dyn Fn(&Args) -> WeaveResult<Args> + Send + Sync>,
+    pub worker_args: MapArgsFn,
     /// Combine the sub-results into this call's result.
     pub combine: Arc<dyn Fn(Vec<AnyValue>) -> WeaveResult<AnyValue> + Send + Sync>,
 }

@@ -97,9 +97,7 @@ pub(crate) mod tests {
             method: "compute",
             workers,
             // Broadcast: every worker receives the original arguments.
-            worker_args: Arc::new(|_rank, _n, orig: &Args| {
-                Ok(args![*orig.get::<u64>(0)?])
-            }),
+            worker_args: Arc::new(|_rank, _n, orig: &Args| Ok(args![*orig.get::<u64>(0)?])),
             split: Arc::new(move |a: &Args| {
                 let items = a.get::<Vec<u64>>(0)?;
                 let chunk = items.len().div_ceil(packs.max(1)).max(1);
@@ -173,7 +171,7 @@ pub(crate) mod tests {
     }
 
     #[test]
-    fn swap_pipeline_for_farm_is_a_replug(){
+    fn swap_pipeline_for_farm_is_a_replug() {
         // The paper's headline: exchanging one partition strategy for the
         // other is plugging a different aspect — core code untouched.
         let weaver = Weaver::new();

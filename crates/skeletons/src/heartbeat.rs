@@ -18,7 +18,7 @@ use weavepar_concurrency::resolve_any;
 use weavepar_weave::aspect::precedence;
 use weavepar_weave::prelude::*;
 
-use crate::common::WORKERS_FIELD;
+use crate::common::{CollectFn, ExchangeFn, IterationsFn, RankedArgsFn, WORKERS_FIELD};
 
 /// Configuration of a concrete heartbeat computation.
 #[derive(Clone)]
@@ -29,20 +29,20 @@ pub struct HeartbeatConfig {
     pub workers: usize,
     /// Derive worker `rank`'s constructor arguments from the original
     /// construction's arguments.
-    pub worker_args: Arc<dyn Fn(usize, usize, &Args) -> WeaveResult<Args> + Send + Sync>,
+    pub worker_args: RankedArgsFn,
     /// The core method that drives the whole computation (intercepted).
     pub run_method: &'static str,
     /// Extract the iteration count from the run call's arguments.
-    pub iterations: Arc<dyn Fn(&Args) -> WeaveResult<u64> + Send + Sync>,
+    pub iterations: IterationsFn,
     /// Per-iteration method invoked on every worker.
     pub step_method: &'static str,
     /// Arguments for the step call at a given iteration.
     pub step_args: Arc<dyn Fn(u64) -> WeaveResult<Args> + Send + Sync>,
     /// Boundary exchange between workers before each iteration, expressed as
     /// woven calls so distribution applies.
-    pub exchange: Arc<dyn Fn(&Weaver, &[ObjId], u64) -> WeaveResult<()> + Send + Sync>,
+    pub exchange: ExchangeFn,
     /// Gather the final result from the workers.
-    pub collect: Arc<dyn Fn(&Weaver, &[ObjId]) -> WeaveResult<AnyValue> + Send + Sync>,
+    pub collect: CollectFn,
 }
 
 impl std::fmt::Debug for HeartbeatConfig {
@@ -143,10 +143,10 @@ mod tests {
             fn step(&mut self) {
                 let mut next = self.cells.clone();
                 let n = self.cells.len();
-                for i in 0..n {
+                for (i, cell) in next.iter_mut().enumerate() {
                     let left = if i == 0 { self.left_halo } else { self.cells[i - 1] };
                     let right = if i + 1 == n { self.right_halo } else { self.cells[i + 1] };
-                    next[i] = (left + right) / 2.0;
+                    *cell = (left + right) / 2.0;
                 }
                 self.cells = next;
             }
@@ -217,10 +217,7 @@ mod tests {
             assert_eq!(weaver.space().ids_of_class("Block").len(), workers);
             let got = b.run(10).unwrap();
             let want = sequential_reference(1.0, 16, 10);
-            assert!(
-                (got - want).abs() < 1e-9,
-                "workers={workers}: {got} vs sequential {want}"
-            );
+            assert!((got - want).abs() < 1e-9, "workers={workers}: {got} vs sequential {want}");
         }
     }
 
@@ -231,11 +228,9 @@ mod tests {
         let executor = Executor::thread_per_call();
         // Only the per-iteration steps run asynchronously; the exchange
         // calls stay synchronous (they are matched by their own names).
-        for a in future_concurrency_aspect(
-            "Concurrency",
-            Pointcut::call("Block.step"),
-            executor.clone(),
-        ) {
+        for a in
+            future_concurrency_aspect("Concurrency", Pointcut::call("Block.step"), executor.clone())
+        {
             weaver.plug(a);
         }
         let b = BlockProxy::construct(&weaver, 2.0, 32).unwrap();

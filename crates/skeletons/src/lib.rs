@@ -35,7 +35,9 @@ pub mod farm;
 pub mod heartbeat;
 pub mod pipeline;
 
-pub use common::Protocol;
+pub use common::{
+    CollectFn, ExchangeFn, IterationsFn, MapArgsFn, PredicateFn, Protocol, RankedArgsFn, SplitFn,
+};
 pub use divide_conquer::{divide_conquer_aspect, DivideConquerConfig};
 pub use dynamic_farm::{dynamic_farm_aspect, DynamicFarmConfig};
 pub use farm::{farm_aspect, FarmConfig};

@@ -46,9 +46,9 @@ pub fn pipeline_aspect(name: impl Into<String>, protocol: PipelineConfig) -> Asp
                     let next = ids.get(i + 1).copied();
                     weaver.intertype().set_field(*id, NEXT_FIELD, next);
                 }
-                let first = *ids.first().ok_or_else(|| {
-                    WeaveError::app("pipeline protocol needs at least one stage")
-                })?;
+                let first = *ids
+                    .first()
+                    .ok_or_else(|| WeaveError::app("pipeline protocol needs at least one stage"))?;
                 Ok(weavepar_weave::ret!(first))
             },
         )
@@ -74,25 +74,22 @@ pub fn pipeline_aspect(name: impl Into<String>, protocol: PipelineConfig) -> Asp
             },
         )
         // Block 3: forwarding (all call sites, applied recursively).
-        .around(
-            Pointcut::call_sig(protocol.class, protocol.method),
-            move |inv: &mut Invocation| {
-                let weaver = inv.weaver().clone();
-                let target = inv.target_required()?;
-                let out = inv.proceed()?;
-                match weaver.intertype().get_field::<Option<ObjId>>(target, NEXT_FIELD) {
-                    Some(Some(next)) => {
-                        // Forward this stage's output down the chain; the
-                        // downstream return value (possibly a future) IS this
-                        // pack's result.
-                        let fwd_args = (fwd.reforward)(out)?;
-                        weaver.invoke_call(next, fwd.class, fwd.method, fwd_args)
-                    }
-                    // Last stage (or an unmanaged object): its output is final.
-                    _ => Ok(out),
+        .around(Pointcut::call_sig(protocol.class, protocol.method), move |inv: &mut Invocation| {
+            let weaver = inv.weaver().clone();
+            let target = inv.target_required()?;
+            let out = inv.proceed()?;
+            match weaver.intertype().get_field::<Option<ObjId>>(target, NEXT_FIELD) {
+                Some(Some(next)) => {
+                    // Forward this stage's output down the chain; the
+                    // downstream return value (possibly a future) IS this
+                    // pack's result.
+                    let fwd_args = (fwd.reforward)(out)?;
+                    weaver.invoke_call(next, fwd.class, fwd.method, fwd_args)
                 }
-            },
-        )
+                // Last stage (or an unmanaged object): its output is final.
+                _ => Ok(out),
+            }
+        })
         .build()
 }
 

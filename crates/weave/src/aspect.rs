@@ -135,13 +135,16 @@ impl AspectBuilder {
         G: Fn(&Invocation) -> WeaveResult<bool> + Send + Sync + 'static,
         A: Advice,
     {
-        self.around(pointcut, move |inv: &mut Invocation| {
-            if guard(inv)? {
-                advice.around(inv)
-            } else {
-                inv.proceed()
-            }
-        })
+        self.around(
+            pointcut,
+            move |inv: &mut Invocation| {
+                if guard(inv)? {
+                    advice.around(inv)
+                } else {
+                    inv.proceed()
+                }
+            },
+        )
     }
 
     /// Add before advice: runs `f`, then proceeds with the original event.
@@ -213,10 +216,10 @@ mod tests {
 
     #[test]
     fn category_precedences_are_ordered() {
-        assert!(precedence::ASYNC_INVOCATION < precedence::PARTITION);
-        assert!(precedence::PARTITION < precedence::SYNCHRONISATION);
-        assert!(precedence::SYNCHRONISATION < precedence::OPTIMISATION);
-        assert!(precedence::OPTIMISATION < precedence::DISTRIBUTION);
+        const { assert!(precedence::ASYNC_INVOCATION < precedence::PARTITION) };
+        const { assert!(precedence::PARTITION < precedence::SYNCHRONISATION) };
+        const { assert!(precedence::SYNCHRONISATION < precedence::OPTIMISATION) };
+        const { assert!(precedence::OPTIMISATION < precedence::DISTRIBUTION) };
     }
 
     #[test]

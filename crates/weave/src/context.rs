@@ -133,7 +133,8 @@ impl CurrentContext {
     /// lifetime of the returned guards.
     pub fn install(
         &self,
-    ) -> (ProvenanceGuard, crate::trace::TaskGuard, crate::trace::DataDepGuard, Vec<CflowGuard>) {
+    ) -> (ProvenanceGuard, crate::trace::TaskGuard, crate::trace::DataDepGuard, Vec<CflowGuard>)
+    {
         (
             push(self.provenance),
             crate::trace::push_task(self.task),
@@ -173,7 +174,7 @@ mod tests {
     #[test]
     fn contexts_are_per_thread() {
         let _g = push(Provenance::Aspect(AspectId::from_raw(9)));
-        let other = std::thread::spawn(|| current()).join().unwrap();
+        let other = std::thread::spawn(current).join().unwrap();
         assert_eq!(other, Provenance::Core);
         assert_eq!(current(), Provenance::Aspect(AspectId::from_raw(9)));
     }

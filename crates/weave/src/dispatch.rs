@@ -143,7 +143,10 @@ mod tests {
                     Ok(crate::ret!())
                 }
                 "get" => Ok(crate::ret!(self.n)),
-                _ => Err(WeaveError::NoSuchMethod { class: Self::CLASS.into(), method: method.into() }),
+                _ => Err(WeaveError::NoSuchMethod {
+                    class: Self::CLASS.into(),
+                    method: method.into(),
+                }),
             }
         }
 

@@ -64,11 +64,7 @@ impl IntertypeStore {
         class: &str,
         method: &str,
     ) -> Option<(&'static str, &'static str)> {
-        self.extensions
-            .read()
-            .keys()
-            .copied()
-            .find(|(c, m)| *c == class && *m == method)
+        self.extensions.read().keys().copied().find(|(c, m)| *c == class && *m == method)
     }
 
     /// Invoke an extension method.
@@ -208,9 +204,7 @@ mod tests {
         store.set_field(obj(1), "next", Some(obj(2)));
         assert_eq!(store.get_field::<Option<ObjId>>(obj(1), "next"), Some(Some(obj(2))));
         assert_eq!(store.get_field::<Option<ObjId>>(obj(9), "next"), None);
-        store
-            .with_field_mut::<Option<ObjId>, _>(obj(1), "next", |n| *n = None)
-            .unwrap();
+        store.with_field_mut::<Option<ObjId>, _>(obj(1), "next", |n| *n = None).unwrap();
         assert_eq!(store.get_field::<Option<ObjId>>(obj(1), "next"), Some(None));
     }
 
@@ -248,7 +242,11 @@ mod tests {
     #[test]
     fn extension_methods_register_and_resolve() {
         let store = IntertypeStore::new();
-        store.add_method("Point", "migrate", Arc::new(|_w, _o, _a| Ok(crate::ret!("migrated".to_string()))));
+        store.add_method(
+            "Point",
+            "migrate",
+            Arc::new(|_w, _o, _a| Ok(crate::ret!("migrated".to_string()))),
+        );
         assert!(store.resolve_method("Point", "migrate").is_some());
         assert!(store.resolve_method("Point", "fly").is_none());
         assert!(store.remove_method("Point", "migrate"));
@@ -259,9 +257,8 @@ mod tests {
     fn call_unknown_extension_is_no_such_method() {
         let store = IntertypeStore::new();
         let weaver = Weaver::new();
-        let err = store
-            .call_method(&weaver, "Point", "migrate", obj(1), Args::empty())
-            .unwrap_err();
+        let err =
+            store.call_method(&weaver, "Point", "migrate", obj(1), Args::empty()).unwrap_err();
         assert!(matches!(err, WeaveError::NoSuchMethod { .. }));
     }
 }

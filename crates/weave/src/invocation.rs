@@ -201,9 +201,9 @@ impl Invocation {
             BaseAction::Construct(info) => {
                 self.weaver.base_construct(info, args, false, crate::trace::thread_tag())
             }
-            BaseAction::Call => Err(WeaveError::app(
-                "construct_sibling is only valid on construction join points",
-            )),
+            BaseAction::Call => {
+                Err(WeaveError::app("construct_sibling is only valid on construction join points"))
+            }
         }
     }
 
@@ -211,8 +211,13 @@ impl Invocation {
         match self.base {
             BaseAction::Call => {
                 let target = self.target.ok_or(WeaveError::NoTarget)?;
-                self.weaver
-                    .base_call(self.signature, target, args, self.async_boundary, self.issuer)
+                self.weaver.base_call(
+                    self.signature,
+                    target,
+                    args,
+                    self.async_boundary,
+                    self.issuer,
+                )
             }
             BaseAction::Construct(info) => {
                 let id =

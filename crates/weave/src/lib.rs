@@ -83,6 +83,7 @@ pub mod object;
 pub mod pointcut;
 pub mod registry;
 pub mod signature;
+pub(crate) mod snapshot;
 pub mod trace;
 pub mod value;
 

@@ -263,9 +263,7 @@ mod tests {
     fn proxy_calls_are_join_points() {
         let weaver = Weaver::new();
         let blocked = Aspect::named("Block")
-            .around(Pointcut::call("Counter.bump"), |_inv: &mut Invocation| {
-                Ok(crate::ret!())
-            })
+            .around(Pointcut::call("Counter.bump"), |_inv: &mut Invocation| Ok(crate::ret!()))
             .build();
         weaver.plug(blocked);
         let p = CounterProxy::construct(&weaver, 0, 1).unwrap();

@@ -46,14 +46,14 @@ impl std::fmt::Display for ObjId {
     }
 }
 
-type Instance = Arc<ReentrantMutex<RefCell<Box<dyn Any + Send>>>>;
+pub(crate) type Instance = Arc<ReentrantMutex<RefCell<Box<dyn Any + Send>>>>;
 
 /// Guard holding an object's monitor (the paper's `synchronized(target)`).
 ///
 /// Re-entrant: the thread holding it can still dispatch methods on the same
 /// object through the weaver.
 pub struct MonitorGuard {
-    _guard: parking_lot::ArcReentrantMutexGuard<parking_lot::RawMutex, parking_lot::RawThreadId, RefCell<Box<dyn Any + Send>>>,
+    _guard: parking_lot::ArcReentrantMutexGuard<RefCell<Box<dyn Any + Send>>>,
 }
 
 struct Entry {
@@ -61,20 +61,32 @@ struct Entry {
     instance: Instance,
 }
 
-/// Shared store of aspect-managed objects.
+/// Number of independent map shards. A power of two so the shard index is a
+/// mask of the (sequentially assigned) object id.
+const SHARDS: usize = 16;
+
+/// Shared store of aspect-managed objects, sharded by object id.
 ///
-/// All access goes through per-object monitors; the map itself is guarded by
-/// a read-write lock so concurrent dispatch to *different* objects never
-/// contends.
+/// All access goes through per-object monitors; the id→instance maps are
+/// split into [`SHARDS`] read-write-locked shards so concurrent dispatch —
+/// even insert/remove traffic — to *different* objects rarely touches the
+/// same lock.
 pub struct ObjectSpace {
-    objects: RwLock<HashMap<u64, Entry>>,
+    shards: [RwLock<HashMap<u64, Entry>>; SHARDS],
     next_id: AtomicU64,
 }
 
 impl ObjectSpace {
     /// An empty space.
     pub fn new() -> Self {
-        ObjectSpace { objects: RwLock::new(HashMap::new()), next_id: AtomicU64::new(1) }
+        ObjectSpace {
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    fn shard(&self, raw: u64) -> &RwLock<HashMap<u64, Entry>> {
+        &self.shards[(raw as usize) & (SHARDS - 1)]
     }
 
     /// Insert a typed instance, returning its id.
@@ -86,53 +98,57 @@ impl ObjectSpace {
     pub fn insert_erased(&self, info: ClassInfo, value: Box<dyn Any + Send>) -> ObjId {
         let id = ObjId(self.next_id.fetch_add(1, Ordering::Relaxed));
         let entry = Entry { info, instance: Arc::new(ReentrantMutex::new(RefCell::new(value))) };
-        self.objects.write().insert(id.raw(), entry);
+        self.shard(id.raw()).write().insert(id.raw(), entry);
         id
+    }
+
+    /// Resolve an object to its class record and instance in one shard read.
+    pub(crate) fn lookup(&self, id: ObjId) -> WeaveResult<(ClassInfo, Instance)> {
+        self.shard(id.raw())
+            .read()
+            .get(&id.raw())
+            .map(|e| (e.info, e.instance.clone()))
+            .ok_or(WeaveError::NoSuchObject(id))
+    }
+
+    /// Dispatch `method` on an already-resolved instance, holding its monitor
+    /// for the duration of the call.
+    pub(crate) fn dispatch_on(
+        info: &ClassInfo,
+        instance: &Instance,
+        id: ObjId,
+        method: &'static str,
+        args: Args,
+    ) -> WeaveResult<AnyValue> {
+        let guard = instance.lock();
+        let mut borrowed = guard.try_borrow_mut().map_err(|_| {
+            WeaveError::app(format!("re-entrant mutable dispatch on {id} ({})", info.class))
+        })?;
+        (info.dispatch)(&mut **borrowed, method, args)
     }
 
     /// Class name of a live object.
     pub fn class_of(&self, id: ObjId) -> WeaveResult<&'static str> {
-        self.objects
-            .read()
-            .get(&id.raw())
-            .map(|e| e.info.class)
-            .ok_or(WeaveError::NoSuchObject(id))
+        self.lookup(id).map(|(info, _)| info.class)
     }
 
     /// Class record of a live object.
     pub fn class_info(&self, id: ObjId) -> WeaveResult<ClassInfo> {
-        self.objects
-            .read()
-            .get(&id.raw())
-            .map(|e| e.info)
-            .ok_or(WeaveError::NoSuchObject(id))
+        self.lookup(id).map(|(info, _)| info)
     }
 
     /// Acquire the object's monitor. The returned guard can be held across
     /// further dispatches to the same object from the same thread.
     pub fn monitor(&self, id: ObjId) -> WeaveResult<MonitorGuard> {
-        let instance = self
-            .objects
-            .read()
-            .get(&id.raw())
-            .map(|e| e.instance.clone())
-            .ok_or(WeaveError::NoSuchObject(id))?;
+        let (_, instance) = self.lookup(id)?;
         Ok(MonitorGuard { _guard: ReentrantMutex::lock_arc(&instance) })
     }
 
     /// Invoke `method` on the object, holding its monitor for the duration of
     /// the call. `method` must be one of the class's dispatchable methods.
     pub fn invoke(&self, id: ObjId, method: &'static str, args: Args) -> WeaveResult<AnyValue> {
-        let (instance, info) = {
-            let map = self.objects.read();
-            let entry = map.get(&id.raw()).ok_or(WeaveError::NoSuchObject(id))?;
-            (entry.instance.clone(), entry.info)
-        };
-        let guard = instance.lock();
-        let mut borrowed = guard
-            .try_borrow_mut()
-            .map_err(|_| WeaveError::app(format!("re-entrant mutable dispatch on {id} ({})", info.class)))?;
-        (info.dispatch)(&mut **borrowed, method, args)
+        let (info, instance) = self.lookup(id)?;
+        Self::dispatch_on(&info, &instance, id, method, args)
     }
 
     /// Run a closure with typed mutable access to the object.
@@ -141,11 +157,7 @@ impl ObjectSpace {
         id: ObjId,
         f: impl FnOnce(&mut T) -> R,
     ) -> WeaveResult<R> {
-        let instance = {
-            let map = self.objects.read();
-            let entry = map.get(&id.raw()).ok_or(WeaveError::NoSuchObject(id))?;
-            entry.instance.clone()
-        };
+        let (_, instance) = self.lookup(id)?;
         let guard = instance.lock();
         let mut borrowed = guard
             .try_borrow_mut()
@@ -159,33 +171,38 @@ impl ObjectSpace {
 
     /// Remove an object; returns true when it was present.
     pub fn remove(&self, id: ObjId) -> bool {
-        self.objects.write().remove(&id.raw()).is_some()
+        self.shard(id.raw()).write().remove(&id.raw()).is_some()
     }
 
     /// True when the object is live.
     pub fn contains(&self, id: ObjId) -> bool {
-        self.objects.read().contains_key(&id.raw())
+        self.shard(id.raw()).read().contains_key(&id.raw())
     }
 
     /// Number of live objects.
     pub fn len(&self) -> usize {
-        self.objects.read().len()
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 
     /// True when no object is live.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.shards.iter().all(|s| s.read().is_empty())
     }
 
     /// Ids of all live objects of a class, in id order (used by aspects that
     /// iterate their managed set).
     pub fn ids_of_class(&self, class: &str) -> Vec<ObjId> {
         let mut ids: Vec<ObjId> = self
-            .objects
-            .read()
+            .shards
             .iter()
-            .filter(|(_, e)| e.info.class == class)
-            .map(|(id, _)| ObjId(*id))
+            .flat_map(|shard| {
+                shard
+                    .read()
+                    .iter()
+                    .filter(|(_, e)| e.info.class == class)
+                    .map(|(id, _)| ObjId(*id))
+                    .collect::<Vec<_>>()
+            })
             .collect();
         ids.sort();
         ids
@@ -333,11 +350,12 @@ mod tests {
     fn with_object_typed_access() {
         let space = ObjectSpace::new();
         let id = space.insert(Cell { v: 5 });
-        let doubled = space.with_object::<Cell, _>(id, |c| {
-            c.v *= 2;
-            c.v
-        })
-        .unwrap();
+        let doubled = space
+            .with_object::<Cell, _>(id, |c| {
+                c.v *= 2;
+                c.v
+            })
+            .unwrap();
         assert_eq!(doubled, 10);
         let err = space.with_object::<WrongType, _>(id, |_| ()).unwrap_err();
         assert!(matches!(err, WeaveError::TypeMismatch { .. }));

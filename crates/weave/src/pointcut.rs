@@ -114,9 +114,7 @@ impl Pointcut {
     pub fn matches(&self, q: &JoinPointQuery) -> bool {
         match self {
             Pointcut::Call(p) => q.kind == JoinPointKind::Call && p.matches(&q.signature),
-            Pointcut::Construct(p) => {
-                q.kind == JoinPointKind::Construct && p.matches(&q.signature)
-            }
+            Pointcut::Construct(p) => q.kind == JoinPointKind::Construct && p.matches(&q.signature),
             Pointcut::AnyJoinPoint(p) => p.matches(&q.signature),
             Pointcut::WithinCore => q.provenance == Provenance::Core,
             Pointcut::WithinAspects => matches!(q.provenance, Provenance::Aspect(_)),
@@ -193,8 +191,7 @@ mod tests {
         let forward = Pointcut::call("PrimeFilter.filter");
 
         let from_core = q(FILTER, JoinPointKind::Call, Provenance::Core);
-        let from_aspect =
-            q(FILTER, JoinPointKind::Call, Provenance::Aspect(AspectId::from_raw(1)));
+        let from_aspect = q(FILTER, JoinPointKind::Call, Provenance::Aspect(AspectId::from_raw(1)));
 
         assert!(split.matches(&from_core));
         assert!(!split.matches(&from_aspect));

@@ -7,17 +7,20 @@
 //! `invoke_*` entry points — flow through [`Weaver::invoke_call`] /
 //! [`Weaver::construct`], which match the plugged advice and walk the chain.
 //!
-//! Matching results are cached per `(signature, kind, provenance)`; the cache
-//! is invalidated whenever the aspect set changes, so plugging and unplugging
-//! at run time is always honoured. The cache can be disabled for ablation
-//! benchmarks ([`Weaver::set_match_cache`]).
+//! Matching results are cached per `(signature, kind, provenance)` in the
+//! published [`snapshot`](crate::snapshot) of the aspect set; every mutation
+//! of that set (plug, unplug, enable, disable, cache toggle) publishes a new
+//! generation-stamped snapshot with a fresh cache, so plugging and unplugging
+//! at run time is always honoured without any clear-the-world invalidation.
+//! The cache can be disabled for ablation benchmarks
+//! ([`Weaver::set_match_cache`]).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 
 use crate::advice::AdviceEntry;
 use crate::aspect::{Aspect, AspectId, PluggedAspect};
@@ -27,8 +30,8 @@ use crate::error::{WeaveError, WeaveResult};
 use crate::intertype::IntertypeStore;
 use crate::invocation::{BaseAction, Invocation, JoinPointKind};
 use crate::object::{Handle, ObjId, ObjectSpace};
-use crate::pointcut::JoinPointQuery;
 use crate::signature::Signature;
+use crate::snapshot::{AspectCell, Chain, RecorderCell};
 use crate::trace::{self, Recorder};
 use crate::value::{AnyValue, Args};
 
@@ -39,17 +42,16 @@ struct Slot {
     advice: Vec<Arc<AdviceEntry>>,
 }
 
-type CacheKey = (Signature, JoinPointKind, Provenance);
-type Chain = Arc<[Arc<AdviceEntry>]>;
-
 struct WeaverInner {
     space: ObjectSpace,
     intertype: IntertypeStore,
+    /// Master aspect list (administrative operations). The dispatch hot path
+    /// never touches this lock: it reads the published snapshot instead.
     aspects: RwLock<Vec<Slot>>,
-    cache: Mutex<HashMap<CacheKey, Chain>>,
+    snapshot: AspectCell,
     cache_enabled: AtomicBool,
     next_aspect: AtomicU64,
-    recorder: RwLock<Option<Recorder>>,
+    recorder: RecorderCell,
     classes: RwLock<HashMap<&'static str, ClassInfo>>,
 }
 
@@ -67,10 +69,10 @@ impl Weaver {
                 space: ObjectSpace::new(),
                 intertype: IntertypeStore::new(),
                 aspects: RwLock::new(Vec::new()),
-                cache: Mutex::new(HashMap::new()),
+                snapshot: AspectCell::new(),
                 cache_enabled: AtomicBool::new(true),
                 next_aspect: AtomicU64::new(1),
-                recorder: RwLock::new(None),
+                recorder: RecorderCell::new(),
                 classes: RwLock::new(HashMap::new()),
             }),
         }
@@ -120,8 +122,10 @@ impl Weaver {
             })
             .collect();
         let slot = Slot { id, name: aspect.name.clone(), enabled: true, advice };
-        self.inner.aspects.write().push(slot);
-        self.invalidate_cache();
+        let mut aspects = self.inner.aspects.write();
+        aspects.push(slot);
+        self.republish(&aspects);
+        drop(aspects);
         PluggedAspect { id, name: aspect.name }
     }
 
@@ -131,9 +135,8 @@ impl Weaver {
         let before = aspects.len();
         aspects.retain(|s| s.id != plugged.id);
         let removed = aspects.len() != before;
-        drop(aspects);
         if removed {
-            self.invalidate_cache();
+            self.republish(&aspects);
         }
         removed
     }
@@ -143,16 +146,12 @@ impl Weaver {
     /// aspect exists.
     pub fn set_enabled(&self, plugged: &PluggedAspect, enabled: bool) -> bool {
         let mut aspects = self.inner.aspects.write();
-        let found = aspects.iter_mut().find(|s| s.id == plugged.id);
-        match found {
-            Some(slot) => {
-                slot.enabled = enabled;
-                drop(aspects);
-                self.invalidate_cache();
-                true
-            }
-            None => false,
+        match aspects.iter_mut().find(|s| s.id == plugged.id) {
+            Some(slot) => slot.enabled = enabled,
+            None => return false,
         }
+        self.republish(&aspects);
+        true
     }
 
     /// Is the aspect currently plugged (regardless of enablement)?
@@ -180,31 +179,29 @@ impl Weaver {
 
     /// Total advice declarations across enabled aspects.
     pub fn active_advice_count(&self) -> usize {
-        self.inner
-            .aspects
-            .read()
-            .iter()
-            .filter(|s| s.enabled)
-            .map(|s| s.advice.len())
-            .sum()
+        self.inner.aspects.read().iter().filter(|s| s.enabled).map(|s| s.advice.len()).sum()
     }
 
     // ---- recorder ------------------------------------------------------------
 
-    /// Install (or remove) a trace recorder.
+    /// Install (or remove) a trace recorder. Publishes a new recorder
+    /// snapshot; the advice match cache is untouched.
     pub fn set_recorder(&self, recorder: Option<Recorder>) {
-        *self.inner.recorder.write() = recorder;
+        self.inner.recorder.set(recorder);
     }
 
     /// The installed recorder, if any.
     pub fn recorder(&self) -> Option<Recorder> {
-        self.inner.recorder.read().clone()
+        self.inner.recorder.exact()
     }
 
     /// Enable/disable the advice match cache (ablation benchmarks).
     pub fn set_match_cache(&self, enabled: bool) {
         self.inner.cache_enabled.store(enabled, Ordering::Relaxed);
-        self.invalidate_cache();
+        // Republishing swaps in a snapshot with the new flag (and an empty
+        // cache), which is also the invalidation.
+        let aspects = self.inner.aspects.write();
+        self.republish(&aspects);
     }
 
     // ---- join points ----------------------------------------------------------
@@ -298,7 +295,12 @@ impl Weaver {
     /// Woven method call with a dynamic method name: the class is resolved
     /// from the live object, the method name from its dispatch table or the
     /// inter-type extensions.
-    pub fn invoke_call_dyn(&self, target: ObjId, method: &str, args: Args) -> WeaveResult<AnyValue> {
+    pub fn invoke_call_dyn(
+        &self,
+        target: ObjId,
+        method: &str,
+        args: Args,
+    ) -> WeaveResult<AnyValue> {
         let info = self.inner.space.class_info(target)?;
         let method = self.resolve_method_name(&info, method)?;
         self.invoke_call(target, info.class, method, args)
@@ -334,11 +336,14 @@ impl Weaver {
         async_boundary: bool,
         issuer: u64,
     ) -> WeaveResult<AnyValue> {
-        let info = self.inner.space.class_info(target)?;
+        // One shard read resolves both the class record and the instance; the
+        // monitor is then taken without revisiting the map.
+        let (info, instance) = self.inner.space.lookup(target)?;
         let in_table = info.methods.contains(&signature.method);
-        let recorder = self.recorder();
+        let recorder_snap = self.inner.recorder.get();
+        let recorder = recorder_snap.as_ref().as_ref();
 
-        let (task, model_cost) = match &recorder {
+        let (task, model_cost) = match recorder {
             Some(rec) => {
                 let bytes = (info.arg_bytes)(signature.method, &args);
                 let model = rec.model_cost(&signature, &args);
@@ -353,23 +358,30 @@ impl Weaver {
         let result = {
             let _prov = context::push(Provenance::Core);
             let _task = trace::push_task(task);
-            let start = Instant::now();
+            // The clock is only read when a recorder needs wall-time costs.
+            let start = recorder.map(|_| Instant::now());
             let result = if in_table {
-                self.inner.space.invoke(target, signature.method, args)
+                ObjectSpace::dispatch_on(&info, &instance, target, signature.method, args)
             } else {
-                self.inner.intertype.call_method(self, signature.class, signature.method, target, args)
+                drop(instance);
+                self.inner.intertype.call_method(
+                    self,
+                    signature.class,
+                    signature.method,
+                    target,
+                    args,
+                )
             };
-            if let (Some(rec), Some(task)) = (&recorder, task) {
-                let cost = model_cost.unwrap_or_else(|| start.elapsed());
-                let ret_bytes = result
-                    .as_ref()
-                    .map(|r| (info.ret_bytes)(signature.method, r))
-                    .unwrap_or(0);
+            if let (Some(rec), Some(task)) = (recorder, task) {
+                let cost = model_cost
+                    .unwrap_or_else(|| start.expect("clock read when recording").elapsed());
+                let ret_bytes =
+                    result.as_ref().map(|r| (info.ret_bytes)(signature.method, r)).unwrap_or(0);
                 rec.end_task(task, cost, ret_bytes);
             }
             result
         };
-        if let (Some(rec), Some(task)) = (&recorder, task) {
+        if let (Some(rec), Some(task)) = (recorder, task) {
             // Whatever this thread's advice does next (e.g. forward the
             // result down the pipeline) happens after this task.
             trace::note_completion(rec.id(), task);
@@ -385,22 +397,24 @@ impl Weaver {
         issuer: u64,
     ) -> WeaveResult<ObjId> {
         let signature = Signature::construction(info.class);
-        let recorder = self.recorder();
-        let (bytes, model_cost) = match &recorder {
+        let recorder_snap = self.inner.recorder.get();
+        let recorder = recorder_snap.as_ref().as_ref();
+        let (bytes, model_cost) = match recorder {
             Some(rec) => {
                 ((info.arg_bytes)(Signature::NEW, &args), rec.model_cost(&signature, &args))
             }
             None => (0, None),
         };
-        let start = Instant::now();
+        let start = recorder.map(|_| Instant::now());
         let boxed = {
             let _prov = context::push(Provenance::Core);
             (info.construct)(args)?
         };
         let id = self.inner.space.insert_erased(info, boxed);
-        if let Some(rec) = &recorder {
+        if let Some(rec) = recorder {
             let task = rec.begin_task(signature, Some(id), bytes, async_boundary, issuer);
-            let cost = model_cost.unwrap_or_else(|| start.elapsed());
+            let cost =
+                model_cost.unwrap_or_else(|| start.expect("clock read when recording").elapsed());
             rec.end_task(task, cost, 0);
             trace::note_completion(rec.id(), task);
         }
@@ -415,44 +429,21 @@ impl Weaver {
         kind: JoinPointKind,
         provenance: Provenance,
     ) -> Chain {
-        let use_cache = self.inner.cache_enabled.load(Ordering::Relaxed);
-        let key = (signature, kind, provenance);
-        if use_cache {
-            if let Some(chain) = self.inner.cache.lock().get(&key) {
-                return chain.clone();
-            }
-        }
-        let chain = self.compute_matched(signature, kind, provenance);
-        if use_cache {
-            self.inner.cache.lock().insert(key, chain.clone());
-        }
-        chain
+        self.inner.snapshot.matched(signature, kind, provenance)
     }
 
-    fn compute_matched(
-        &self,
-        signature: Signature,
-        kind: JoinPointKind,
-        provenance: Provenance,
-    ) -> Chain {
-        let aspects = self.inner.aspects.read();
-        let mut matched: Vec<Arc<AdviceEntry>> = Vec::new();
-        for slot in aspects.iter().filter(|s| s.enabled) {
-            for entry in &slot.advice {
-                let query = JoinPointQuery { signature, kind, provenance, owner: slot.id };
-                if entry.pointcut.matches(&query) {
-                    matched.push(entry.clone());
-                }
-            }
-        }
-        // Lower precedence runs outermost; plug order and declaration order
-        // break ties deterministically.
-        matched.sort_by_key(|e| (e.precedence, e.aspect, e.index));
-        matched.into()
+    /// Publish the enabled advice set as a new immutable snapshot. Must be
+    /// called with the aspect write lock held, which serialises publications.
+    fn republish(&self, aspects: &[Slot]) {
+        let advice: Vec<Arc<AdviceEntry>> =
+            aspects.iter().filter(|s| s.enabled).flat_map(|s| s.advice.iter().cloned()).collect();
+        self.inner.snapshot.publish(self.inner.cache_enabled.load(Ordering::Relaxed), advice);
     }
 
-    fn invalidate_cache(&self) {
-        self.inner.cache.lock().clear();
+    /// The published aspect snapshot (tests and diagnostics).
+    #[cfg(test)]
+    pub(crate) fn debug_snapshot(&self) -> Arc<crate::snapshot::AspectsSnapshot> {
+        self.inner.snapshot.snapshot()
     }
 }
 
@@ -477,6 +468,7 @@ pub(crate) mod tests {
     use crate::pointcut::Pointcut;
     use crate::value::downcast_ret;
     use crate::{args, ret};
+    use parking_lot::Mutex;
 
     /// Minimal weaveable class used across the registry tests.
     pub(crate) struct Acc {
@@ -786,6 +778,42 @@ pub(crate) mod tests {
     }
 
     #[test]
+    fn late_insert_from_unplugged_aspect_set_is_invisible() {
+        // Regression for the stale-chain race: a dispatch matches its advice
+        // against the pre-unplug aspect set, the unplug lands (old code:
+        // cache cleared), then the dispatch inserts its stale chain into the
+        // shared cache — which would serve the unplugged advice forever.
+        // Snapshot-owned caches make that interleaving structurally inert.
+        let weaver = Weaver::new();
+        let count = Arc::new(AtomicU64::new(0));
+        let count2 = count.clone();
+        let a = Aspect::named("A")
+            .before(Pointcut::call("Acc.add"), move |_| {
+                count2.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            })
+            .build();
+        let plugged = weaver.plug(a);
+        let h = weaver.construct::<Acc>(args![0i64]).unwrap();
+
+        // An in-flight dispatch pins the pre-unplug snapshot...
+        let old_snapshot = weaver.debug_snapshot();
+
+        weaver.unplug(&plugged);
+
+        // ...and completes its lookup+insert only now, after the unplug.
+        let sig = Signature::new("Acc", "add");
+        let stale = old_snapshot.matched(sig, JoinPointKind::Call, Provenance::Core);
+        assert_eq!(stale.len(), 1, "the old view legitimately sees the aspect");
+
+        // Fresh calls must dispatch unwoven: the stale insert went into the
+        // retired snapshot's cache, which no new lookup consults.
+        h.call("add", args![1i64]).unwrap();
+        h.call("add", args![1i64]).unwrap();
+        assert_eq!(count.load(Ordering::Relaxed), 0, "unplugged advice fired from stale cache");
+    }
+
+    #[test]
     fn detached_chain_runs_elsewhere() {
         let weaver = Weaver::new();
         let asynchronise = Aspect::named("Async")
@@ -893,9 +921,8 @@ pub(crate) mod tests {
     #[test]
     fn advice_fire_counts_expose_weaving_structure() {
         let weaver = Weaver::new();
-        let logging = Aspect::named("Logging")
-            .before(Pointcut::call("Acc.add"), |_| Ok(()))
-            .build();
+        let logging =
+            Aspect::named("Logging").before(Pointcut::call("Acc.add"), |_| Ok(())).build();
         let silent = Aspect::named("NeverMatches")
             .before(Pointcut::call("Acc.nonexistent"), |_| Ok(()))
             .build();

@@ -70,10 +70,9 @@ impl MethodPattern {
                 class: SegmentPattern::parse(class),
                 method: SegmentPattern::parse(method),
             },
-            None => MethodPattern {
-                class: SegmentPattern::Any,
-                method: SegmentPattern::parse(pattern),
-            },
+            None => {
+                MethodPattern { class: SegmentPattern::Any, method: SegmentPattern::parse(pattern) }
+            }
         }
     }
 

@@ -1,0 +1,457 @@
+//! Generation-stamped snapshot publication for the dispatch hot path.
+//!
+//! Aspect mutations (plug/unplug/enable/disable) are rare; join points are
+//! constant. This module makes the read side effectively lock-free:
+//!
+//! * The enabled advice set is published as an immutable [`AspectsSnapshot`]
+//!   behind a monotonically increasing generation counter. Each dispatching
+//!   thread keeps the current snapshot (and a private chain cache) in
+//!   thread-local storage, revalidated with a single atomic load per join
+//!   point — no locks on the hot path once warm.
+//! * Each snapshot **owns** its sharded advice-chain cache. A chain computed
+//!   against snapshot generation G can only ever be inserted into G's cache;
+//!   after a mutation publishes G+1, fresh lookups go to G+1's (empty) cache.
+//!   This makes the unplug/insert race structurally impossible: there is no
+//!   shared cache for a stale computation to poison (previously a chain
+//!   matched against the old aspect set could be inserted *after* the
+//!   unplug's invalidation and then be served forever).
+//! * The trace recorder is published the same way, so the per-call recorder
+//!   check is a TLS read instead of a `RwLock` acquisition.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::advice::AdviceEntry;
+use crate::context::Provenance;
+use crate::invocation::JoinPointKind;
+use crate::pointcut::JoinPointQuery;
+use crate::signature::Signature;
+use crate::trace::Recorder;
+
+pub(crate) type CacheKey = (Signature, JoinPointKind, Provenance);
+pub(crate) type Chain = Arc<[Arc<AdviceEntry>]>;
+
+/// Shards of the per-snapshot chain cache. Threads that miss their local
+/// cache contend only on the shard their key hashes to.
+const CHAIN_SHARDS: usize = 16;
+
+/// Per-thread cap on cached (weaver, snapshot) entries, so tests that create
+/// thousands of weavers on one thread don't grow TLS without bound.
+const TLS_CAPACITY: usize = 32;
+
+/// Process-unique identifier for a publication cell. Deliberately *not* the
+/// cell's address: a freed weaver's address can be reused, which would let a
+/// stale TLS entry validate against an unrelated weaver.
+fn next_uid() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Multiply-rotate hasher for the chain caches (fxhash-style). Cache keys are
+/// short (`two &'static str`s and two discriminants) and looked up once per
+/// join point, where SipHash's per-key setup cost is measurable; these keys
+/// are never attacker-controlled, so DoS-resistant hashing buys nothing here.
+#[derive(Default)]
+struct ChainKeyHasher {
+    hash: u64,
+}
+
+impl ChainKeyHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for ChainKeyHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.mix(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let mut tail = 0u64;
+        for &b in chunks.remainder() {
+            tail = (tail << 8) | b as u64;
+        }
+        self.mix(tail ^ bytes.len() as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+}
+
+type ChainHash = BuildHasherDefault<ChainKeyHasher>;
+type ChainMap = HashMap<CacheKey, Chain, ChainHash>;
+
+fn shard_of(key: &CacheKey) -> usize {
+    let mut hasher = ChainKeyHasher::default();
+    key.hash(&mut hasher);
+    (hasher.finish() as usize) % CHAIN_SHARDS
+}
+
+// ---- aspect snapshots -------------------------------------------------------
+
+/// An immutable view of the enabled advice set, plus the chain cache that is
+/// valid exactly as long as this view is current.
+pub(crate) struct AspectsSnapshot {
+    generation: u64,
+    cache_enabled: bool,
+    /// Enabled advice in plug order (declaration order within an aspect).
+    advice: Vec<Arc<AdviceEntry>>,
+    shards: Vec<Mutex<ChainMap>>,
+}
+
+impl AspectsSnapshot {
+    fn new(generation: u64, cache_enabled: bool, advice: Vec<Arc<AdviceEntry>>) -> Arc<Self> {
+        Arc::new(AspectsSnapshot {
+            generation,
+            cache_enabled,
+            advice,
+            shards: (0..CHAIN_SHARDS).map(|_| Mutex::new(ChainMap::default())).collect(),
+        })
+    }
+
+    /// The generation this snapshot was published as.
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Look up (or compute and memoise) the advice chain for a join point,
+    /// **as seen by this snapshot's aspect set**.
+    ///
+    /// The insert below cannot poison later aspect sets: the cache lives in
+    /// the snapshot, and mutations publish a new snapshot with a fresh cache.
+    pub(crate) fn matched(
+        &self,
+        signature: Signature,
+        kind: JoinPointKind,
+        provenance: Provenance,
+    ) -> Chain {
+        if !self.cache_enabled {
+            return self.compute(signature, kind, provenance);
+        }
+        let key = (signature, kind, provenance);
+        let shard = &self.shards[shard_of(&key)];
+        if let Some(chain) = shard.lock().get(&key) {
+            return chain.clone();
+        }
+        let chain = self.compute(signature, kind, provenance);
+        shard.lock().insert(key, chain.clone());
+        chain
+    }
+
+    fn compute(&self, signature: Signature, kind: JoinPointKind, provenance: Provenance) -> Chain {
+        let mut matched: Vec<Arc<AdviceEntry>> = Vec::new();
+        for entry in &self.advice {
+            let query = JoinPointQuery { signature, kind, provenance, owner: entry.aspect };
+            if entry.pointcut.matches(&query) {
+                matched.push(entry.clone());
+            }
+        }
+        // Lower precedence runs outermost; plug order and declaration order
+        // break ties deterministically.
+        matched.sort_by_key(|e| (e.precedence, e.aspect, e.index));
+        matched.into()
+    }
+}
+
+struct AspectTlsEntry {
+    uid: u64,
+    snap: Arc<AspectsSnapshot>,
+    /// Thread-private chain cache, valid for `snap.generation` only.
+    chains: ChainMap,
+}
+
+/// `(cell uid, generation, recorder)` cached per thread.
+type RecorderTlsEntry = (u64, u64, Arc<Option<Recorder>>);
+
+thread_local! {
+    static ASPECT_TLS: RefCell<Vec<AspectTlsEntry>> = const { RefCell::new(Vec::new()) };
+    static RECORDER_TLS: RefCell<Vec<RecorderTlsEntry>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Publication point for [`AspectsSnapshot`]s: one per weaver.
+pub(crate) struct AspectCell {
+    uid: u64,
+    current: RwLock<Arc<AspectsSnapshot>>,
+    generation: AtomicU64,
+}
+
+impl AspectCell {
+    pub(crate) fn new() -> Self {
+        AspectCell {
+            uid: next_uid(),
+            current: RwLock::new(AspectsSnapshot::new(1, true, Vec::new())),
+            generation: AtomicU64::new(1),
+        }
+    }
+
+    /// Publish a new snapshot. The caller must hold the registry's aspect
+    /// write lock, which serialises publications and keeps the generation
+    /// counter in step with the aspect set's actual history.
+    pub(crate) fn publish(&self, cache_enabled: bool, advice: Vec<Arc<AdviceEntry>>) {
+        let generation = self.generation.load(Ordering::Relaxed) + 1;
+        let snap = AspectsSnapshot::new(generation, cache_enabled, advice);
+        *self.current.write() = snap;
+        // Publish the snapshot before the generation: a reader that observes
+        // the new generation is then guaranteed to fetch a snapshot at least
+        // that new.
+        self.generation.store(generation, Ordering::Release);
+    }
+
+    /// The currently published snapshot (tests and diagnostics).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn snapshot(&self) -> Arc<AspectsSnapshot> {
+        self.current.read().clone()
+    }
+
+    /// The advice chain for a join point under the *current* aspect set.
+    ///
+    /// Hot path: one atomic load, one TLS scan, one thread-private hash
+    /// lookup — no locks. Falls back to the snapshot's sharded cache (one
+    /// shard mutex) and full matching only on cold keys.
+    pub(crate) fn matched(
+        &self,
+        signature: Signature,
+        kind: JoinPointKind,
+        provenance: Provenance,
+    ) -> Chain {
+        let generation = self.generation.load(Ordering::Acquire);
+        let key = (signature, kind, provenance);
+
+        enum Outcome {
+            Hit(Chain),
+            Miss(Arc<AspectsSnapshot>),
+        }
+
+        // Phase 1 (under the TLS borrow): revalidate the cached snapshot and
+        // try the thread-private chain cache.
+        let outcome = ASPECT_TLS.with(|tls| {
+            let mut tls = tls.borrow_mut();
+            if let Some(entry) = tls.iter_mut().find(|e| e.uid == self.uid) {
+                if entry.snap.generation != generation {
+                    entry.snap = self.current.read().clone();
+                    entry.chains.clear();
+                }
+                if entry.snap.cache_enabled {
+                    if let Some(chain) = entry.chains.get(&key) {
+                        return Outcome::Hit(chain.clone());
+                    }
+                }
+                Outcome::Miss(entry.snap.clone())
+            } else {
+                let snap = self.current.read().clone();
+                if tls.len() >= TLS_CAPACITY {
+                    tls.remove(0);
+                }
+                tls.push(AspectTlsEntry {
+                    uid: self.uid,
+                    snap: snap.clone(),
+                    chains: ChainMap::default(),
+                });
+                Outcome::Miss(snap)
+            }
+        });
+
+        // Phase 2 (no TLS borrow held — pointcut matching stays re-entrancy
+        // safe): consult the snapshot's shared cache or compute the chain.
+        match outcome {
+            Outcome::Hit(chain) => chain,
+            Outcome::Miss(snap) => {
+                let chain = snap.matched(signature, kind, provenance);
+                if snap.cache_enabled {
+                    ASPECT_TLS.with(|tls| {
+                        let mut tls = tls.borrow_mut();
+                        if let Some(entry) = tls.iter_mut().find(|e| e.uid == self.uid) {
+                            // Only memoise against the snapshot the chain was
+                            // actually computed for.
+                            if entry.snap.generation == snap.generation() {
+                                entry.chains.insert(key, chain.clone());
+                            }
+                        }
+                    });
+                }
+                chain
+            }
+        }
+    }
+}
+
+// ---- recorder snapshots -----------------------------------------------------
+
+/// Publication point for the trace recorder: same generation-checked TLS
+/// scheme as [`AspectCell`], so the per-join-point recorder check does not
+/// take a lock. Swapping the recorder does *not* touch the advice cache.
+pub(crate) struct RecorderCell {
+    uid: u64,
+    current: RwLock<Arc<Option<Recorder>>>,
+    generation: AtomicU64,
+}
+
+impl RecorderCell {
+    pub(crate) fn new() -> Self {
+        RecorderCell {
+            uid: next_uid(),
+            current: RwLock::new(Arc::new(None)),
+            generation: AtomicU64::new(1),
+        }
+    }
+
+    /// Install (or remove) the recorder.
+    pub(crate) fn set(&self, recorder: Option<Recorder>) {
+        let generation = self.generation.load(Ordering::Relaxed) + 1;
+        *self.current.write() = Arc::new(recorder);
+        self.generation.store(generation, Ordering::Release);
+    }
+
+    /// The exact currently installed recorder (administrative read).
+    pub(crate) fn exact(&self) -> Option<Recorder> {
+        (**self.current.read()).clone()
+    }
+
+    /// The recorder as seen by this thread — one atomic load plus a TLS scan
+    /// once warm.
+    pub(crate) fn get(&self) -> Arc<Option<Recorder>> {
+        let generation = self.generation.load(Ordering::Acquire);
+        RECORDER_TLS.with(|tls| {
+            let mut tls = tls.borrow_mut();
+            if let Some(entry) = tls.iter_mut().find(|e| e.0 == self.uid) {
+                if entry.1 != generation {
+                    entry.2 = self.current.read().clone();
+                    entry.1 = generation;
+                }
+                return entry.2.clone();
+            }
+            let snap = self.current.read().clone();
+            if tls.len() >= TLS_CAPACITY {
+                tls.remove(0);
+            }
+            tls.push((self.uid, generation, snap.clone()));
+            snap
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aspect::AspectId;
+    use crate::pointcut::Pointcut;
+
+    fn entry(aspect: u64, pattern: &str) -> Arc<AdviceEntry> {
+        Arc::new(AdviceEntry {
+            pointcut: Pointcut::call(pattern),
+            advice: Arc::new(|inv: &mut crate::invocation::Invocation| inv.proceed()),
+            aspect: AspectId::from_raw(aspect),
+            precedence: 0,
+            index: 0,
+            fired: AtomicU64::new(0),
+        })
+    }
+
+    const KEY: (JoinPointKind, Provenance) = (JoinPointKind::Call, Provenance::Core);
+
+    #[test]
+    fn publish_bumps_generation_and_resets_cache() {
+        let cell = AspectCell::new();
+        let sig = Signature::new("Acc", "add");
+        assert!(cell.matched(sig, KEY.0, KEY.1).is_empty());
+
+        cell.publish(true, vec![entry(1, "Acc.add")]);
+        assert_eq!(cell.snapshot().generation(), 2);
+        assert_eq!(cell.matched(sig, KEY.0, KEY.1).len(), 1);
+
+        cell.publish(true, Vec::new());
+        assert!(cell.matched(sig, KEY.0, KEY.1).is_empty());
+    }
+
+    #[test]
+    fn stale_snapshot_insert_cannot_poison_fresh_lookups() {
+        // The TOCTOU the snapshot-owned cache eliminates: a dispatch computes
+        // a chain against the old aspect set, the aspect is unplugged (cache
+        // invalidated), and only then does the dispatch insert its stale
+        // chain. With a shared cache that chain would be served forever.
+        let cell = AspectCell::new();
+        cell.publish(true, vec![entry(1, "Acc.add")]);
+        let sig = Signature::new("Acc", "add");
+
+        // In-flight dispatch pins the pre-unplug snapshot...
+        let old = cell.snapshot();
+
+        // ...the aspect is unplugged and the new (empty) set published...
+        cell.publish(true, Vec::new());
+
+        // ...and the in-flight dispatch completes its lookup+insert late,
+        // against the snapshot it pinned. It legitimately sees the old set:
+        assert_eq!(old.matched(sig, KEY.0, KEY.1).len(), 1);
+
+        // but fresh dispatches can never observe that insert.
+        assert!(cell.matched(sig, KEY.0, KEY.1).is_empty());
+        assert!(cell.snapshot().matched(sig, KEY.0, KEY.1).is_empty());
+    }
+
+    #[test]
+    fn tls_does_not_leak_across_cells() {
+        // Two weavers on the same thread with different aspect sets must not
+        // see each other's cached chains.
+        let a = AspectCell::new();
+        let b = AspectCell::new();
+        a.publish(true, vec![entry(1, "Acc.*")]);
+        b.publish(true, Vec::new());
+        let sig = Signature::new("Acc", "add");
+        assert_eq!(a.matched(sig, KEY.0, KEY.1).len(), 1);
+        assert!(b.matched(sig, KEY.0, KEY.1).is_empty());
+        assert_eq!(a.matched(sig, KEY.0, KEY.1).len(), 1);
+    }
+
+    #[test]
+    fn recorder_cell_roundtrip() {
+        let cell = RecorderCell::new();
+        assert!(cell.get().is_none());
+        assert!(cell.exact().is_none());
+        let rec = Recorder::measuring();
+        cell.set(Some(rec.clone()));
+        assert!(cell.get().is_some());
+        assert!(cell.exact().is_some());
+        cell.set(None);
+        assert!(cell.get().is_none());
+    }
+
+    #[test]
+    fn disabled_cache_recomputes_every_time() {
+        let cell = AspectCell::new();
+        cell.publish(false, vec![entry(1, "Acc.add")]);
+        let sig = Signature::new("Acc", "add");
+        // No caching layer retains the chain; each call matches afresh.
+        let c1 = cell.matched(sig, KEY.0, KEY.1);
+        let c2 = cell.matched(sig, KEY.0, KEY.1);
+        assert_eq!(c1.len(), 1);
+        assert_eq!(c2.len(), 1);
+        assert!(!Arc::ptr_eq(&c1, &c2), "disabled cache must not memoise");
+    }
+}

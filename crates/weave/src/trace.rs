@@ -398,9 +398,8 @@ mod tests {
 
     #[test]
     fn cost_model_is_consulted() {
-        let model: CostModel = Arc::new(|s: &Signature, _a: &Args| {
-            (s.method == "m").then(|| Duration::from_secs(3))
-        });
+        let model: CostModel =
+            Arc::new(|s: &Signature, _a: &Args| (s.method == "m").then(|| Duration::from_secs(3)));
         let r = Recorder::with_cost_model(model);
         assert_eq!(r.model_cost(&sig(), &Args::empty()), Some(Duration::from_secs(3)));
         assert_eq!(r.model_cost(&Signature::new("C", "other"), &Args::empty()), None);

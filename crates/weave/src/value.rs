@@ -36,8 +36,12 @@ macro_rules! args {
 /// ```
 #[macro_export]
 macro_rules! ret {
-    () => { Box::new(()) as $crate::value::AnyValue };
-    ($v:expr) => { Box::new($v) as $crate::value::AnyValue };
+    () => {
+        Box::new(()) as $crate::value::AnyValue
+    };
+    ($v:expr) => {
+        Box::new($v) as $crate::value::AnyValue
+    };
 }
 
 /// An ordered pack of type-erased arguments.
@@ -102,10 +106,7 @@ impl Args {
     /// [`WeaveError::MissingArg`].
     pub fn take<T: 'static>(&mut self, index: usize) -> WeaveResult<T> {
         let len = self.slots.len();
-        let slot = self
-            .slots
-            .get_mut(index)
-            .ok_or(WeaveError::MissingArg { index, len })?;
+        let slot = self.slots.get_mut(index).ok_or(WeaveError::MissingArg { index, len })?;
         let value = slot.take().ok_or(WeaveError::MissingArg { index, len })?;
         match value.downcast::<T>() {
             Ok(v) => Ok(*v),
@@ -124,10 +125,7 @@ impl Args {
     /// a method-call parameter before proceeding).
     pub fn set<T: Any + Send>(&mut self, index: usize, value: T) -> WeaveResult<()> {
         let len = self.slots.len();
-        let slot = self
-            .slots
-            .get_mut(index)
-            .ok_or(WeaveError::MissingArg { index, len })?;
+        let slot = self.slots.get_mut(index).ok_or(WeaveError::MissingArg { index, len })?;
         *slot = Some(Box::new(value));
         Ok(())
     }
@@ -181,7 +179,9 @@ macro_rules! impl_bytesize_prim {
     };
 }
 
-impl_bytesize_prim!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char);
+impl_bytesize_prim!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char
+);
 
 impl ByteSize for () {
     fn byte_size(&self) -> usize {
@@ -195,7 +195,7 @@ impl ByteSize for String {
     }
 }
 
-impl<'a> ByteSize for &'a str {
+impl ByteSize for &str {
     fn byte_size(&self) -> usize {
         4 + self.len()
     }

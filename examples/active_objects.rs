@@ -36,12 +36,12 @@ weavepar::weaveable! {
 
 fn main() -> WeaveResult<()> {
     let weaver = Weaver::new();
-    let (aspect, runtime) = active_object_aspect("ActiveObjects", Pointcut::call("Account.deposit"));
+    let (aspect, runtime) =
+        active_object_aspect("ActiveObjects", Pointcut::call("Account.deposit"));
     weaver.plug(aspect);
 
-    let accounts: Vec<_> = (0..3)
-        .map(|i| AccountProxy::construct(&weaver, i * 100).map_err(|e| e))
-        .collect::<WeaveResult<_>>()?;
+    let accounts: Vec<_> =
+        (0..3).map(|i| AccountProxy::construct(&weaver, i * 100)).collect::<WeaveResult<_>>()?;
 
     // Fire 10 deposits at each account — asynchronously, interleaved.
     let mut futures = Vec::new();

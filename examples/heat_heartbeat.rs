@@ -11,26 +11,22 @@ fn main() {
     let (left, right) = (100.0, 0.0);
 
     let reference = solve_sequential(len, 0.0, left, right, iterations);
-    println!("sequential steady profile (first/last): {:.2} / {:.2}", reference[0], reference[len as usize - 1]);
+    println!(
+        "sequential steady profile (first/last): {:.2} / {:.2}",
+        reference[0],
+        reference[len as usize - 1]
+    );
 
     for workers in [1usize, 2, 4, 6] {
-        let got = solve_heartbeat(len, 0.0, left, right, iterations, workers)
-            .expect("heartbeat failed");
-        let max_err = got
-            .iter()
-            .zip(&reference)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max);
+        let got =
+            solve_heartbeat(len, 0.0, left, right, iterations, workers).expect("heartbeat failed");
+        let max_err = got.iter().zip(&reference).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
         println!("heartbeat, {workers} block(s): max deviation from sequential = {max_err:.2e}");
     }
 
     let got = solve_heartbeat_concurrent(len, 0.0, left, right, iterations, 4)
         .expect("concurrent heartbeat failed");
-    let max_err = got
-        .iter()
-        .zip(&reference)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f64, f64::max);
+    let max_err = got.iter().zip(&reference).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
     println!("heartbeat + concurrency: max deviation = {max_err:.2e}");
 
     // A small temperature plot.

@@ -12,11 +12,7 @@ fn main() {
     let max = 500_000;
     let reference = sequential_sieve(max);
 
-    for config in [
-        SieveConfig::farm_rmi(4),
-        SieveConfig::farm_mpp(4),
-        SieveConfig::farm_drmi(4),
-    ] {
+    for config in [SieveConfig::farm_rmi(4), SieveConfig::farm_mpp(4), SieveConfig::farm_drmi(4)] {
         let run = build_sieve(config);
         let t0 = Instant::now();
         let got = run_sieve(&run, max).expect("sieve failed");

@@ -51,7 +51,10 @@ fn main() -> WeaveResult<()> {
 
     let v = VisitsProxy::construct(&weaver)?;
     println!("visits: {}, {}, {}", v.visit()?, v.visit()?, v.visit()?);
-    println!("object lives on node 0 (instances there: {})", fabric.node(0)?.weaver().space().len());
+    println!(
+        "object lives on node 0 (instances there: {})",
+        fabric.node(0)?.weaver().space().len()
+    );
 
     for node in [2usize, 1, 3] {
         let landed = migrate_object(&weaver, v.id(), node)?;

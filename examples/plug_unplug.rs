@@ -13,10 +13,7 @@ fn main() -> WeaveResult<()> {
     println!("step 0  sequential core:               {} primes", reference.len());
 
     // Step 1: plug the farm partition (still single-threaded).
-    let run = build_sieve(SieveConfig {
-        concurrency: false,
-        ..SieveConfig::farm_threads(4)
-    });
+    let run = build_sieve(SieveConfig { concurrency: false, ..SieveConfig::farm_threads(4) });
     let got = run_sieve(&run, max)?;
     println!(
         "step 1  + partition (farm, 4 filters): {} primes, {}",
@@ -28,12 +25,20 @@ fn main() -> WeaveResult<()> {
     // Step 2: plug the concurrency module — now genuinely parallel.
     let run = build_sieve(SieveConfig::farm_threads(4));
     let got = run_sieve(&run, max)?;
-    println!("step 2  + concurrency:                 {} primes, {}", got.len(), status(&got, &reference));
+    println!(
+        "step 2  + concurrency:                 {} primes, {}",
+        got.len(),
+        status(&got, &reference)
+    );
 
     // Step 3: plug the distribution aspect — remote filters over RMI.
     let run = build_sieve(SieveConfig::farm_rmi(4));
     let got = run_sieve(&run, max)?;
-    println!("step 3  + distribution (RMI):          {} primes, {}", got.len(), status(&got, &reference));
+    println!(
+        "step 3  + distribution (RMI):          {} primes, {}",
+        got.len(),
+        status(&got, &reference)
+    );
     println!("        stack: {}", run.stack.describe());
     println!(
         "        name server bindings: {:?}",
@@ -43,7 +48,11 @@ fn main() -> WeaveResult<()> {
     // Step 4: debugging — disable concurrency on the fly, run, re-enable.
     run.stack.set_enabled(Concern::Concurrency, false);
     let got = run_sieve(&run, max)?;
-    println!("step 4  concurrency disabled (debug):  {} primes, {}", got.len(), status(&got, &reference));
+    println!(
+        "step 4  concurrency disabled (debug):  {} primes, {}",
+        got.len(),
+        status(&got, &reference)
+    );
     run.stack.set_enabled(Concern::Concurrency, true);
 
     // Step 5: unplug everything — back to the sequential program.
@@ -51,7 +60,11 @@ fn main() -> WeaveResult<()> {
     run.stack.unplug(Concern::Concurrency);
     run.stack.unplug(Concern::Distribution);
     let got = run_sieve(&run, max)?;
-    println!("step 5  all concerns unplugged:        {} primes, {}", got.len(), status(&got, &reference));
+    println!(
+        "step 5  all concerns unplugged:        {} primes, {}",
+        got.len(),
+        status(&got, &reference)
+    );
     println!("        stack: {}", run.stack.describe());
 
     Ok(())

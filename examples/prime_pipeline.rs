@@ -6,14 +6,11 @@
 use std::time::Instant;
 
 use weavepar_apps::sieve::{
-    build_sieve, run_sieve, sequential_sieve, run_handcoded_rmi, SieveConfig,
+    build_sieve, run_handcoded_rmi, run_sieve, sequential_sieve, SieveConfig,
 };
 
 fn main() {
-    let max: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1_000_000);
+    let max: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1_000_000);
 
     println!("prime sieve up to {max}");
 
@@ -53,6 +50,10 @@ fn main() {
     let handcoded = run_handcoded_rmi(max, filters, 50, 7).expect("handcoded failed");
     let elapsed = t0.elapsed();
     let ok = if handcoded == reference { "ok" } else { "MISMATCH" };
-    println!("{:<12} {:>12?} {:>9.2}x  {ok}", "Java (hand)", elapsed,
-        seq_time.as_secs_f64() / elapsed.as_secs_f64().max(1e-12));
+    println!(
+        "{:<12} {:>12?} {:>9.2}x  {ok}",
+        "Java (hand)",
+        elapsed,
+        seq_time.as_secs_f64() / elapsed.as_secs_f64().max(1e-12)
+    );
 }

@@ -30,9 +30,6 @@ fn main() {
         let t0 = Instant::now();
         let got = sort_divide_conquer(xs.clone(), threshold, concurrent).expect("sort failed");
         let elapsed = t0.elapsed();
-        println!(
-            "{label}: {elapsed:?}  ({})",
-            if got == expect { "correct" } else { "MISMATCH" }
-        );
+        println!("{label}: {elapsed:?}  ({})", if got == expect { "correct" } else { "MISMATCH" });
     }
 }

@@ -2,7 +2,6 @@
 //! optimisation aspects layered on real applications, and trace capture
 //! feeding the cluster simulator.
 
-
 use weavepar::cluster::{simulate, MiddlewareProfile, SimParams};
 use weavepar::optimisation::{object_cache_aspect, CachePolicy};
 use weavepar::prelude::*;
@@ -83,8 +82,7 @@ fn recorded_trace_replays_on_the_simulator() {
     // 4 worker constructions + 8 pack calls (the original construction never
     // reaches its base: the partition advice replaces it).
     assert!(trace.len() >= 12, "trace too small: {} tasks", trace.len());
-    let filter_tasks =
-        trace.tasks.iter().filter(|t| t.signature.method == "filter").count();
+    let filter_tasks = trace.tasks.iter().filter(|t| t.signature.method == "filter").count();
     assert_eq!(filter_tasks, 8, "one task per pack");
     assert!(
         trace.tasks.iter().filter(|t| t.signature.method == "filter").all(|t| t.async_spawn),
@@ -152,7 +150,7 @@ fn active_objects_can_replace_the_concurrency_module() {
     // module: per-filter mailboxes serialise packs in issue order, futures
     // carry the results, the farm's combine is unchanged.
     use weavepar::concurrency::active_object_aspect;
-    use weavepar_apps::sieve::{build_sieve as _, PartitionStrategy};
+    use weavepar_apps::sieve::PartitionStrategy;
 
     let config = SieveConfig {
         partition: PartitionStrategy::Farm,

@@ -5,9 +5,7 @@ use weavepar::distribution::{
     mpp_distribution_aspect, rmi_distribution_aspect, InProcFabric, MarshalRegistry, Policy,
 };
 use weavepar::prelude::*;
-use weavepar_apps::sieve::{
-    build_sieve, run_sieve, sequential_sieve, PrimeFilter, SieveConfig,
-};
+use weavepar_apps::sieve::{build_sieve, run_sieve, sequential_sieve, PrimeFilter, SieveConfig};
 
 fn sieve_marshal() -> MarshalRegistry {
     let m = MarshalRegistry::new();
@@ -199,9 +197,8 @@ fn filters_can_migrate_mid_run() {
         .into_iter()
         .find(|s| weaver.intertype().has_field(*s, "remote"))
         .unwrap();
-    let raw = weaver
-        .invoke_call_dyn(stub, "filter", weavepar::args![vec![1999u64, 2000u64]])
-        .unwrap();
+    let raw =
+        weaver.invoke_call_dyn(stub, "filter", weavepar::args![vec![1999u64, 2000u64]]).unwrap();
     let out = downcast_ret::<Vec<u64>>(resolve_any(raw).unwrap()).unwrap();
     assert_eq!(out, vec![1999], "migrated filter still filters correctly");
 }

@@ -87,10 +87,8 @@ fn every_combination_agrees_with_every_other() {
         SieveConfig { packs: 6, nodes: 3, ..SieveConfig::farm_drmi(3) },
         SieveConfig { packs: 6, nodes: 3, ..SieveConfig::farm_mpp(3) },
     ];
-    let outputs: Vec<Vec<u64>> = combos
-        .iter()
-        .map(|c| run_sieve(&build_sieve(*c), 2_500).expect("run failed"))
-        .collect();
+    let outputs: Vec<Vec<u64>> =
+        combos.iter().map(|c| run_sieve(&build_sieve(*c), 2_500).expect("run failed")).collect();
     for window in outputs.windows(2) {
         assert_eq!(window[0], window[1]);
     }

@@ -1,0 +1,267 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! [`Bytes`] is an immutable, cheaply clonable view into shared storage
+//! (`Arc<[u8]>` plus a window); [`BytesMut`] is a growable builder that
+//! [`BytesMut::freeze`]s into a [`Bytes`]. The [`Buf`]/[`BufMut`] traits carry
+//! the little-endian accessors the workspace's wire codec uses; reading
+//! through [`Buf`] advances the view, as in the real crate.
+
+use std::ops::{Deref, Range};
+use std::sync::Arc;
+
+/// Immutable, reference-counted byte buffer; clones and slices share storage.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copy a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Length of the view in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A sub-view sharing the same storage.
+    pub fn slice(&self, range: Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len(), "slice out of bounds");
+        Bytes {
+            data: self.data.clone(),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Split off and return the first `at` bytes, advancing `self` past them.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = self.slice(0..at);
+        self.start += at;
+        head
+    }
+
+    /// Copy the view into an owned `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        let end = data.len();
+        Bytes { data: data.into(), start: 0, end }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(data: &'static [u8]) -> Self {
+        Bytes::copy_from_slice(data)
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+/// Growable byte builder.
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty builder.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty builder with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(capacity) }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Convert into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+macro_rules! buf_accessors {
+    ($($get:ident / $put:ident => $t:ty),* $(,)?) => {
+        /// Read side: little-endian accessors that consume from the front.
+        pub trait Buf {
+            /// Bytes left to read.
+            fn remaining(&self) -> usize;
+            /// Consume and return the first `n` bytes.
+            fn take_front(&mut self, n: usize) -> &[u8];
+
+            /// Read one byte.
+            fn get_u8(&mut self) -> u8 {
+                self.take_front(1)[0]
+            }
+            /// Read one signed byte.
+            fn get_i8(&mut self) -> i8 {
+                self.get_u8() as i8
+            }
+            $(
+                /// Read a little-endian integer.
+                fn $get(&mut self) -> $t {
+                    let mut raw = [0u8; std::mem::size_of::<$t>()];
+                    raw.copy_from_slice(self.take_front(std::mem::size_of::<$t>()));
+                    <$t>::from_le_bytes(raw)
+                }
+            )*
+        }
+
+        /// Write side: little-endian appenders.
+        pub trait BufMut {
+            /// Append raw bytes.
+            fn put_slice(&mut self, slice: &[u8]);
+
+            /// Append one byte.
+            fn put_u8(&mut self, v: u8) {
+                self.put_slice(&[v]);
+            }
+            /// Append one signed byte.
+            fn put_i8(&mut self, v: i8) {
+                self.put_u8(v as u8);
+            }
+            $(
+                /// Append a little-endian integer.
+                fn $put(&mut self, v: $t) {
+                    self.put_slice(&v.to_le_bytes());
+                }
+            )*
+        }
+    };
+}
+
+buf_accessors! {
+    get_u16_le / put_u16_le => u16,
+    get_u32_le / put_u32_le => u32,
+    get_u64_le / put_u64_le => u64,
+    get_i16_le / put_i16_le => i16,
+    get_i32_le / put_i32_le => i32,
+    get_i64_le / put_i64_le => i64,
+    get_f32_le / put_f32_le => f32,
+    get_f64_le / put_f64_le => f64,
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn take_front(&mut self, n: usize) -> &[u8] {
+        assert!(n <= self.len(), "buffer underrun");
+        let start = self.start;
+        self.start += n;
+        &self.data[start..start + n]
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, slice: &[u8]) {
+        self.data.extend_from_slice(slice);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_ints() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(7);
+        buf.put_u32_le(0xdead_beef);
+        buf.put_u64_le(42);
+        buf.put_f64_le(1.5);
+        let mut b = buf.freeze();
+        assert_eq!(b.remaining(), 1 + 4 + 8 + 8);
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u32_le(), 0xdead_beef);
+        assert_eq!(b.get_u64_le(), 42);
+        assert_eq!(b.get_f64_le(), 1.5);
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_and_split_share_storage() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(&*s, &[2, 3, 4]);
+        let mut rest = b.clone();
+        let head = rest.split_to(2);
+        assert_eq!(&*head, &[1, 2]);
+        assert_eq!(&*rest, &[3, 4, 5]);
+        assert_eq!(b.to_vec(), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "underrun")]
+    fn underrun_panics() {
+        let mut b = Bytes::from(vec![1]);
+        b.get_u32_le();
+    }
+}

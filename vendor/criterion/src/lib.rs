@@ -1,0 +1,258 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A minimal wall-clock timing harness exposing the API subset this
+//! workspace's benches use: benchmark groups, `iter`/`iter_batched`, sample
+//! sizes and the `criterion_group!`/`criterion_main!` entry points. Each
+//! benchmark reports min/median/mean per-iteration time to stdout. CLI
+//! arguments (`--bench`, filters) are accepted; a positional filter selects
+//! benchmarks by substring match.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortises setup cost (accepted, not tuned).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs: batches are large.
+    SmallInput,
+    /// Large per-iteration inputs: batches are small.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Identifier accepted by `bench_function` (string-likes only).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Compose an id from a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Positional args that are not flags act as a substring filter
+        // (matching `cargo bench -- <filter>`).
+        let filter = std::env::args().skip(1).find(|a| {
+            !a.starts_with('-') && !a.ends_with("weaving_overhead") && !a.ends_with("ablations")
+        });
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Accept-and-ignore CLI configuration (kept for API compatibility).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 20 }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into().0;
+        let mut group = BenchmarkGroup { criterion: self, name: String::new(), sample_size: 20 };
+        group.run_named(&name, f);
+        self
+    }
+
+    fn selected(&self, full_name: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_name.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = if self.name.is_empty() {
+            id.into().0
+        } else {
+            format!("{}/{}", self.name, id.into().0)
+        };
+        self.run_named(&full.clone(), f);
+        self
+    }
+
+    /// Finish the group (marker only; results are printed as they complete).
+    pub fn finish(self) {}
+
+    fn run_named<F>(&mut self, full_name: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.criterion.selected(full_name) {
+            return;
+        }
+        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut bencher);
+        bencher.report(full_name);
+    }
+}
+
+/// Passed to each benchmark closure; drives the timing loops.
+pub struct Bencher {
+    samples: Vec<Duration>, // per-iteration durations, one per sample
+    sample_size: usize,
+}
+
+const TARGET_SAMPLE: Duration = Duration::from_millis(8);
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and size the batch so one sample runs ≥ TARGET_SAMPLE.
+        let mut iters_per_sample = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std_black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET_SAMPLE || iters_per_sample >= 1 << 24 {
+                break;
+            }
+            iters_per_sample = (iters_per_sample * 2).max(1);
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std_black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters_per_sample as u32);
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.samples.clear();
+        // One setup+run per sample: correct (if noisier) for any batch size.
+        let warmup = setup();
+        std_black_box(routine(warmup));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        self.samples.sort();
+        let min = self.samples[0];
+        let median = self.samples[self.samples.len() / 2];
+        let mean = self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
+        println!("{name:<44} min {:>12?}  median {:>12?}  mean {:>12?}", min, median, mean);
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($group:ident; $($rest:tt)*) => { $crate::criterion_group!($group, $($rest)*); };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_reports_samples() {
+        let mut b = Bencher { samples: Vec::new(), sample_size: 3 };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert_eq!(b.samples.len(), 3);
+    }
+
+    #[test]
+    fn batched_runs_once_per_sample() {
+        let mut b = Bencher { samples: Vec::new(), sample_size: 4 };
+        let mut setups = 0;
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![1u8; 8]
+            },
+            |v| v.len(),
+            BatchSize::LargeInput,
+        );
+        assert_eq!(setups, 5); // warmup + 4 samples
+        assert_eq!(b.samples.len(), 4);
+    }
+}

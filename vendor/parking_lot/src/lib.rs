@@ -1,0 +1,464 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! The build environment has no network access and no vendored registry, so
+//! this workspace ships the small API subset it actually uses, implemented on
+//! `std::sync`. Semantics match `parking_lot` where the workspace depends on
+//! them:
+//!
+//! * locks are not poisoned — a panic while holding a guard does not wedge
+//!   later acquisitions;
+//! * [`Condvar::wait`] takes the guard by `&mut` instead of by value;
+//! * [`ReentrantMutex`] allows the owning thread to re-lock, and
+//!   [`ReentrantMutex::lock_arc`] returns an owned guard
+//!   ([`ArcReentrantMutexGuard`]) that keeps the mutex alive.
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+// ---- Mutex ------------------------------------------------------------------
+
+/// Mutual exclusion primitive (non-poisoning).
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// A new unlocked mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex { inner: std::sync::Mutex::new(value) }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard { inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())) }
+    }
+
+    /// Try to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Err(std::sync::TryLockError::Poisoned(e)) => {
+                Some(MutexGuard { inner: Some(e.into_inner()) })
+            }
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_struct("Mutex").field("data", &*g).finish(),
+            None => f.write_str("Mutex { <locked> }"),
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the lock")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds the lock")
+    }
+}
+
+// ---- RwLock -----------------------------------------------------------------
+
+/// Reader-writer lock (non-poisoning).
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+/// Shared-access guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+/// Exclusive-access guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T> RwLock<T> {
+    /// A new unlocked lock.
+    pub const fn new(value: T) -> Self {
+        RwLock { inner: std::sync::RwLock::new(value) }
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire shared access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard { inner: self.inner.read().unwrap_or_else(|e| e.into_inner()) }
+    }
+
+    /// Acquire exclusive access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard { inner: self.inner.write().unwrap_or_else(|e| e.into_inner()) }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RwLock").finish_non_exhaustive()
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+// ---- Condvar ----------------------------------------------------------------
+
+/// Result of a timed condition wait.
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// True when the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Condition variable; pairs with [`Mutex`]. Unlike `std`, `wait` reborrows
+/// the guard instead of consuming it.
+#[derive(Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// A new condition variable.
+    pub const fn new() -> Self {
+        Condvar { inner: std::sync::Condvar::new() }
+    }
+
+    /// Block until notified. Spurious wakeups are possible.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.inner.take().expect("guard holds the lock");
+        let inner = self.inner.wait(inner).unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(inner);
+    }
+
+    /// Block until notified or `deadline` passes.
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Instant,
+    ) -> WaitTimeoutResult {
+        let timeout = deadline.saturating_duration_since(Instant::now());
+        self.wait_for(guard, timeout)
+    }
+
+    /// Block until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.inner.take().expect("guard holds the lock");
+        let (inner, result) =
+            self.inner.wait_timeout(inner, timeout).unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(inner);
+        WaitTimeoutResult { timed_out: result.timed_out() }
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+// ---- ReentrantMutex ---------------------------------------------------------
+
+/// Process-unique tag for the current thread (std's `ThreadId::as_u64` is
+/// unstable; this is the usual thread-local counter workaround).
+fn thread_tag() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TAG: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TAG.with(|t| *t)
+}
+
+/// A mutex the owning thread may lock any number of times.
+///
+/// Guards give shared (`&T`) access only, exactly like `parking_lot`; interior
+/// mutability (e.g. `RefCell`) provides mutation under the monitor.
+///
+/// The uncontended path is a single CAS on the owner tag — the weaving
+/// runtime takes this lock once per woven call, so it must not serialise
+/// callers on an OS mutex. The mutex/condvar pair exists only to park
+/// threads that actually found the monitor held.
+pub struct ReentrantMutex<T: ?Sized> {
+    owner: AtomicU64,     // thread tag of the holder; 0 = unowned
+    depth: AtomicUsize,   // recursion depth; touched only by the owner
+    waiters: AtomicUsize, // threads parked (or about to park) below
+    park: std::sync::Mutex<()>,
+    cond: std::sync::Condvar,
+    data: UnsafeCell<T>,
+}
+
+// Mutual exclusion makes `&T` accessible from one thread at a time, so `Send`
+// on the payload suffices (same bounds as parking_lot's ReentrantMutex).
+unsafe impl<T: ?Sized + Send> Send for ReentrantMutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for ReentrantMutex<T> {}
+
+impl<T> ReentrantMutex<T> {
+    /// A new unlocked re-entrant mutex.
+    pub const fn new(value: T) -> Self {
+        ReentrantMutex {
+            owner: AtomicU64::new(0),
+            depth: AtomicUsize::new(0),
+            waiters: AtomicUsize::new(0),
+            park: std::sync::Mutex::new(()),
+            cond: std::sync::Condvar::new(),
+            data: UnsafeCell::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> ReentrantMutex<T> {
+    fn acquire(&self) {
+        let me = thread_tag();
+        if self.owner.load(Ordering::Relaxed) == me {
+            self.depth.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if self.owner.compare_exchange(0, me, Ordering::Acquire, Ordering::Relaxed).is_ok() {
+            self.depth.store(1, Ordering::Relaxed);
+            return;
+        }
+        self.acquire_slow(me);
+    }
+
+    #[cold]
+    fn acquire_slow(&self, me: u64) {
+        // SeqCst on `waiters` and on the CAS pairs with the releaser's
+        // SeqCst store/load (Dekker pattern): either the releaser sees our
+        // registration and notifies, or our CAS sees its store of 0.
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        let mut guard = self.park.lock().unwrap_or_else(|e| e.into_inner());
+        while self.owner.compare_exchange(0, me, Ordering::SeqCst, Ordering::SeqCst).is_err() {
+            guard = self.cond.wait(guard).unwrap_or_else(|e| e.into_inner());
+        }
+        drop(guard);
+        self.waiters.fetch_sub(1, Ordering::Relaxed);
+        self.depth.store(1, Ordering::Relaxed);
+    }
+
+    fn release(&self) {
+        debug_assert_eq!(
+            self.owner.load(Ordering::Relaxed),
+            thread_tag(),
+            "unlock from non-owning thread"
+        );
+        if self.depth.fetch_sub(1, Ordering::Relaxed) == 1 {
+            self.owner.store(0, Ordering::SeqCst);
+            if self.waiters.load(Ordering::SeqCst) != 0 {
+                // Take the park lock before notifying so a waiter between its
+                // failed CAS and `cond.wait` cannot miss the wakeup.
+                let _guard = self.park.lock().unwrap_or_else(|e| e.into_inner());
+                self.cond.notify_one();
+            }
+        }
+    }
+
+    /// Lock (re-entrantly) and return a borrowing guard.
+    pub fn lock(&self) -> ReentrantMutexGuard<'_, T> {
+        self.acquire();
+        ReentrantMutexGuard { mutex: self }
+    }
+
+    /// Lock (re-entrantly) through an `Arc`, returning an owned guard that
+    /// keeps the mutex alive for the guard's lifetime.
+    pub fn lock_arc(this: &Arc<Self>) -> ArcReentrantMutexGuard<T> {
+        this.acquire();
+        ArcReentrantMutexGuard { mutex: Arc::clone(this) }
+    }
+}
+
+/// Borrowing guard for [`ReentrantMutex`].
+pub struct ReentrantMutexGuard<'a, T: ?Sized> {
+    mutex: &'a ReentrantMutex<T>,
+}
+
+impl<T: ?Sized> Deref for ReentrantMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safe: this thread holds the monitor, and guards only hand out `&T`.
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for ReentrantMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.mutex.release();
+    }
+}
+
+/// Owned guard for [`ReentrantMutex`] obtained via [`ReentrantMutex::lock_arc`].
+pub struct ArcReentrantMutexGuard<T: ?Sized> {
+    mutex: Arc<ReentrantMutex<T>>,
+}
+
+impl<T: ?Sized> Deref for ArcReentrantMutexGuard<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for ArcReentrantMutexGuard<T> {
+    fn drop(&mut self) {
+        self.mutex.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn rwlock_readers_share() {
+        let l = RwLock::new(7);
+        let (a, b) = (l.read(), l.read());
+        assert_eq!(*a + *b, 14);
+        drop((a, b));
+        *l.write() = 9;
+        assert_eq!(*l.read(), 9);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = pair.clone();
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut done = m.lock();
+            while !*done {
+                cv.wait(&mut done);
+            }
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        *pair.0.lock() = true;
+        pair.1.notify_all();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn condvar_wait_until_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let res = cv.wait_until(&mut g, Instant::now() + Duration::from_millis(5));
+        assert!(res.timed_out());
+    }
+
+    #[test]
+    fn reentrant_same_thread() {
+        let m = Arc::new(ReentrantMutex::new(std::cell::RefCell::new(0)));
+        let g1 = m.lock();
+        let g2 = ReentrantMutex::lock_arc(&m);
+        *g1.borrow_mut() += 1;
+        *g2.borrow_mut() += 1;
+        drop(g1);
+        drop(g2);
+        assert_eq!(*m.lock().borrow(), 2);
+    }
+
+    #[test]
+    fn reentrant_excludes_other_threads() {
+        let m = Arc::new(ReentrantMutex::new(std::cell::RefCell::new(0)));
+        let g = m.lock();
+        let m2 = m.clone();
+        let t = std::thread::spawn(move || {
+            let g = m2.lock();
+            *g.borrow_mut() = 5;
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        *g.borrow_mut() = 1;
+        drop(g);
+        t.join().unwrap();
+        assert_eq!(*m.lock().borrow(), 5);
+    }
+}

@@ -1,0 +1,564 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! A deterministic mini property-testing framework: strategies are sampling
+//! functions over a seeded xorshift RNG, the [`proptest!`] macro runs each
+//! property for `ProptestConfig::cases` generated inputs, and the
+//! `prop_assert*` macros report the failing values by panicking (no
+//! shrinking). Seeds derive from the test's module path, so failures
+//! reproduce across runs.
+
+pub mod test_runner {
+    /// Per-property configuration (only `cases` is honoured).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated inputs per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` inputs per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic xorshift64* RNG.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from a test identifier (stable across runs).
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a over the name, mixed with a fixed golden-ratio constant.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h ^ 0x9e37_79b9_7f4a_7c15 }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+
+        /// Uniform `bool`.
+        pub fn bool(&mut self) -> bool {
+            self.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+    use std::sync::Arc;
+
+    /// A generator of values of one type. Unlike real proptest there is no
+    /// shrinking: a strategy is just a clonable sampling function.
+    pub trait Strategy: Clone {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Type-erase into a clonable boxed strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            let this = self.clone();
+            BoxedStrategy { sample: Arc::new(move |rng| this.sample(rng)) }
+        }
+
+        /// Map generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> BoxedStrategy<U>
+        where
+            Self: Sized + 'static,
+            F: Fn(Self::Value) -> U + 'static,
+        {
+            BoxedStrategy { sample: Arc::new(move |rng| f(self.sample(rng))) }
+        }
+
+        /// Keep only values passing `pred`, resampling up to a bounded number
+        /// of attempts (panics if the predicate rejects everything).
+        fn prop_filter<F>(self, whence: &'static str, pred: F) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            F: Fn(&Self::Value) -> bool + 'static,
+        {
+            BoxedStrategy {
+                sample: Arc::new(move |rng| {
+                    for _ in 0..1000 {
+                        let v = self.sample(rng);
+                        if pred(&v) {
+                            return v;
+                        }
+                    }
+                    panic!("prop_filter({whence}): predicate rejected 1000 samples in a row");
+                }),
+            }
+        }
+
+        /// Build recursive values: `recurse` receives a strategy for the
+        /// previous level and returns the next level; `depth` bounds nesting.
+        fn prop_recursive<S, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+        {
+            let mut current = self.clone().boxed();
+            for _ in 0..depth {
+                let deeper = recurse(current).boxed();
+                // Mix the leaf back in so generated sizes stay bounded.
+                current = one_of(vec![self.clone().boxed(), deeper]).boxed();
+            }
+            current
+        }
+    }
+
+    /// Clonable type-erased strategy.
+    pub struct BoxedStrategy<T> {
+        sample: Arc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy { sample: self.sample.clone() }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.sample)(rng)
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between strategies (the engine behind `prop_oneof!`).
+    pub fn one_of<T>(choices: Vec<BoxedStrategy<T>>) -> OneOf<T> {
+        assert!(!choices.is_empty(), "prop_oneof! needs at least one alternative");
+        OneOf { choices }
+    }
+
+    /// Strategy choosing uniformly among alternatives.
+    pub struct OneOf<T> {
+        choices: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Clone for OneOf<T> {
+        fn clone(&self) -> Self {
+            OneOf { choices: self.choices.clone() }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let ix = rng.below(self.choices.len() as u64) as usize;
+            self.choices[ix].sample(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {
+            $(
+                impl Strategy for Range<$t> {
+                    type Value = $t;
+                    fn sample(&self, rng: &mut TestRng) -> $t {
+                        assert!(self.start < self.end, "empty range strategy");
+                        let span = (self.end as i128 - self.start as i128) as u64;
+                        (self.start as i128 + rng.below(span) as i128) as $t
+                    }
+                }
+            )*
+        };
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_range_strategy {
+        ($($t:ty),*) => {
+            $(
+                impl Strategy for Range<$t> {
+                    type Value = $t;
+                    fn sample(&self, rng: &mut TestRng) -> $t {
+                        assert!(self.start < self.end, "empty range strategy");
+                        // Uniform in [start, end) from 53 random mantissa bits.
+                        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                        self.start + (self.end - self.start) * unit as $t
+                    }
+                }
+            )*
+        };
+    }
+
+    impl_float_range_strategy!(f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))*) => {
+            $(
+                impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                    type Value = ($($name::Value,)+);
+                    #[allow(non_snake_case)]
+                    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                        let ($($name,)+) = self;
+                        ($($name.sample(rng),)+)
+                    }
+                }
+            )*
+        };
+    }
+
+    impl_tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    /// `&str` strategies: the string is a regex-like pattern. Supported
+    /// syntax: literals, `\\x` escapes, `.` (printable ASCII), `[a-z_*]`
+    /// classes with ranges, and an optional `{m,n}` repeat on any atom.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            sample_pattern(self, rng)
+        }
+    }
+
+    #[derive(Clone)]
+    enum Atom {
+        Literal(char),
+        Dot,
+        Class(Vec<(char, char)>),
+    }
+
+    fn printable(rng: &mut TestRng) -> char {
+        (0x20 + rng.below(0x5f) as u8) as char
+    }
+
+    fn parse_pattern(pattern: &str) -> Vec<(Atom, usize, usize)> {
+        let mut chars = pattern.chars().peekable();
+        let mut atoms = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '\\' => Atom::Literal(chars.next().expect("dangling escape in pattern")),
+                '.' => Atom::Dot,
+                '[' => {
+                    let mut ranges = Vec::new();
+                    loop {
+                        let lo = chars.next().expect("unterminated class in pattern");
+                        if lo == ']' {
+                            break;
+                        }
+                        if chars.peek() == Some(&'-') {
+                            chars.next();
+                            let hi = chars.next().expect("unterminated range in class");
+                            ranges.push((lo, hi));
+                        } else {
+                            ranges.push((lo, lo));
+                        }
+                    }
+                    Atom::Class(ranges)
+                }
+                other => Atom::Literal(other),
+            };
+            let (min, max) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let mut min = 0usize;
+                let mut max = 0usize;
+                let mut cur = &mut min;
+                for d in chars.by_ref() {
+                    match d {
+                        '}' => break,
+                        ',' => {
+                            max = 0;
+                            cur = &mut max;
+                        }
+                        d => *cur = *cur * 10 + d.to_digit(10).expect("digit in repeat") as usize,
+                    }
+                }
+                (min, max.max(min))
+            } else {
+                (1, 1)
+            };
+            atoms.push((atom, min, max));
+        }
+        atoms
+    }
+
+    fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for (atom, min, max) in parse_pattern(pattern) {
+            let count = min + rng.below((max - min + 1) as u64) as usize;
+            for _ in 0..count {
+                match &atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Dot => out.push(printable(rng)),
+                    Atom::Class(ranges) => {
+                        let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+                        let span = hi as u32 - lo as u32 + 1;
+                        out.push(
+                            char::from_u32(lo as u32 + rng.below(span as u64) as u32)
+                                .expect("valid class char"),
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// `any::<T>()` support: full-range arbitrary values.
+    pub trait Arbitrary: Sized {
+        /// Sample an arbitrary value of this type.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {
+            $(
+                impl Arbitrary for $t {
+                    fn arbitrary(rng: &mut TestRng) -> $t {
+                        rng.next_u64() as $t
+                    }
+                }
+            )*
+        };
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.bool()
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            f32::from_bits(rng.next_u64() as u32)
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<fn() -> T>,
+    }
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any { _marker: std::marker::PhantomData }
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Arbitrary values of `T` over the type's full range.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any { _marker: std::marker::PhantomData }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// `Vec`s of `element` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.start >= self.size.end {
+                self.size.start
+            } else {
+                self.size.start + rng.below((self.size.end - self.size.start) as u64) as usize
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy returned by [`of`].
+    #[derive(Clone)]
+    pub struct OptionStrategy<S> {
+        element: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.element.sample(rng))
+            }
+        }
+    }
+
+    /// `Option`s of `element`: mostly `Some`, sometimes `None`.
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy { element }
+    }
+}
+
+pub mod bool {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy for uniform booleans.
+    #[derive(Clone, Copy)]
+    pub struct BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.bool()
+        }
+    }
+
+    /// Uniform `true`/`false`.
+    pub const ANY: BoolAny = BoolAny;
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert a condition inside a property (no shrinking; panics with the
+/// condition text).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Uniform choice among alternative strategies for the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![$($crate::strategy::Strategy::boxed($s)),+])
+    };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }` runs
+/// `body` for `ProptestConfig::cases` sampled inputs. The `#[test]` attribute
+/// is written by the caller (as with real proptest) and passed through.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ cfg = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat_param in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..config.cases {
+                let _ = __case;
+                $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_fns!{ cfg = $cfg; $($rest)* }
+    };
+}
