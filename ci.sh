@@ -17,4 +17,7 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo bench --workspace --no-run"
+cargo bench --workspace --no-run
+
 echo "CI OK"

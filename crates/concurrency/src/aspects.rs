@@ -80,6 +80,10 @@ impl std::fmt::Debug for ErrorSink {
 /// immediately while the event executes on `executor`. Failures go to
 /// `sink`. Only suitable for methods whose (ignored) result type is `()` —
 /// which is exactly the paper's `void filter(int num[])` shape.
+///
+/// The spawn participates in [`BatchScope`](crate::BatchScope) deferral: a
+/// skeleton issuing many matched calls under a scope submits them to the
+/// executor as one pack-granular batch at flush time.
 pub fn oneway_aspect(
     name: impl Into<String>,
     pointcut: Pointcut,
@@ -105,6 +109,11 @@ pub fn oneway_aspect(
 /// immediately return a [`FutureAny`] carrying the eventual result. Clients
 /// consume it through [`future_ret`](crate::future::future_ret), which also
 /// transparently accepts the synchronous value when this aspect is unplugged.
+///
+/// Like [`oneway_aspect`], the spawn is [`BatchScope`](crate::BatchScope)-
+/// aware — under an active scope the detached chain is buffered and the
+/// whole pack is submitted in one batch; callers must flush the scope before
+/// blocking on a returned future.
 pub fn future_aspect(name: impl Into<String>, pointcut: Pointcut, executor: Executor) -> Aspect {
     Aspect::named(name)
         .precedence(precedence::ASYNC_INVOCATION)

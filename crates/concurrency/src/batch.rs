@@ -1,0 +1,178 @@
+//! Pack-granular submission: defer [`Executor::spawn`]s and flush them as one
+//! batch.
+//!
+//! The skeleton layer submits one asynchronous invocation per pack, but each
+//! of those goes through a woven advice chain that ends in an
+//! `executor.spawn(...)` — per-task queue traffic the submitter cannot batch
+//! from the outside. A [`BatchScope`] fixes that at the executor boundary:
+//! while a scope is active on the current thread, `Executor::spawn` buffers
+//! the job instead of submitting it, and [`BatchScope::flush`] (or dropping
+//! the scope) hands the whole buffer to [`Executor::spawn_batch`] — one
+//! tracker increment, one queue lock, one wakeup per pack.
+//!
+//! Scopes nest with stack discipline: an inner scope only defers (and only
+//! flushes) spawns made after it was entered, so a divide-and-conquer advice
+//! running inside a farm's scope batches its own sub-problems independently.
+//!
+//! **Callers must flush before blocking on any result of a deferred spawn**
+//! (the skeletons flush between submitting their packs and resolving the
+//! returned futures); the RAII flush-on-drop exists so an error path cannot
+//! strand buffered work, not as the primary API.
+
+use std::cell::{Cell, RefCell};
+
+use crate::executor::Executor;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    /// Depth of nested scopes; `Executor::spawn` defers only when > 0.
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+    /// Jobs deferred on this thread, tagged with their destination executor.
+    static DEFERRED: RefCell<Vec<(Executor, Job)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Buffer a job if a batch scope is active on this thread. Returns the job
+/// back when no scope is active (the caller submits it directly).
+pub(crate) fn defer(executor: &Executor, job: Job) -> Option<Job> {
+    if DEPTH.with(|d| d.get()) == 0 {
+        return Some(job);
+    }
+    DEFERRED.with(|buf| buf.borrow_mut().push((executor.clone(), job)));
+    None
+}
+
+/// RAII marker making [`Executor::spawn`] on this thread buffer jobs until
+/// [`flush`](BatchScope::flush) — see the module docs.
+pub struct BatchScope {
+    /// Buffer length at entry: this scope owns everything past it.
+    start: usize,
+    flushed: bool,
+}
+
+impl BatchScope {
+    /// Start deferring `Executor::spawn`s on the current thread.
+    pub fn enter() -> BatchScope {
+        DEPTH.with(|d| d.set(d.get() + 1));
+        BatchScope { start: DEFERRED.with(|buf| buf.borrow().len()), flushed: false }
+    }
+
+    /// Submit everything deferred under this scope, grouping consecutive
+    /// jobs bound for the same executor into one `spawn_batch`.
+    pub fn flush(mut self) {
+        self.flush_inner();
+    }
+
+    fn flush_inner(&mut self) {
+        if self.flushed {
+            return;
+        }
+        self.flushed = true;
+        DEPTH.with(|d| d.set(d.get() - 1));
+        let drained: Vec<(Executor, Job)> =
+            DEFERRED.with(|buf| buf.borrow_mut().split_off(self.start));
+        let mut drained = drained.into_iter().peekable();
+        while let Some((executor, job)) = drained.next() {
+            let mut group = vec![job];
+            while drained.peek().is_some_and(|(e, _)| e.same_as(&executor)) {
+                group.push(drained.next().expect("peeked").1);
+            }
+            executor.spawn_batch_boxed(group);
+        }
+    }
+}
+
+impl Drop for BatchScope {
+    fn drop(&mut self) {
+        self.flush_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn spawns_are_deferred_until_flush() {
+        let executor = Executor::pool(2, "defer");
+        let hits = Arc::new(AtomicUsize::new(0));
+        let scope = BatchScope::enter();
+        for _ in 0..10 {
+            let h = hits.clone();
+            executor.spawn(move || {
+                h.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        // Nothing registered yet: the jobs sit in the thread-local buffer.
+        assert_eq!(executor.tracker().in_flight(), 0);
+        scope.flush();
+        executor.wait_idle();
+        assert_eq!(hits.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn drop_flushes_stranded_work() {
+        let executor = Executor::pool(1, "strand");
+        let hits = Arc::new(AtomicUsize::new(0));
+        {
+            let _scope = BatchScope::enter();
+            let h = hits.clone();
+            executor.spawn(move || {
+                h.fetch_add(1, Ordering::Relaxed);
+            });
+            // Early exit (as on an error path): the scope drops unflushed.
+        }
+        executor.wait_idle();
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn nested_scopes_flush_their_own_spawns_only() {
+        let executor = Executor::pool(2, "nest");
+        let hits = Arc::new(AtomicUsize::new(0));
+        let outer = BatchScope::enter();
+        let h = hits.clone();
+        executor.spawn(move || {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        {
+            let inner = BatchScope::enter();
+            let h = hits.clone();
+            executor.spawn(move || {
+                h.fetch_add(10, Ordering::Relaxed);
+            });
+            inner.flush();
+            executor.wait_idle();
+            // Only the inner spawn ran; the outer one is still buffered.
+            assert_eq!(hits.load(Ordering::Relaxed), 10);
+        }
+        outer.flush();
+        executor.wait_idle();
+        assert_eq!(hits.load(Ordering::Relaxed), 11);
+    }
+
+    #[test]
+    fn mixed_executors_group_consecutively() {
+        let a = Executor::pool(1, "mix-a");
+        let b = Executor::thread_per_call();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let scope = BatchScope::enter();
+        for i in 0..6 {
+            let h = hits.clone();
+            let job = move || {
+                h.fetch_add(1, Ordering::Relaxed);
+            };
+            if i % 2 == 0 {
+                a.spawn(job);
+            } else {
+                b.spawn(job);
+            }
+        }
+        scope.flush();
+        a.wait_idle();
+        b.wait_idle();
+        assert_eq!(hits.load(Ordering::Relaxed), 6);
+    }
+}

@@ -2,14 +2,21 @@
 //!
 //! The concurrency aspect decides *that* a call runs asynchronously; the
 //! [`Executor`] decides *how*: a fresh thread per call (the paper's
-//! Figure 12) or a shared [`ThreadPool`] (the §4.4 thread-pool optimisation).
-//! Swapping one for the other is a one-line change — or, at the aspect level,
-//! the plugging of a different optimisation module.
+//! Figure 12) or a shared work-stealing [`ThreadPool`] (the §4.4 thread-pool
+//! optimisation). Swapping one for the other is a one-line change — or, at
+//! the aspect level, the plugging of a different optimisation module.
+//!
+//! [`Executor::spawn`] cooperates with [`BatchScope`](crate::BatchScope):
+//! while a scope is active on the calling thread, spawns are buffered and
+//! later submitted through [`Executor::spawn_batch`], which registers and
+//! enqueues a whole pack of tasks at once.
 
 use std::sync::Arc;
 
-use crate::pool::ThreadPool;
+use crate::pool::{Scheduler, ThreadPool};
 use crate::tracker::CompletionTracker;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// How asynchronous work is executed.
 #[derive(Clone, Debug)]
@@ -26,22 +33,70 @@ impl Executor {
         Executor::ThreadPerCall(CompletionTracker::new())
     }
 
-    /// Pooled executor with `size` workers.
+    /// Pooled executor with `size` workers (work-stealing scheduler).
     pub fn pool(size: usize, name: &str) -> Self {
         Executor::Pool(ThreadPool::new(size, name))
     }
 
-    /// Run `f` asynchronously under this policy.
+    /// Pooled executor on an explicit scheduler (the single-queue variant
+    /// exists for the throughput ablation).
+    pub fn pool_with_scheduler(size: usize, name: &str, scheduler: Scheduler) -> Self {
+        Executor::Pool(ThreadPool::with_scheduler(size, name, scheduler))
+    }
+
+    /// Run `f` asynchronously under this policy. Inside an active
+    /// [`BatchScope`](crate::BatchScope) on this thread, the job is buffered
+    /// and submitted at the scope's flush instead.
     pub fn spawn(&self, f: impl FnOnce() + Send + 'static) {
+        if let Some(job) = crate::batch::defer(self, Box::new(f)) {
+            self.spawn_boxed(job);
+        }
+    }
+
+    fn spawn_boxed(&self, job: Job) {
         match self {
             Executor::ThreadPerCall(tracker) => {
                 let token = tracker.begin();
                 std::thread::spawn(move || {
                     let _token = token;
-                    f();
+                    job();
                 });
             }
-            Executor::Pool(pool) => pool.spawn(f),
+            Executor::Pool(pool) => pool.spawn(job),
+        }
+    }
+
+    /// Run a whole pack of jobs asynchronously: tracker registration and (on
+    /// a pooled executor) queue submission happen once for the entire batch.
+    pub fn spawn_batch<I>(&self, jobs: I)
+    where
+        I: IntoIterator,
+        I::Item: FnOnce() + Send + 'static,
+    {
+        self.spawn_batch_boxed(jobs.into_iter().map(|j| Box::new(j) as Job).collect());
+    }
+
+    pub(crate) fn spawn_batch_boxed(&self, jobs: Vec<Job>) {
+        match self {
+            Executor::ThreadPerCall(tracker) => {
+                let tokens = tracker.begin_many(jobs.len());
+                for (token, job) in tokens.into_iter().zip(jobs) {
+                    std::thread::spawn(move || {
+                        let _token = token;
+                        job();
+                    });
+                }
+            }
+            Executor::Pool(pool) => pool.spawn_batch_boxed(jobs),
+        }
+    }
+
+    /// True when `other` is a clone of this executor (same tracker/pool).
+    pub fn same_as(&self, other: &Executor) -> bool {
+        match (self, other) {
+            (Executor::ThreadPerCall(a), Executor::ThreadPerCall(b)) => a.same_as(b),
+            (Executor::Pool(a), Executor::Pool(b)) => Arc::ptr_eq(a, b),
+            _ => false,
         }
     }
 
@@ -91,9 +146,32 @@ mod tests {
     }
 
     #[test]
+    fn single_queue_pool_executes_everything() {
+        exercise(&Executor::pool_with_scheduler(3, "exec-sq", Scheduler::SingleQueue));
+    }
+
+    #[test]
+    fn spawn_batch_executes_everything() {
+        for executor in [Executor::thread_per_call(), Executor::pool(3, "exec-batch")] {
+            let hits = Arc::new(AtomicUsize::new(0));
+            executor.spawn_batch((0..64).map(|_| {
+                let h = hits.clone();
+                move || {
+                    h.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+            executor.wait_idle();
+            assert_eq!(hits.load(Ordering::Relaxed), 64);
+            assert_eq!(executor.tracker().in_flight(), 0);
+        }
+    }
+
+    #[test]
     fn clones_share_the_tracker() {
         let e = Executor::thread_per_call();
         let e2 = e.clone();
+        assert!(e.same_as(&e2));
+        assert!(!e.same_as(&Executor::thread_per_call()));
         let hits = Arc::new(AtomicUsize::new(0));
         let h = hits.clone();
         e2.spawn(move || {

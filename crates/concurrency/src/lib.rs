@@ -12,8 +12,10 @@
 //!   read until the value is available (ABCL-style, as described in the
 //!   paper's related-work section);
 //! * [`ThreadPool`] and [`Executor`] — thread-per-call (the paper's
-//!   `new Thread()` in Figure 12) or a pooled executor (the thread-pool
-//!   *optimisation* aspect of §4.4 simply swaps the executor);
+//!   `new Thread()` in Figure 12) or a pooled executor backed by a
+//!   work-stealing scheduler (the thread-pool *optimisation* aspect of §4.4
+//!   simply swaps the executor); [`BatchScope`] defers spawns so a skeleton
+//!   submits each pack of tasks as one batch;
 //! * [`CompletionTracker`] — quiescence detection so clients can wait for all
 //!   outstanding asynchronous invocations;
 //! * [`aspects`] — the pluggable concurrency aspects:
@@ -25,6 +27,7 @@
 
 pub mod active;
 pub mod aspects;
+pub mod batch;
 pub mod executor;
 pub mod future;
 pub mod pool;
@@ -35,7 +38,8 @@ pub use aspects::{
     concurrency_aspect, future_aspect, future_concurrency_aspect, oneway_aspect,
     synchronized_aspect, ErrorSink,
 };
+pub use batch::BatchScope;
 pub use executor::Executor;
 pub use future::{future_ret, resolve_any, FutureAny, FutureOrNow, FutureValue};
-pub use pool::ThreadPool;
+pub use pool::{Scheduler, ThreadPool};
 pub use tracker::CompletionTracker;

@@ -1,52 +1,261 @@
-//! A fixed-size thread pool.
+//! A fixed-size thread pool with a work-stealing scheduler.
 //!
 //! The paper's §4.4 lists *thread pools* among the optimisations that can be
 //! modularised as aspects: the concurrency aspect spawns a thread per call
 //! (Figure 12), and a separately pluggable optimisation aspect replaces that
 //! with pooled execution. Both styles are exposed uniformly through
 //! [`Executor`](crate::executor::Executor).
+//!
+//! # Scheduling
+//!
+//! The default backend ([`Scheduler::WorkStealing`]) is a Cilk-style
+//! work-stealing scheduler: every worker owns a LIFO deque, tasks submitted
+//! from outside the pool land in a shared FIFO injector, and tasks spawned
+//! *by* a pool worker (divide-and-conquer recursion generates these heavily)
+//! go to that worker's own deque, where the LIFO pop keeps the most recently
+//! spawned — cache-hot — task first. Idle workers steal batches from the
+//! injector or from a peer's deque, so a burst of nested spawns seeded on a
+//! single worker spreads across the pool without any submitter-side routing.
+//! Idle workers park on a condition variable behind an atomic sleeper count:
+//! submitters skip the wakeup entirely while every worker is busy, which
+//! keeps the submission fast path lock-free with respect to parking.
+//!
+//! [`ThreadPool::spawn_batch`] submits a whole pack of tasks with one
+//! completion-tracker increment, one queue-lock acquisition and one wakeup —
+//! the skeleton layer (farm, divide-and-conquer) uses it to submit
+//! pack-granular batches instead of per-task sends.
+//!
+//! The previous single-shared-queue backend is kept as
+//! [`Scheduler::SingleQueue`] so the `executor_throughput` bench can ablate
+//! stealing against the old design (see EXPERIMENTS.md).
 
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Sender};
-use parking_lot::Mutex;
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use parking_lot::{Condvar, Mutex};
 
-use crate::tracker::CompletionTracker;
+use crate::tracker::{CompletionTracker, TaskToken};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
-/// A fixed set of worker threads consuming a shared job queue.
+/// One queued unit of work: the job plus its completion-tracker token, kept
+/// side by side so the batch path does not re-box the job to attach the
+/// token.
+struct Task {
+    token: TaskToken,
+    job: Job,
+}
+
+impl Task {
+    fn run(self) {
+        let _token = self.token; // released when the job ends, even on panic
+        (self.job)();
+    }
+}
+
+/// Which scheduler backs a [`ThreadPool`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scheduler {
+    /// Per-worker deques + global injector + stealing (the default).
+    WorkStealing,
+    /// One shared FIFO channel all workers receive from (the pre-stealing
+    /// design; kept for the throughput ablation).
+    SingleQueue,
+}
+
+/// Process-unique pool ids, so the thread-local worker context can tell
+/// *which* pool's worker the current thread is.
+static NEXT_POOL_ID: AtomicUsize = AtomicUsize::new(1);
+
+thread_local! {
+    /// `(pool id, worker index)` of the pool worker running on this thread.
+    static WORKER_CTX: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+}
+
+/// Shared state of the work-stealing backend.
+struct StealCore {
+    id: usize,
+    /// FIFO entry queue for tasks submitted from outside the pool.
+    injector: Injector<Task>,
+    /// One LIFO deque per worker. Indexed by worker; a worker pushes nested
+    /// spawns here and pops its own end, peers steal the other end.
+    locals: Vec<Worker<Task>>,
+    stealers: Vec<Stealer<Task>>,
+    /// Number of workers currently parked (or about to park) — submitters
+    /// only touch the park lock when this is non-zero.
+    sleepers: AtomicUsize,
+    shutdown: AtomicBool,
+    park_lock: Mutex<()>,
+    unpark: Condvar,
+}
+
+impl StealCore {
+    fn has_work(&self) -> bool {
+        !self.injector.is_empty() || self.locals.iter().any(|w| !w.is_empty())
+    }
+
+    /// Wake one parked worker if any worker is parked.
+    fn wake_one(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.park_lock.lock();
+            self.unpark.notify_one();
+        }
+    }
+
+    /// Wake every parked worker (batch submission, shutdown).
+    fn wake_all(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.park_lock.lock();
+            self.unpark.notify_all();
+        }
+    }
+
+    /// Next task for worker `idx`: own deque first (LIFO — cache-hot nested
+    /// spawns), then a batch from the injector, then a batch stolen from a
+    /// peer (rotating the starting victim so thieves spread out).
+    fn find_task(&self, idx: usize) -> Option<Task> {
+        if let Some(task) = self.locals[idx].pop() {
+            return Some(task);
+        }
+        loop {
+            match self.injector.steal_batch_and_pop(&self.locals[idx]) {
+                Steal::Success(task) => return Some(task),
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+        }
+        let n = self.stealers.len();
+        for offset in 1..n {
+            let victim = (idx + offset) % n;
+            loop {
+                match self.stealers[victim].steal_batch_and_pop(&self.locals[idx]) {
+                    Steal::Success(task) => return Some(task),
+                    Steal::Empty => break,
+                    Steal::Retry => continue,
+                }
+            }
+        }
+        None
+    }
+
+    fn worker_loop(self: &Arc<Self>, idx: usize) {
+        WORKER_CTX.with(|ctx| ctx.set(Some((self.id, idx))));
+        loop {
+            if let Some(task) = self.find_task(idx) {
+                // A panicking job must not kill the worker: the pool would
+                // silently lose capacity (and a 1-worker pool would deadlock
+                // every later caller).
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task.run()));
+                continue;
+            }
+            // Park. The sleeper count is incremented under the park lock and
+            // *before* the queues are re-checked; a submitter pushes first
+            // and reads the count second. Whichever critical section runs
+            // first, either the submitter observes the sleeper and notifies,
+            // or this worker's re-check observes the pushed task — a missed
+            // wakeup requires both to lose, which the lock ordering forbids.
+            let mut guard = self.park_lock.lock();
+            self.sleepers.fetch_add(1, Ordering::SeqCst);
+            if self.has_work() {
+                self.sleepers.fetch_sub(1, Ordering::SeqCst);
+                continue;
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                // Queues drained and the pool is going away.
+                self.sleepers.fetch_sub(1, Ordering::SeqCst);
+                return;
+            }
+            // The timeout is a pure backstop: a (theoretically impossible,
+            // see above) missed wakeup would cost 10 ms of latency, never a
+            // hang.
+            self.unpark.wait_for(&mut guard, Duration::from_millis(10));
+            self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+enum Backend {
+    Single { tx: Option<Sender<Task>> },
+    Stealing(Arc<StealCore>),
+}
+
+/// A fixed set of worker threads consuming work-stealing deques (or, for the
+/// ablation backend, one shared job queue).
 pub struct ThreadPool {
-    tx: Option<Sender<Job>>,
+    backend: Backend,
     workers: Mutex<Vec<JoinHandle<()>>>,
     tracker: CompletionTracker,
     size: usize,
 }
 
 impl ThreadPool {
-    /// Spawn `size` workers (at least one) named `{name}-{i}`.
+    /// Spawn `size` workers (at least one) named `{name}-{i}` on the default
+    /// work-stealing scheduler.
     pub fn new(size: usize, name: &str) -> Arc<Self> {
+        Self::with_scheduler(size, name, Scheduler::WorkStealing)
+    }
+
+    /// The pre-stealing single-shared-queue pool (ablation / comparison).
+    pub fn single_queue(size: usize, name: &str) -> Arc<Self> {
+        Self::with_scheduler(size, name, Scheduler::SingleQueue)
+    }
+
+    /// Spawn `size` workers (at least one) named `{name}-{i}` on the chosen
+    /// scheduler.
+    pub fn with_scheduler(size: usize, name: &str, scheduler: Scheduler) -> Arc<Self> {
         let size = size.max(1);
-        let (tx, rx) = unbounded::<Job>();
         let mut workers = Vec::with_capacity(size);
-        for i in 0..size {
-            let rx = rx.clone();
-            let handle = std::thread::Builder::new()
-                .name(format!("{name}-{i}"))
-                .spawn(move || {
-                    while let Ok(job) = rx.recv() {
-                        // A panicking job must not kill the worker: the pool
-                        // would silently lose capacity (and a 1-worker pool
-                        // would deadlock every later caller).
-                        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
-                    }
-                })
-                .expect("spawning pool worker");
-            workers.push(handle);
-        }
+        let backend = match scheduler {
+            Scheduler::SingleQueue => {
+                let (tx, rx) = unbounded::<Task>();
+                for i in 0..size {
+                    let rx = rx.clone();
+                    let handle = std::thread::Builder::new()
+                        .name(format!("{name}-{i}"))
+                        .spawn(move || {
+                            while let Ok(task) = rx.recv() {
+                                let _ =
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                        task.run()
+                                    }));
+                            }
+                        })
+                        .expect("spawning pool worker");
+                    workers.push(handle);
+                }
+                Backend::Single { tx: Some(tx) }
+            }
+            Scheduler::WorkStealing => {
+                let locals: Vec<Worker<Task>> = (0..size).map(|_| Worker::new_lifo()).collect();
+                let stealers = locals.iter().map(|w| w.stealer()).collect();
+                let core = Arc::new(StealCore {
+                    id: NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed),
+                    injector: Injector::new(),
+                    locals,
+                    stealers,
+                    sleepers: AtomicUsize::new(0),
+                    shutdown: AtomicBool::new(false),
+                    park_lock: Mutex::new(()),
+                    unpark: Condvar::new(),
+                });
+                for i in 0..size {
+                    let core = core.clone();
+                    let handle = std::thread::Builder::new()
+                        .name(format!("{name}-{i}"))
+                        .spawn(move || core.worker_loop(i))
+                        .expect("spawning pool worker");
+                    workers.push(handle);
+                }
+                Backend::Stealing(core)
+            }
+        };
         Arc::new(ThreadPool {
-            tx: Some(tx),
+            backend,
             workers: Mutex::new(workers),
             tracker: CompletionTracker::new(),
             size,
@@ -58,18 +267,77 @@ impl ThreadPool {
         self.size
     }
 
-    /// Enqueue a job. Never blocks (unbounded queue).
+    /// The scheduler backing this pool.
+    pub fn scheduler(&self) -> Scheduler {
+        match self.backend {
+            Backend::Single { .. } => Scheduler::SingleQueue,
+            Backend::Stealing(_) => Scheduler::WorkStealing,
+        }
+    }
+
+    /// Enqueue a job. Never blocks (unbounded queues). Called from a pool
+    /// worker, the job goes to that worker's own deque (LIFO, cache-hot);
+    /// called from anywhere else it goes to the shared injector.
     pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
-        let token = self.tracker.begin();
-        let wrapped: Job = Box::new(move || {
-            let _token = token; // released when the job ends, even on panic
-            job();
-        });
-        self.tx
-            .as_ref()
-            .expect("pool sender present until drop")
-            .send(wrapped)
-            .expect("pool workers alive until drop");
+        let task = Task { token: self.tracker.begin(), job: Box::new(job) };
+        self.push_task(task);
+    }
+
+    /// Enqueue a whole pack of jobs: one tracker increment, one queue-lock
+    /// acquisition (work-stealing backend) and one wakeup for the entire
+    /// batch. Semantically identical to calling [`spawn`](Self::spawn) once
+    /// per job.
+    pub fn spawn_batch<I>(&self, jobs: I)
+    where
+        I: IntoIterator,
+        I::Item: FnOnce() + Send + 'static,
+    {
+        self.spawn_batch_boxed(jobs.into_iter().map(|j| Box::new(j) as Job).collect());
+    }
+
+    pub(crate) fn spawn_batch_boxed(&self, jobs: Vec<Job>) {
+        if jobs.is_empty() {
+            return;
+        }
+        let tokens = self.tracker.begin_many(jobs.len());
+        let tasks = tokens.into_iter().zip(jobs).map(|(token, job)| Task { token, job });
+        match &self.backend {
+            Backend::Single { tx } => {
+                let tx = tx.as_ref().expect("pool sender present until drop");
+                for task in tasks {
+                    tx.send(task).expect("pool workers alive until drop");
+                }
+            }
+            Backend::Stealing(core) => {
+                match WORKER_CTX.with(|ctx| ctx.get()) {
+                    Some((id, idx)) if id == core.id => {
+                        for task in tasks {
+                            core.locals[idx].push(task);
+                        }
+                    }
+                    _ => core.injector.push_batch(tasks),
+                }
+                core.wake_all();
+            }
+        }
+    }
+
+    fn push_task(&self, task: Task) {
+        match &self.backend {
+            Backend::Single { tx } => {
+                tx.as_ref()
+                    .expect("pool sender present until drop")
+                    .send(task)
+                    .expect("pool workers alive until drop");
+            }
+            Backend::Stealing(core) => {
+                match WORKER_CTX.with(|ctx| ctx.get()) {
+                    Some((id, idx)) if id == core.id => core.locals[idx].push(task),
+                    _ => core.injector.push(task),
+                }
+                core.wake_one();
+            }
+        }
     }
 
     /// Jobs queued or running.
@@ -92,9 +360,20 @@ impl ThreadPool {
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        // Closing the channel stops the workers after the queue drains.
-        self.tx = None;
-        for handle in self.workers.lock().drain(..) {
+        match &mut self.backend {
+            // Closing the channel stops the workers after the queue drains.
+            Backend::Single { tx } => *tx = None,
+            Backend::Stealing(core) => {
+                core.shutdown.store(true, Ordering::SeqCst);
+                let _guard = core.park_lock.lock();
+                core.unpark.notify_all();
+            }
+        }
+        // Take the handles out before joining: joining while holding the
+        // `workers` mutex would deadlock a concurrent `Debug`-format or
+        // `size()` caller for the whole shutdown.
+        let handles = std::mem::take(self.workers.get_mut());
+        for handle in handles {
             let _ = handle.join();
         }
     }
@@ -104,6 +383,7 @@ impl std::fmt::Debug for ThreadPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ThreadPool")
             .field("size", &self.size)
+            .field("scheduler", &self.scheduler())
             .field("in_flight", &self.in_flight())
             .finish()
     }
@@ -115,18 +395,23 @@ mod tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::time::Duration;
 
+    fn both_schedulers() -> [Arc<ThreadPool>; 2] {
+        [ThreadPool::new(4, "steal"), ThreadPool::single_queue(4, "single")]
+    }
+
     #[test]
     fn runs_jobs() {
-        let pool = ThreadPool::new(4, "test");
-        let counter = Arc::new(AtomicUsize::new(0));
-        for _ in 0..100 {
-            let c = counter.clone();
-            pool.spawn(move || {
-                c.fetch_add(1, Ordering::Relaxed);
-            });
+        for pool in both_schedulers() {
+            let counter = Arc::new(AtomicUsize::new(0));
+            for _ in 0..100 {
+                let c = counter.clone();
+                pool.spawn(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            pool.wait_idle();
+            assert_eq!(counter.load(Ordering::Relaxed), 100, "{:?}", pool.scheduler());
         }
-        pool.wait_idle();
-        assert_eq!(counter.load(Ordering::Relaxed), 100);
     }
 
     #[test]
@@ -162,46 +447,118 @@ mod tests {
 
     #[test]
     fn nested_submission_is_tracked() {
-        let pool = ThreadPool::new(2, "nest");
-        let hits = Arc::new(AtomicUsize::new(0));
-        let (p2, h2) = (pool.clone(), hits.clone());
-        pool.spawn(move || {
-            h2.fetch_add(1, Ordering::Relaxed);
-            let h3 = h2.clone();
-            p2.spawn(move || {
-                h3.fetch_add(1, Ordering::Relaxed);
+        for pool in both_schedulers() {
+            let hits = Arc::new(AtomicUsize::new(0));
+            let (p2, h2) = (pool.clone(), hits.clone());
+            pool.spawn(move || {
+                h2.fetch_add(1, Ordering::Relaxed);
+                let h3 = h2.clone();
+                p2.spawn(move || {
+                    h3.fetch_add(1, Ordering::Relaxed);
+                });
             });
-        });
-        pool.wait_idle();
-        assert_eq!(hits.load(Ordering::Relaxed), 2);
+            pool.wait_idle();
+            assert_eq!(hits.load(Ordering::Relaxed), 2, "{:?}", pool.scheduler());
+        }
     }
 
     #[test]
     fn panicking_job_does_not_wedge_the_pool() {
-        let pool = ThreadPool::new(1, "panicky");
-        pool.spawn(|| panic!("boom"));
-        assert!(pool.tracker().wait_idle_timeout(Duration::from_millis(500)));
-        // The single worker survived the panic and keeps serving jobs.
-        let ok = Arc::new(AtomicUsize::new(0));
-        let ok2 = ok.clone();
-        pool.spawn(move || {
-            ok2.fetch_add(1, Ordering::Relaxed);
-        });
-        pool.wait_idle();
-        assert_eq!(ok.load(Ordering::Relaxed), 1);
+        for pool in [ThreadPool::new(1, "panicky"), ThreadPool::single_queue(1, "panicky-sq")] {
+            pool.spawn(|| panic!("boom"));
+            assert!(pool.tracker().wait_idle_timeout(Duration::from_millis(500)));
+            // The single worker survived the panic and keeps serving jobs.
+            let ok = Arc::new(AtomicUsize::new(0));
+            let ok2 = ok.clone();
+            pool.spawn(move || {
+                ok2.fetch_add(1, Ordering::Relaxed);
+            });
+            pool.wait_idle();
+            assert_eq!(ok.load(Ordering::Relaxed), 1, "{:?}", pool.scheduler());
+        }
     }
 
     #[test]
     fn drop_joins_workers() {
-        let pool = ThreadPool::new(2, "drop");
-        let hits = Arc::new(AtomicUsize::new(0));
-        for _ in 0..10 {
-            let h = hits.clone();
-            pool.spawn(move || {
-                h.fetch_add(1, Ordering::Relaxed);
-            });
+        for pool in [ThreadPool::new(2, "drop"), ThreadPool::single_queue(2, "drop-sq")] {
+            let hits = Arc::new(AtomicUsize::new(0));
+            for _ in 0..10 {
+                let h = hits.clone();
+                pool.spawn(move || {
+                    h.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            drop(pool);
+            assert_eq!(hits.load(Ordering::Relaxed), 10, "queued jobs drain before drop completes");
         }
-        drop(pool);
-        assert_eq!(hits.load(Ordering::Relaxed), 10, "queued jobs drain before drop completes");
+    }
+
+    #[test]
+    fn spawn_batch_runs_every_job() {
+        for pool in both_schedulers() {
+            let counter = Arc::new(AtomicUsize::new(0));
+            pool.spawn_batch((0..250).map(|_| {
+                let c = counter.clone();
+                move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+            pool.wait_idle();
+            assert_eq!(counter.load(Ordering::Relaxed), 250, "{:?}", pool.scheduler());
+            assert_eq!(pool.in_flight(), 0);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let pool = ThreadPool::new(2, "empty");
+        pool.spawn_batch(std::iter::empty::<fn()>());
+        pool.wait_idle();
+        assert_eq!(pool.in_flight(), 0);
+    }
+
+    #[test]
+    fn nested_spawns_seeded_on_one_worker_are_stolen() {
+        // One externally submitted job fans out nested spawns; they all land
+        // on that worker's local deque, so any parallelism proves stealing.
+        let pool = ThreadPool::new(4, "thief");
+        let running = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let p2 = pool.clone();
+        let (r2, k2) = (running.clone(), peak.clone());
+        pool.spawn(move || {
+            for _ in 0..8 {
+                let (r3, k3) = (r2.clone(), k2.clone());
+                p2.spawn(move || {
+                    let now = r3.fetch_add(1, Ordering::SeqCst) + 1;
+                    k3.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(30));
+                    r3.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        });
+        pool.wait_idle();
+        assert!(
+            peak.load(Ordering::SeqCst) >= 2,
+            "idle peers must steal from the seeding worker's deque"
+        );
+    }
+
+    #[test]
+    fn lifo_local_order_fifo_injector_order() {
+        // Single worker: injector submissions run FIFO; nested spawns run
+        // LIFO (most recent first). Observable only with one worker.
+        let pool = ThreadPool::new(1, "order");
+        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let p2 = pool.clone();
+        let o2 = order.clone();
+        pool.spawn(move || {
+            for i in 0..3 {
+                let o3 = o2.clone();
+                p2.spawn(move || o3.lock().push(i));
+            }
+        });
+        pool.wait_idle();
+        assert_eq!(*order.lock(), vec![2, 1, 0], "nested spawns pop LIFO");
     }
 }

@@ -67,6 +67,23 @@ impl CompletionTracker {
         TaskToken { inner: self.inner.clone() }
     }
 
+    /// Register `n` in-flight tasks with a single counter increment — the
+    /// batch-submission path (`spawn_batch`) registers a whole pack of tasks
+    /// without `n` round-trips on the shared counter's cache line. Each
+    /// returned token behaves exactly like one from [`begin`](Self::begin).
+    pub fn begin_many(&self, n: usize) -> Vec<TaskToken> {
+        if n == 0 {
+            return Vec::new();
+        }
+        self.inner.count.fetch_add(n, Ordering::Relaxed);
+        (0..n).map(|_| TaskToken { inner: self.inner.clone() }).collect()
+    }
+
+    /// True when `other` shares this tracker's counter (clone identity).
+    pub fn same_as(&self, other: &CompletionTracker) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
     /// Number of tasks currently in flight.
     pub fn in_flight(&self) -> usize {
         self.inner.count.load(Ordering::Acquire)
@@ -123,6 +140,19 @@ mod tests {
         let tok = t.begin();
         assert_eq!(t.in_flight(), 1);
         drop(tok);
+        assert_eq!(t.in_flight(), 0);
+    }
+
+    #[test]
+    fn begin_many_mints_independent_tokens() {
+        let t = CompletionTracker::new();
+        let tokens = t.begin_many(5);
+        assert_eq!(t.in_flight(), 5);
+        for tok in tokens {
+            drop(tok);
+        }
+        assert_eq!(t.in_flight(), 0);
+        assert!(t.begin_many(0).is_empty());
         assert_eq!(t.in_flight(), 0);
     }
 

@@ -10,7 +10,10 @@
 //!
 //! * **thread pools** — [`pooled_invocation_aspect`]: a drop-in replacement
 //!   for the thread-per-call asynchronous-invocation aspect that runs on a
-//!   shared [`ThreadPool`] instead (plug one *or* the other);
+//!   shared [`ThreadPool`] instead (plug one *or* the other). The pool is
+//!   backed by a work-stealing scheduler (per-worker LIFO deques, global
+//!   injector, pack-granular `spawn_batch`); the aspect's plugging story is
+//!   unchanged — the optimisation just got faster;
 //! * **cache objects** — [`object_cache_aspect`]: memoises matched calls per
 //!   `(target, argument-key)` and answers repeats without `proceed` — in a
 //!   distributed stack it sits outside the distribution aspect and therefore

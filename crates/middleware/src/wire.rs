@@ -104,7 +104,11 @@ impl Wire for String {
             return Err(short("String"));
         }
         let raw = buf.split_to(len);
-        String::from_utf8(raw.to_vec())
+        // Validate in place on the split view, then copy once into the
+        // `String` — the old `raw.to_vec()` + `String::from_utf8` round-trip
+        // copied first and validated after (wasting the copy on bad input).
+        std::str::from_utf8(&raw)
+            .map(str::to_owned)
             .map_err(|e| WeaveError::remote(format!("wire: invalid utf8: {e}")))
     }
 }

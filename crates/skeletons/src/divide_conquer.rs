@@ -15,7 +15,7 @@
 
 use std::sync::Arc;
 
-use weavepar_concurrency::resolve_any;
+use weavepar_concurrency::{resolve_any, BatchScope};
 use weavepar_weave::aspect::precedence;
 use weavepar_weave::prelude::*;
 
@@ -63,6 +63,10 @@ pub fn divide_conquer_aspect(name: impl Into<String>, config: DivideConquerConfi
             let weaver = inv.weaver().clone();
             let subproblems = (cfg.divide)(inv.args()?)?;
             let mut pending = Vec::with_capacity(subproblems.len());
+            // One batch submission per divide level. Scopes nest per level
+            // (recursive sub-calls running on pool workers open their own),
+            // and each level flushes before blocking on its sub-results.
+            let scope = BatchScope::enter();
             for sub in subproblems {
                 // Object creation at a *call* join point: a fresh
                 // aspect-managed worker per sub-problem, constructed through
@@ -70,6 +74,7 @@ pub fn divide_conquer_aspect(name: impl Into<String>, config: DivideConquerConfi
                 let worker = weaver.construct_dyn(cfg.class, (cfg.worker_args)(&sub)?)?;
                 pending.push(weaver.invoke_call(worker, cfg.class, cfg.method, sub)?);
             }
+            scope.flush();
             let mut results = Vec::with_capacity(pending.len());
             for ret in pending {
                 results.push(resolve_any(ret)?);

@@ -54,9 +54,9 @@ pub fn dynamic_farm_aspect(name: impl Into<String>, protocol: DynamicFarmConfig)
                 let total = packs.len();
 
                 let (task_tx, task_rx) = unbounded::<(usize, Args)>();
-                for item in packs.into_iter().enumerate() {
-                    task_tx.send(item).expect("queue open");
-                }
+                // Seed the whole pack set in one batch send: one queue-lock
+                // acquisition instead of one per pack.
+                task_tx.send_batch(packs.into_iter().enumerate()).expect("queue open");
                 drop(task_tx); // workers stop when the queue drains
 
                 let (res_tx, res_rx) = unbounded::<(usize, WeaveResult<AnyValue>)>();

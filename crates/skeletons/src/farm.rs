@@ -12,7 +12,7 @@
 //! directly, since both blocks are private to the partition module — a
 //! deviation recorded in DESIGN.md.
 
-use weavepar_concurrency::resolve_any;
+use weavepar_concurrency::{resolve_any, BatchScope};
 use weavepar_weave::aspect::precedence;
 use weavepar_weave::prelude::*;
 
@@ -54,10 +54,16 @@ pub fn farm_aspect(name: impl Into<String>, protocol: FarmConfig) -> Aspect {
                     .unwrap_or_else(|| vec![target]);
                 let packs = (route.split)(inv.args()?)?;
                 let mut pending = Vec::with_capacity(packs.len());
+                // With a concurrency aspect plugged, every invoke below ends
+                // in an executor spawn; the scope coalesces them into one
+                // batch submission for the whole pack set, flushed before the
+                // results are awaited.
+                let scope = BatchScope::enter();
                 for (k, pack) in packs.into_iter().enumerate() {
                     let worker = workers[k % workers.len()];
                     pending.push(weaver.invoke_call(worker, route.class, route.method, pack)?);
                 }
+                scope.flush();
                 let mut results = Vec::with_capacity(pending.len());
                 for ret in pending {
                     results.push(resolve_any(ret)?);

@@ -62,6 +62,14 @@ pub fn pipeline_aspect(name: impl Into<String>, protocol: PipelineConfig) -> Asp
                 // Issue every pack call (aspect provenance: matched by the
                 // forward advice and by concurrency/distribution, not by this
                 // split again), then resolve and combine.
+                //
+                // Deliberately NOT wrapped in a `BatchScope` (unlike the farm
+                // and divide-and-conquer skeletons): packs must *enter stage
+                // one in submission order* so the stages see them in the
+                // sequence the split produced — a pack's journey overlaps the
+                // next pack's, which is the pipeline's parallelism. A batch
+                // flush hands the whole set to the work-stealing pool, whose
+                // LIFO deques and stealing give no FIFO guarantee.
                 let mut pending = Vec::with_capacity(packs.len());
                 for pack in packs {
                     pending.push(weaver.invoke_call(target, split.class, split.method, pack)?);

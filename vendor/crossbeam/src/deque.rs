@@ -1,0 +1,362 @@
+//! Offline stand-in for the `crossbeam-deque` work-stealing primitives,
+//! exposed under `crossbeam::deque` exactly as the real umbrella crate does.
+//!
+//! The API mirrors upstream — [`Worker`]/[`Stealer`] pairs, a global
+//! [`Injector`], and the [`Steal`] result — so swapping the real crate back
+//! in keeps call sites compiling. The implementation is deliberately simple:
+//! each queue is a mutex-guarded `VecDeque`, which preserves the *sharding*
+//! that makes work stealing scale (each worker owns its deque; the mutex is
+//! uncontended except when a peer steals) without the unsafe Chase-Lev
+//! buffer. Two documented deviations from upstream:
+//!
+//! * the shim's `Worker` is `Sync`, so a pool may keep per-worker handles in
+//!   shared state instead of the thread-local-owner pattern the lock-free
+//!   original requires;
+//! * [`Injector::push_batch`] accepts a whole batch under one lock — the
+//!   pack-granular submission path the thread pool uses.
+//!
+//! The mutex-backed queues never need to retry, so [`Steal::Retry`] is never
+//! returned here; consumers must still handle it (upstream does return it),
+//! and the loops in this workspace do.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Most tasks moved per steal: half the victim's queue, capped here.
+const MAX_BATCH: usize = 32;
+
+/// Outcome of a steal attempt.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// The operation lost a race and may be retried (never produced by this
+    /// shim; kept for upstream API compatibility).
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// The stolen task, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// True when the steal found the queue empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    /// True when a task was stolen.
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flavor {
+    Lifo,
+    Fifo,
+}
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Shared<T> {
+    fn new() -> Arc<Self> {
+        Arc::new(Shared { queue: Mutex::new(VecDeque::new()) })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Move up to `MAX_BATCH` tasks (at most half the queue, at least one
+    /// when non-empty) from the *steal end* (front) into `dest`, returning
+    /// the first.
+    fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut grabbed = {
+            let mut queue = self.lock();
+            if queue.is_empty() {
+                return Steal::Empty;
+            }
+            let take = queue.len().div_ceil(2).min(MAX_BATCH);
+            queue.drain(..take).collect::<VecDeque<T>>()
+        };
+        // `dest`'s lock is taken only after this queue's lock is released, so
+        // two workers stealing from each other cannot deadlock.
+        let first = grabbed.pop_front().expect("batch is non-empty");
+        if !grabbed.is_empty() {
+            let mut dq = dest.shared.lock();
+            dq.extend(grabbed);
+        }
+        Steal::Success(first)
+    }
+
+    fn steal_one(&self) -> Steal<T> {
+        match self.lock().pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+}
+
+/// The owner's end of a work-stealing deque. Pushes always go to the back;
+/// the LIFO flavour pops the back (cache-hot, just-spawned tasks first) while
+/// thieves always take from the front (the oldest, coldest tasks).
+pub struct Worker<T> {
+    shared: Arc<Shared<T>>,
+    flavor: Flavor,
+}
+
+impl<T> Worker<T> {
+    /// A deque whose owner pops its most recently pushed task first.
+    pub fn new_lifo() -> Self {
+        Worker { shared: Shared::new(), flavor: Flavor::Lifo }
+    }
+
+    /// A deque whose owner pops in push order.
+    pub fn new_fifo() -> Self {
+        Worker { shared: Shared::new(), flavor: Flavor::Fifo }
+    }
+
+    /// A stealing handle onto this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer { shared: self.shared.clone() }
+    }
+
+    /// Push a task onto the owner's end.
+    pub fn push(&self, task: T) {
+        self.shared.lock().push_back(task);
+    }
+
+    /// Pop a task from the owner's end.
+    pub fn pop(&self) -> Option<T> {
+        match self.flavor {
+            Flavor::Lifo => self.shared.lock().pop_back(),
+            Flavor::Fifo => self.shared.lock().pop_front(),
+        }
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.shared.lock().len()
+    }
+
+    /// True when no task is queued.
+    pub fn is_empty(&self) -> bool {
+        self.shared.lock().is_empty()
+    }
+}
+
+impl<T> std::fmt::Debug for Worker<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Worker").field("len", &self.len()).finish()
+    }
+}
+
+/// A cloneable stealing handle onto some [`Worker`]'s deque.
+pub struct Stealer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Stealer<T> {
+    /// Steal one task from the front of the victim's deque.
+    pub fn steal(&self) -> Steal<T> {
+        self.shared.steal_one()
+    }
+
+    /// Steal a batch from the victim, keep the first task and park the rest
+    /// in `dest` (the thief's own deque).
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        self.shared.steal_batch_and_pop(dest)
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.shared.lock().len()
+    }
+
+    /// True when no task is queued.
+    pub fn is_empty(&self) -> bool {
+        self.shared.lock().is_empty()
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer { shared: self.shared.clone() }
+    }
+}
+
+impl<T> std::fmt::Debug for Stealer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stealer").field("len", &self.len()).finish()
+    }
+}
+
+/// A FIFO queue shared by all workers — the entry point for tasks submitted
+/// from outside the pool.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// An empty injector.
+    pub fn new() -> Self {
+        Injector { queue: Mutex::new(VecDeque::new()) }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Push one task.
+    pub fn push(&self, task: T) {
+        self.lock().push_back(task);
+    }
+
+    /// Push a whole batch under a single lock acquisition (shim extension —
+    /// upstream takes one `push` per task).
+    pub fn push_batch(&self, tasks: impl IntoIterator<Item = T>) {
+        self.lock().extend(tasks);
+    }
+
+    /// Steal one task from the front.
+    pub fn steal(&self) -> Steal<T> {
+        match self.lock().pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steal a batch, keep the first task and park the rest in `dest`.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut grabbed = {
+            let mut queue = self.lock();
+            if queue.is_empty() {
+                return Steal::Empty;
+            }
+            let take = queue.len().div_ceil(2).min(MAX_BATCH);
+            queue.drain(..take).collect::<VecDeque<T>>()
+        };
+        let first = grabbed.pop_front().expect("batch is non-empty");
+        if !grabbed.is_empty() {
+            let mut dq = dest.shared.lock();
+            dq.extend(grabbed);
+        }
+        Steal::Success(first)
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// True when no task is queued.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+}
+
+impl<T> std::fmt::Debug for Injector<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Injector").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_owner_fifo_thief() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        // Owner pops newest; thief steals oldest.
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn fifo_owner_pops_in_order() {
+        let w = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+    }
+
+    #[test]
+    fn injector_batch_lands_in_dest() {
+        let inj = Injector::new();
+        inj.push_batch(0..10);
+        let w = Worker::new_lifo();
+        let got = inj.steal_batch_and_pop(&w);
+        assert_eq!(got, Steal::Success(0));
+        // Half of ten: five grabbed, one returned, four parked in dest.
+        assert_eq!(w.len(), 4);
+        assert_eq!(inj.len(), 5);
+    }
+
+    #[test]
+    fn stealer_batch_halves_the_victim() {
+        let victim = Worker::new_lifo();
+        for i in 0..8 {
+            victim.push(i);
+        }
+        let thief = Worker::new_lifo();
+        let got = victim.stealer().steal_batch_and_pop(&thief);
+        assert_eq!(got, Steal::Success(0));
+        assert_eq!(thief.len(), 3);
+        assert_eq!(victim.len(), 4);
+    }
+
+    #[test]
+    fn cross_steal_does_not_deadlock() {
+        use std::sync::Arc;
+        // Two workers stealing from each other concurrently: the batch move
+        // never holds both locks, so this must terminate.
+        let a = Arc::new(Worker::new_lifo());
+        let b = Arc::new(Worker::new_lifo());
+        for i in 0..1000 {
+            a.push(i);
+            b.push(i);
+        }
+        let (sa, sb) = (a.stealer(), b.stealer());
+        let (a2, b2) = (a.clone(), b.clone());
+        let t1 = std::thread::spawn(move || {
+            let mut got = 0;
+            while !sb.steal_batch_and_pop(&a2).is_empty() {
+                got += 1;
+            }
+            got
+        });
+        let t2 = std::thread::spawn(move || {
+            let mut got = 0;
+            while !sa.steal_batch_and_pop(&b2).is_empty() {
+                got += 1;
+            }
+            got
+        });
+        t1.join().unwrap();
+        t2.join().unwrap();
+    }
+}

@@ -1,7 +1,9 @@
 //! Offline stand-in for the `crossbeam` crate: multi-producer/multi-consumer
-//! channels with disconnect semantics, built on a mutex-guarded deque and two
-//! condition variables. Only the `channel` module subset this workspace uses
-//! is provided.
+//! channels with disconnect semantics (built on a mutex-guarded deque and two
+//! condition variables) plus the `deque` work-stealing primitives. Only the
+//! API subset this workspace uses is provided.
+
+pub mod deque;
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -124,6 +126,49 @@ pub mod channel {
             queue.push_back(value);
             drop(queue);
             shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Send a whole batch under a single lock acquisition with a single
+        /// wakeup (shim extension — upstream takes one `send` per message).
+        /// On a bounded channel the sender waits for room element by element,
+        /// still holding only one lock session per wait. When every receiver
+        /// is gone the not-yet-queued remainder is handed back.
+        pub fn send_batch<I>(&self, values: I) -> Result<(), SendError<Vec<T>>>
+        where
+            I: IntoIterator<Item = T>,
+        {
+            let mut iter = values.into_iter();
+            let shared = &self.shared;
+            let mut pushed = false;
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if shared.receivers.load(Ordering::SeqCst) == 0 {
+                    drop(queue);
+                    return Err(SendError(iter.collect()));
+                }
+                if let Some(cap) = shared.capacity {
+                    if queue.len() >= cap {
+                        if pushed {
+                            // Let consumers drain what is already queued.
+                            shared.not_empty.notify_all();
+                        }
+                        queue = shared.not_full.wait(queue).unwrap_or_else(|e| e.into_inner());
+                        continue;
+                    }
+                }
+                match iter.next() {
+                    Some(value) => {
+                        queue.push_back(value);
+                        pushed = true;
+                    }
+                    None => break,
+                }
+            }
+            drop(queue);
+            if pushed {
+                shared.not_empty.notify_all();
+            }
             Ok(())
         }
 
@@ -351,6 +396,37 @@ pub mod channel {
             drop(rx);
             let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
             assert_eq!(total, 100);
+        }
+
+        #[test]
+        fn send_batch_delivers_everything() {
+            let (tx, rx) = unbounded();
+            tx.send_batch(0..50).unwrap();
+            assert_eq!(rx.len(), 50);
+            assert_eq!(rx.try_iter().sum::<i32>(), (0..50).sum());
+        }
+
+        #[test]
+        fn send_batch_respects_bounded_capacity() {
+            let (tx, rx) = bounded(4);
+            let t = thread::spawn(move || {
+                tx.send_batch(0..16).unwrap();
+            });
+            // The sender parks on the full channel until this side drains it.
+            let mut got = Vec::new();
+            while got.len() < 16 {
+                got.push(rx.recv().unwrap());
+            }
+            t.join().unwrap();
+            assert_eq!(got, (0..16).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn send_batch_returns_remainder_on_disconnect() {
+            let (tx, rx) = unbounded::<i32>();
+            drop(rx);
+            let err = tx.send_batch(0..3).unwrap_err();
+            assert_eq!(err.0, vec![0, 1, 2]);
         }
 
         #[test]
