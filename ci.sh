@@ -17,7 +17,13 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo test --release (middleware stress: packing plug/unplug races)"
+cargo test --release -q -p weavepar-middleware -p weavepar-apps --test stress_middleware
+
 echo "==> cargo bench --workspace --no-run"
 cargo bench --workspace --no-run
+
+echo "==> remote_throughput smoke (WEAVEPAR_BENCH_QUICK=1)"
+WEAVEPAR_BENCH_QUICK=1 cargo bench -p weavepar-bench --bench remote_throughput
 
 echo "CI OK"

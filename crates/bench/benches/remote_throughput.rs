@@ -1,0 +1,340 @@
+//! Remote-call throughput for the middleware fast path (§4.3/§4.4, PR 3).
+//!
+//! Run with: `cargo bench -p weavepar-bench --bench remote_throughput`
+//!
+//! Two workloads against an in-process fabric node, at 1/2/4/8 client
+//! threads:
+//!
+//! * `oneway` — each thread fires a burst of oneway `bump` calls at its own
+//!   remote object, then synchronises with one replied call (FIFO drain).
+//!   The configurations form an ablation ladder, each adding one layer of
+//!   the fast path on top of the previous:
+//!   * `string_fresh` — per-call string class/method resolution and a fresh
+//!     heap buffer per frame (the seed path);
+//!   * `interned_fresh` — cached `MethodId`, still fresh buffers (isolates
+//!     identifier interning);
+//!   * `interned_pooled` — cached id + `BufPool` frames (isolates buffer
+//!     pooling); this is `unpacked` in the gain column;
+//!   * `packed` — cached id + pooled frames + `call_batch` packs of 64 calls
+//!     per `Request::CallPack` (isolates wire packing). The acceptance bar
+//!     is packed ≥ 2× the unpacked (`interned_pooled`) path at 8 threads.
+//! * `sync` — replied calls, comparing the reply rendezvous backends:
+//!   * `channel` — a fresh `bounded(1)` channel per call (the seed path);
+//!   * `slot` — the pooled park/unpark reply slab plus pooled frames on both
+//!     the argument and reply directions. Replied round trips are dominated
+//!     by the client/server context switch, so the spread here is small by
+//!     construction (see EXPERIMENTS.md).
+//!
+//! Hand-rolled harness (same contract as `executor_throughput`): writes a
+//! machine-readable `BENCH_remote.json` at the workspace root with the
+//! median calls/sec per (workload, config, threads) cell. With
+//! `WEAVEPAR_BENCH_QUICK=1` it runs a tiny smoke iteration and skips the
+//! JSON (used by ci.sh).
+//!
+//! The container is single-core: client and server threads share the CPU,
+//! so numbers measure per-call path cost, not parallel speedup.
+
+use std::time::Instant;
+
+use weavepar::distribution::{BytesMut, InProcFabric, MarshalRegistry, MethodId, RemoteRef};
+use weavepar::{args, weaveable};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const PACK: usize = 64;
+
+struct Counter {
+    hits: u64,
+}
+
+weaveable! {
+    class Counter as CounterProxy {
+        fn new() -> Self { Counter { hits: 0 } }
+        fn bump(&mut self, x: u64) {
+            self.hits += x;
+        }
+        fn total(&mut self) -> u64 {
+            self.hits
+        }
+    }
+}
+
+struct Harness {
+    fabric: std::sync::Arc<InProcFabric>,
+    refs: Vec<RemoteRef>,
+    bump: MethodId,
+    total: MethodId,
+}
+
+impl Harness {
+    /// A fresh single-node fabric with one Counter per client thread.
+    fn new(threads: usize) -> Self {
+        let m = MarshalRegistry::new();
+        m.register::<(), ()>("Counter", "new");
+        m.register::<(u64,), ()>("Counter", "bump");
+        m.register::<(), u64>("Counter", "total");
+        let fabric = InProcFabric::new(1, m);
+        fabric.register_class::<Counter>();
+        let refs = (0..threads)
+            .map(|_| {
+                let ctor = fabric.marshal().encode_args("Counter", "new", &args![]).unwrap();
+                fabric.construct_on(0, "Counter", ctor).unwrap()
+            })
+            .collect();
+        let bump = fabric.marshal().method_id("Counter", "bump").unwrap();
+        let total = fabric.marshal().method_id("Counter", "total").unwrap();
+        Harness { fabric, refs, bump, total }
+    }
+
+    /// Replied `total` on `r` — drains the node's FIFO queue up to here and
+    /// returns the server-side hit count.
+    fn drain(&self, r: RemoteRef) -> u64 {
+        let mut buf = self.fabric.buffers().take();
+        self.fabric.marshal().encode_args_id(self.total, &args![], &mut buf).unwrap();
+        let reply = self.fabric.call_id(r, self.total, buf.freeze(), true).unwrap().unwrap();
+        let ret = self.fabric.marshal().decode_ret_id(self.total, &mut reply.clone()).unwrap();
+        self.fabric.buffers().recycle(reply);
+        *ret.downcast::<u64>().unwrap()
+    }
+
+    /// One timed round of the oneway workload; returns calls/sec.
+    fn oneway_round(&self, config: OnewayConfig, calls: usize) -> f64 {
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for &r in &self.refs {
+                s.spawn(move || {
+                    let f = &self.fabric;
+                    match config {
+                        OnewayConfig::StringFresh => {
+                            for _ in 0..calls {
+                                let args = f
+                                    .marshal()
+                                    .encode_args("Counter", "bump", &args![1u64])
+                                    .unwrap();
+                                f.call(r, "bump", args, false).unwrap();
+                            }
+                        }
+                        OnewayConfig::InternedFresh => {
+                            for _ in 0..calls {
+                                let mut buf = BytesMut::with_capacity(32);
+                                f.marshal()
+                                    .encode_args_id(self.bump, &args![1u64], &mut buf)
+                                    .unwrap();
+                                f.call_id(r, self.bump, buf.freeze(), false).unwrap();
+                            }
+                        }
+                        OnewayConfig::InternedPooled => {
+                            for _ in 0..calls {
+                                let mut buf = f.buffers().take();
+                                f.marshal()
+                                    .encode_args_id(self.bump, &args![1u64], &mut buf)
+                                    .unwrap();
+                                f.call_id(r, self.bump, buf.freeze(), false).unwrap();
+                            }
+                        }
+                        OnewayConfig::Packed => {
+                            let mut shipped = 0;
+                            while shipped < calls {
+                                let n = PACK.min(calls - shipped);
+                                f.call_batch(
+                                    r.node,
+                                    (0..n).map(|_| (r.obj, self.bump, args![1u64])),
+                                )
+                                .unwrap();
+                                shipped += n;
+                            }
+                        }
+                    }
+                    self.drain(r);
+                });
+            }
+        });
+        (self.refs.len() * calls) as f64 / start.elapsed().as_secs_f64()
+    }
+
+    /// One timed round of the sync (replied `bump`) workload; returns
+    /// calls/sec.
+    fn sync_round(&self, config: SyncConfig, calls: usize) -> f64 {
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for &r in &self.refs {
+                s.spawn(move || {
+                    let f = &self.fabric;
+                    for _ in 0..calls {
+                        match config {
+                            SyncConfig::Channel => {
+                                let mut buf = BytesMut::with_capacity(32);
+                                f.marshal()
+                                    .encode_args_id(self.bump, &args![1u64], &mut buf)
+                                    .unwrap();
+                                f.call_id_channel(r, self.bump, buf.freeze(), true).unwrap();
+                            }
+                            SyncConfig::Slot => {
+                                let mut buf = f.buffers().take();
+                                f.marshal()
+                                    .encode_args_id(self.bump, &args![1u64], &mut buf)
+                                    .unwrap();
+                                let reply =
+                                    f.call_id(r, self.bump, buf.freeze(), true).unwrap().unwrap();
+                                f.buffers().recycle(reply);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        (self.refs.len() * calls) as f64 / start.elapsed().as_secs_f64()
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum OnewayConfig {
+    StringFresh,
+    InternedFresh,
+    InternedPooled,
+    Packed,
+}
+
+impl OnewayConfig {
+    fn name(self) -> &'static str {
+        match self {
+            OnewayConfig::StringFresh => "string_fresh",
+            OnewayConfig::InternedFresh => "interned_fresh",
+            OnewayConfig::InternedPooled => "interned_pooled",
+            OnewayConfig::Packed => "packed",
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum SyncConfig {
+    Channel,
+    Slot,
+}
+
+impl SyncConfig {
+    fn name(self) -> &'static str {
+        match self {
+            SyncConfig::Channel => "channel",
+            SyncConfig::Slot => "slot",
+        }
+    }
+}
+
+struct Knobs {
+    oneway_calls: usize,
+    sync_calls: usize,
+    warmup: usize,
+    rounds: usize,
+    quick: bool,
+}
+
+impl Knobs {
+    fn from_env() -> Self {
+        if std::env::var("WEAVEPAR_BENCH_QUICK").is_ok_and(|v| v == "1") {
+            Knobs { oneway_calls: 128, sync_calls: 16, warmup: 1, rounds: 2, quick: true }
+        } else {
+            Knobs { oneway_calls: 4_000, sync_calls: 400, warmup: 2, rounds: 9, quick: false }
+        }
+    }
+}
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mid = samples.len() / 2;
+    if samples.len().is_multiple_of(2) {
+        (samples[mid - 1] + samples[mid]) / 2.0
+    } else {
+        samples[mid]
+    }
+}
+
+/// Run one (workload, config, threads) cell on a fresh fabric and verify no
+/// call was lost: the server-side hit counts must equal every bump issued.
+fn run_cell(knobs: &Knobs, threads: usize, calls: usize, round: impl Fn(&Harness) -> f64) -> f64 {
+    let h = Harness::new(threads);
+    let mut samples = Vec::with_capacity(knobs.rounds);
+    for i in 0..knobs.warmup + knobs.rounds {
+        let calls_per_sec = round(&h);
+        if i >= knobs.warmup {
+            samples.push(calls_per_sec);
+        }
+    }
+    let issued = h.refs.iter().map(|&r| h.drain(r)).sum::<u64>();
+    let expected = (threads * (knobs.warmup + knobs.rounds) * calls) as u64;
+    assert_eq!(issued, expected, "lost or duplicated remote calls");
+    median(samples)
+}
+
+fn main() {
+    // cargo passes `--bench`; this harness has no options.
+    let _ = std::env::args();
+    let knobs = Knobs::from_env();
+
+    let mut json_cells = Vec::new();
+    let mut cell = |workload: &str, config: &str, threads: usize, calls_per_sec: f64| {
+        json_cells.push(format!(
+            "    {{\"workload\": \"{workload}\", \"config\": \"{config}\", \"threads\": {threads}, \"median_calls_per_sec\": {calls_per_sec:.0}}}"
+        ));
+    };
+
+    let oneway_configs = [
+        OnewayConfig::StringFresh,
+        OnewayConfig::InternedFresh,
+        OnewayConfig::InternedPooled,
+        OnewayConfig::Packed,
+    ];
+    println!("== oneway ablation ladder (median calls/sec, {} rounds) ==", knobs.rounds);
+    println!(
+        "{:>8} {:>13} {:>15} {:>16} {:>13} {:>8}",
+        "threads", "string_fresh", "interned_fresh", "interned_pooled", "packed", "pack gain"
+    );
+    let mut packed_gain_8t = 0.0;
+    for threads in THREAD_COUNTS {
+        let mut row = Vec::new();
+        for config in oneway_configs {
+            let calls_per_sec = run_cell(&knobs, threads, knobs.oneway_calls, |h| {
+                h.oneway_round(config, knobs.oneway_calls)
+            });
+            cell("oneway", config.name(), threads, calls_per_sec);
+            row.push(calls_per_sec);
+        }
+        // The packing gain is measured against the otherwise-identical
+        // unpacked fast path (interned ids + pooled frames).
+        let gain = row[3] / row[2];
+        if threads == 8 {
+            packed_gain_8t = gain;
+        }
+        println!(
+            "{threads:>8} {:>13.0} {:>15.0} {:>16.0} {:>13.0} {gain:>7.2}x",
+            row[0], row[1], row[2], row[3]
+        );
+    }
+
+    println!("\n== sync reply rendezvous (median calls/sec, {} rounds) ==", knobs.rounds);
+    println!("{:>8} {:>14} {:>14} {:>8}", "threads", "channel", "slot", "gain");
+    for threads in THREAD_COUNTS {
+        let mut row = Vec::new();
+        for config in [SyncConfig::Channel, SyncConfig::Slot] {
+            let calls_per_sec = run_cell(&knobs, threads, knobs.sync_calls, |h| {
+                h.sync_round(config, knobs.sync_calls)
+            });
+            cell("sync", config.name(), threads, calls_per_sec);
+            row.push(calls_per_sec);
+        }
+        println!("{threads:>8} {:>14.0} {:>14.0} {:>7.2}x", row[0], row[1], row[1] / row[0]);
+    }
+
+    println!("\npacked vs unpacked oneway at 8 threads: {packed_gain_8t:.2}x");
+    if knobs.quick {
+        println!("quick mode: skipping BENCH_remote.json");
+        return;
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"remote_throughput\",\n  \"unit\": \"calls_per_sec\",\n  \"rounds\": {},\n  \"packed_vs_unpacked_oneway_8_threads\": {packed_gain_8t:.2},\n  \"cells\": [\n{}\n  ]\n}}\n",
+        knobs.rounds,
+        json_cells.join(",\n")
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_remote.json");
+    std::fs::write(out, json).expect("write BENCH_remote.json");
+    println!("wrote {out}");
+}

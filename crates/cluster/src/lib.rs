@@ -33,6 +33,6 @@ pub mod report;
 pub mod sim;
 
 pub use analysis::{critical_path, lower_bound};
-pub use config::{ClusterConfig, MiddlewareProfile, Placement, SimParams};
+pub use config::{ClusterConfig, MiddlewareProfile, PackingModel, Placement, SimParams};
 pub use report::SimReport;
 pub use sim::{simulate, simulate_schedule, Schedule, ScheduledTask};

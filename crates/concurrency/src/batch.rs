@@ -24,12 +24,33 @@ use std::cell::{Cell, RefCell};
 use crate::executor::Executor;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+type FlushHook = Box<dyn FnOnce()>;
 
 thread_local! {
     /// Depth of nested scopes; `Executor::spawn` defers only when > 0.
     static DEPTH: Cell<usize> = const { Cell::new(0) };
     /// Jobs deferred on this thread, tagged with their destination executor.
     static DEFERRED: RefCell<Vec<(Executor, Job)>> = const { RefCell::new(Vec::new()) };
+    /// Hooks to run when the innermost owning scope flushes (message
+    /// packing registers one per destination node to ship its pack with the
+    /// batch).
+    static HOOKS: RefCell<Vec<FlushHook>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Is a [`BatchScope`] active on the current thread?
+pub fn scope_active() -> bool {
+    DEPTH.with(|d| d.get()) > 0
+}
+
+/// Run `hook` when the innermost active scope on this thread flushes (after
+/// its deferred jobs are submitted). Without an active scope the hook runs
+/// immediately — callers can register unconditionally.
+pub fn on_scope_flush(hook: impl FnOnce() + 'static) {
+    if scope_active() {
+        HOOKS.with(|hooks| hooks.borrow_mut().push(Box::new(hook)));
+    } else {
+        hook();
+    }
 }
 
 /// Buffer a job if a batch scope is active on this thread. Returns the job
@@ -47,6 +68,8 @@ pub(crate) fn defer(executor: &Executor, job: Job) -> Option<Job> {
 pub struct BatchScope {
     /// Buffer length at entry: this scope owns everything past it.
     start: usize,
+    /// Hook-list length at entry, same ownership rule.
+    hooks_start: usize,
     flushed: bool,
 }
 
@@ -54,7 +77,11 @@ impl BatchScope {
     /// Start deferring `Executor::spawn`s on the current thread.
     pub fn enter() -> BatchScope {
         DEPTH.with(|d| d.set(d.get() + 1));
-        BatchScope { start: DEFERRED.with(|buf| buf.borrow().len()), flushed: false }
+        BatchScope {
+            start: DEFERRED.with(|buf| buf.borrow().len()),
+            hooks_start: HOOKS.with(|hooks| hooks.borrow().len()),
+            flushed: false,
+        }
     }
 
     /// Submit everything deferred under this scope, grouping consecutive
@@ -78,6 +105,11 @@ impl BatchScope {
                 group.push(drained.next().expect("peeked").1);
             }
             executor.spawn_batch_boxed(group);
+        }
+        let hooks: Vec<FlushHook> =
+            HOOKS.with(|hooks| hooks.borrow_mut().split_off(self.hooks_start));
+        for hook in hooks {
+            hook();
         }
     }
 }
@@ -151,6 +183,38 @@ mod tests {
         outer.flush();
         executor.wait_idle();
         assert_eq!(hits.load(Ordering::Relaxed), 11);
+    }
+
+    #[test]
+    fn flush_hooks_run_after_scope_jobs_or_immediately() {
+        // No scope: the hook runs on the spot.
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = ran.clone();
+        assert!(!scope_active());
+        on_scope_flush(move || {
+            r.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+
+        // Active scope: the hook runs at flush, after the deferred jobs are
+        // submitted.
+        let executor = Executor::pool(1, "hook");
+        let hits = Arc::new(AtomicUsize::new(0));
+        let scope = BatchScope::enter();
+        assert!(scope_active());
+        let h = hits.clone();
+        executor.spawn(move || {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        let r = ran.clone();
+        on_scope_flush(move || {
+            r.fetch_add(10, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 1, "hook deferred while scope is active");
+        scope.flush();
+        assert_eq!(ran.load(Ordering::Relaxed), 11);
+        executor.wait_idle();
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub use aspects::{
     concurrency_aspect, future_aspect, future_concurrency_aspect, oneway_aspect,
     synchronized_aspect, ErrorSink,
 };
-pub use batch::BatchScope;
+pub use batch::{on_scope_flush, scope_active, BatchScope};
 pub use executor::Executor;
 pub use future::{future_ret, resolve_any, FutureAny, FutureOrNow, FutureValue};
 pub use pool::{Scheduler, ThreadPool};

@@ -221,6 +221,66 @@ impl CallBatcher {
         }
         Ok(issued)
     }
+
+    /// Like [`CallBatcher::flush`], but merged calls whose targets are
+    /// remote stubs ship through the wire as one
+    /// [`CallPack`](weavepar_middleware::PackFrame) frame per destination
+    /// node — one submit and one wakeup for the whole node's batch —
+    /// instead of one woven call (and thus one `Request::Call`) each.
+    /// Targets without a remote reference are issued through the weaver
+    /// exactly as in `flush`. Packed calls bypass the client-side advice
+    /// chain (they already ran through it when buffered), so use this only
+    /// when the distribution aspect is the sole remaining stage below the
+    /// batcher. Returns `(merged_local_calls, packed_remote_calls)`.
+    pub fn flush_remote(
+        &self,
+        weaver: &Weaver,
+        fabric: &weavepar_middleware::InProcFabric,
+    ) -> WeaveResult<(usize, usize)> {
+        use weavepar_middleware::aspects::REMOTE_FIELD;
+        use weavepar_middleware::RemoteRef;
+
+        let drained = std::mem::take(&mut *self.buffered.lock());
+        if drained.is_empty() {
+            return Ok((0, 0));
+        }
+        let mut order: Vec<ObjId> = Vec::new();
+        let mut per_target: HashMap<ObjId, Vec<Args>> = HashMap::new();
+        for (target, args) in drained {
+            if !per_target.contains_key(&target) {
+                order.push(target);
+            }
+            per_target.entry(target).or_default().push(args);
+        }
+        let method_id = fabric.marshal().method_id(self.class, self.method)?;
+        let mut local = 0usize;
+        let mut packed = 0usize;
+        // One frame per destination node, filled in first-buffered order.
+        let mut frames: HashMap<usize, weavepar_middleware::PackFrame> = HashMap::new();
+        let id = self.id.lock().ok_or_else(|| {
+            WeaveError::app("CallBatcher::flush_remote before the batching aspect was plugged")
+        })?;
+        let _prov = weavepar_weave::context::push(Provenance::Aspect(id));
+        for target in order {
+            let packs = per_target.remove(&target).expect("target recorded");
+            let merged = (self.merge)(packs)?;
+            match weaver.intertype().get_field::<RemoteRef>(target, REMOTE_FIELD) {
+                Some(remote) => {
+                    let frame = frames.entry(remote.node).or_insert_with(|| fabric.new_pack());
+                    frame.push(remote.obj, method_id, fabric.marshal(), &merged)?;
+                    packed += 1;
+                }
+                None => {
+                    weaver.invoke_call(target, self.class, self.method, merged)?;
+                    local += 1;
+                }
+            }
+        }
+        for (node, frame) in frames {
+            fabric.submit_pack(node, frame)?;
+        }
+        Ok((local, packed))
+    }
 }
 
 impl std::fmt::Debug for CallBatcher {
@@ -369,5 +429,87 @@ mod tests {
         a.handle().call("work", weavepar_weave::args![vec![3u64]]).unwrap();
         assert_eq!(batcher.flush(&weaver).unwrap(), 2, "one merged call per target");
         assert_eq!(executions() - before, 2);
+    }
+
+    struct Sink {
+        taken: u64,
+    }
+
+    weavepar_weave::weaveable! {
+        class Sink as SinkProxy {
+            fn new() -> Self { Sink { taken: 0 } }
+            fn absorb(&mut self, xs: Vec<u64>) -> u64 {
+                self.taken += xs.len() as u64;
+                self.taken
+            }
+            fn taken(&mut self) -> u64 {
+                self.taken
+            }
+        }
+    }
+
+    #[test]
+    fn batcher_flush_remote_packs_per_node() {
+        use weavepar_middleware::aspects::REMOTE_FIELD;
+        use weavepar_middleware::{mpp_distribution_aspect, Policy, RemoteRef};
+
+        let weaver = Weaver::new();
+        let m = weavepar_middleware::MarshalRegistry::new();
+        m.register::<(), ()>("Sink", "new");
+        m.register::<(Vec<u64>,), u64>("Sink", "absorb");
+        m.register::<(), u64>("Sink", "taken");
+        let f = weavepar_middleware::InProcFabric::new(2, m);
+        f.register_class::<Sink>();
+
+        let batcher = CallBatcher::new(
+            "Sink",
+            "absorb",
+            Arc::new(|packs: Vec<Args>| {
+                let mut merged: Vec<u64> = Vec::new();
+                for p in packs {
+                    merged.extend(p.get::<Vec<u64>>(0)?.iter().copied());
+                }
+                Ok(weavepar_weave::args![merged])
+            }),
+        );
+        batcher.plug(&weaver, "Packing");
+        // Constructed before distribution is plugged: stays local.
+        let local = SinkProxy::construct(&weaver).unwrap();
+        weaver.plug(mpp_distribution_aspect(
+            "DistributionMPP",
+            "Sink",
+            Pointcut::call("Sink.absorb").or(Pointcut::call("Sink.taken")),
+            f.clone(),
+            Policy::round_robin(),
+            true,
+        ));
+        let a = SinkProxy::construct(&weaver).unwrap();
+        let b = SinkProxy::construct(&weaver).unwrap();
+
+        // Buffer two calls per remote target and one on the local object.
+        for sink in [&a, &b] {
+            sink.handle().call("absorb", weavepar_weave::args![vec![1u64, 2]]).unwrap();
+            sink.handle().call("absorb", weavepar_weave::args![vec![3u64]]).unwrap();
+        }
+        local.handle().call("absorb", weavepar_weave::args![vec![9u64]]).unwrap();
+        assert_eq!(batcher.pending(), 5);
+
+        let (local_calls, packed) = batcher.flush_remote(&weaver, &f).unwrap();
+        assert_eq!(local_calls, 1);
+        assert_eq!(packed, 2, "one merged packed call per remote target");
+        assert_eq!(batcher.pending(), 0);
+
+        // Each remote instance absorbed its merged batch of 3 values; the
+        // replied `taken` call synchronises behind the pack frame (FIFO).
+        for stub in [&a, &b] {
+            let remote =
+                weaver.intertype().get_field::<RemoteRef>(stub.id(), REMOTE_FIELD).unwrap();
+            let args = f.marshal().encode_args("Sink", "taken", &weavepar_weave::args![]).unwrap();
+            let reply = f.call(remote, "taken", args, true).unwrap().unwrap();
+            let taken = f.marshal().decode_ret("Sink", "taken", &reply).unwrap();
+            assert_eq!(*taken.downcast::<u64>().unwrap(), 3);
+        }
+        let local_taken = weaver.space().with_object::<Sink, _>(local.id(), |s| s.taken).unwrap();
+        assert_eq!(local_taken, 1, "local target executed through the weaver");
     }
 }

@@ -1,7 +1,8 @@
-//! The pluggable distribution aspects (paper §4.3, Figures 14 and 15).
+//! The pluggable distribution aspects (paper §4.3, Figures 14 and 15) and
+//! the communication-packing optimisation aspect (§4.4).
 //!
-//! Both aspects perform the paper's four RMI code modifications in one
-//! module:
+//! Both distribution aspects perform the paper's four RMI code modifications
+//! in one module:
 //!
 //! 1. the class is declared `Remote` (an inter-type class tag);
 //! 2. each construction additionally creates a server-side instance
@@ -16,16 +17,34 @@
 //! The local object created by `proceed` acts as the client-side stub: it
 //! keeps the object id (and monitor) that the rest of the aspect stack
 //! works with, while calls are served by the remote instance.
+//!
+//! The call advice is allocation-free in the steady state: method ids are
+//! resolved once per `(class, method)` signature and cached, argument packs
+//! are encoded into pooled frames, and replies are recycled after decoding.
+//!
+//! [`message_packing_aspect`] is the paper's *communication packing*
+//! optimisation as an unpluggable module: it runs at `OPTIMISATION`
+//! precedence (outside distribution), captures matched oneway calls on
+//! remote stubs, and appends them to a per-node [`PackFrame`] instead of
+//! submitting them one by one. A pack ships when it reaches `max_calls`,
+//! when the oldest buffered call exceeds `max_age` (checked on the next
+//! append — adaptive, no timer thread), when a
+//! [`BatchScope`](weavepar_concurrency::BatchScope) active on the calling
+//! thread flushes, or on an explicit [`MessagePacker::flush`].
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use weavepar_weave::aspect::precedence;
 use weavepar_weave::prelude::*;
+use weavepar_weave::Signature;
 
 use crate::fabric::{InProcFabric, RemoteRef};
+use crate::wire::{MarshalRegistry, MethodId, PackFrame};
 
 /// Node-selection policy (§4.3: "Several policies can be implemented in this
 /// aspect (e.g., random, round-robin)").
@@ -74,6 +93,28 @@ impl Policy {
 /// Inter-type field under which the remote reference is stored on the stub.
 pub const REMOTE_FIELD: &str = "remote";
 
+/// Per-aspect `Signature → MethodId` cache. Signatures are `Copy` pairs of
+/// `&'static str`, and an aspect only ever sees the handful its pointcut
+/// matches, so a read-mostly linear scan beats re-hashing two strings per
+/// call.
+#[derive(Default)]
+struct SigCache {
+    resolved: RwLock<Vec<(Signature, MethodId)>>,
+}
+
+impl SigCache {
+    fn resolve(&self, marshal: &MarshalRegistry, sig: Signature) -> WeaveResult<MethodId> {
+        for (seen, id) in self.resolved.read().iter() {
+            if *seen == sig {
+                return Ok(*id);
+            }
+        }
+        let id = marshal.method_id(sig.class, sig.method)?;
+        self.resolved.write().push((sig, id));
+        Ok(id)
+    }
+}
+
 fn distribution_aspect(
     name: String,
     class: &'static str,
@@ -84,19 +125,23 @@ fn distribution_aspect(
     oneway: bool,
 ) -> Aspect {
     let construct_fabric = fabric.clone();
+    let sig_cache = Arc::new(SigCache::default());
     Aspect::named(name)
         .precedence(precedence::DISTRIBUTION)
         // Server + client side of object creation (modifications 1–3).
         .around(Pointcut::construct(class), move |inv: &mut Invocation| {
             let fabric = &construct_fabric;
-            // Marshal the constructor arguments before `proceed` consumes them.
-            let ctor_bytes = fabric.marshal().encode_args(class, "new", inv.args()?)?;
+            // Resolve the constructor id once per registry; encode into a
+            // pooled frame before `proceed` consumes the arguments.
+            let ctor = fabric.marshal().method_id(class, "new")?;
+            let mut buf = fabric.buffers().take();
+            fabric.marshal().encode_args_id(ctor, inv.args()?, &mut buf)?;
             let local = inv.proceed()?;
             let local_id = *local
                 .downcast_ref::<ObjId>()
                 .ok_or_else(|| WeaveError::remote("construction did not return an ObjId"))?;
             let node = policy.pick(fabric.node_count());
-            let remote = fabric.construct_on(node, class, ctor_bytes)?;
+            let remote = fabric.construct_on_id(node, ctor, buf.freeze())?;
             let resolved = if use_nameserver {
                 // Figure 14: register under PS<n>, then look it up — the
                 // client only ever holds what the name server handed out.
@@ -121,16 +166,21 @@ fn distribution_aspect(
                 // purely local instance): run locally.
                 return inv.proceed();
             };
-            let sig = inv.signature();
-            let bytes = fabric.marshal().encode_args(sig.class, sig.method, inv.args()?)?;
+            let method = sig_cache.resolve(fabric.marshal(), inv.signature())?;
+            let mut buf = fabric.buffers().take();
+            fabric.marshal().encode_args_id(method, inv.args()?, &mut buf)?;
             if oneway {
-                fabric.call(remote, sig.method, bytes, false)?;
+                fabric.call_id(remote, method, buf.freeze(), false)?;
                 Ok(weavepar_weave::ret!())
             } else {
                 let reply = fabric
-                    .call(remote, sig.method, bytes, true)?
+                    .call_id(remote, method, buf.freeze(), true)?
                     .ok_or_else(|| WeaveError::remote("missing reply"))?;
-                fabric.marshal().decode_ret(sig.class, sig.method, &reply)
+                let mut view = reply.clone();
+                let ret = fabric.marshal().decode_ret_id(method, &mut view);
+                drop(view);
+                fabric.buffers().recycle(reply);
+                ret
             }
         })
         .build()
@@ -161,6 +211,168 @@ pub fn mpp_distribution_aspect(
     oneway: bool,
 ) -> Aspect {
     distribution_aspect(name.into(), class, call_pointcut, fabric, policy, false, oneway)
+}
+
+/// One node's pending pack.
+struct Pending {
+    frame: PackFrame,
+    born: Instant,
+}
+
+/// Shared state behind [`message_packing_aspect`]: per-destination-node
+/// pack frames plus the flush policy. Clone-cheap; hand one to whoever
+/// needs to flush (scope hooks, tests, shutdown paths).
+#[derive(Clone)]
+pub struct MessagePacker {
+    fabric: Arc<InProcFabric>,
+    pending: Arc<Mutex<HashMap<usize, Pending>>>,
+    /// Set (under the `pending` lock) by [`MessagePacker::unplug`]: calls
+    /// racing the unplug ship immediately instead of parking in a buffer
+    /// nobody will flush again.
+    closed: Arc<AtomicBool>,
+    max_calls: u32,
+    max_age: Duration,
+}
+
+impl MessagePacker {
+    fn new(fabric: Arc<InProcFabric>, max_calls: u32, max_age: Duration) -> Self {
+        MessagePacker {
+            fabric,
+            pending: Arc::new(Mutex::new(HashMap::new())),
+            closed: Arc::new(AtomicBool::new(false)),
+            max_calls: max_calls.max(1),
+            max_age,
+        }
+    }
+
+    /// Append one call bound for `node`; ships the pack when the count or
+    /// age threshold is hit.
+    fn buffer(&self, node: usize, obj: ObjId, method: MethodId, args: &Args) -> WeaveResult<()> {
+        let ready = {
+            let mut pending = self.pending.lock();
+            if self.closed.load(Ordering::SeqCst) {
+                // The unplug already drained the buffers; this call slipped
+                // through the advice chain mid-unplug. Ship it on its own so
+                // it is delivered exactly once rather than stranded.
+                drop(pending);
+                let mut frame = self.fabric.new_pack();
+                frame.push(obj, method, self.fabric.marshal(), args)?;
+                self.fabric.submit_pack(node, frame)?;
+                return Ok(());
+            }
+            let entry = pending
+                .entry(node)
+                .or_insert_with(|| Pending { frame: self.fabric.new_pack(), born: Instant::now() });
+            if entry.frame.is_empty() {
+                entry.born = Instant::now();
+                // First call of a fresh pack: if the calling thread is inside
+                // a BatchScope, ship this node's pack when the scope flushes
+                // so deferred skeleton work and its messages leave together.
+                if weavepar_concurrency::scope_active() {
+                    let packer = self.clone();
+                    weavepar_concurrency::on_scope_flush(move || {
+                        let _ = packer.flush_node(node);
+                    });
+                }
+            }
+            entry.frame.push(obj, method, self.fabric.marshal(), args)?;
+            if entry.frame.count() >= self.max_calls || entry.born.elapsed() >= self.max_age {
+                pending.remove(&node)
+            } else {
+                None
+            }
+        };
+        if let Some(pack) = ready {
+            self.fabric.submit_pack(node, pack.frame)?;
+        }
+        Ok(())
+    }
+
+    /// Ship `node`'s pending pack, if any. Returns the number of calls
+    /// shipped.
+    pub fn flush_node(&self, node: usize) -> WeaveResult<usize> {
+        let taken = self.pending.lock().remove(&node);
+        match taken {
+            Some(pack) => self.fabric.submit_pack(node, pack.frame),
+            None => Ok(0),
+        }
+    }
+
+    /// Ship every pending pack. Returns the total number of calls shipped.
+    pub fn flush(&self) -> WeaveResult<usize> {
+        let drained: Vec<(usize, Pending)> = self.pending.lock().drain().collect();
+        let mut shipped = 0;
+        for (node, pack) in drained {
+            shipped += self.fabric.submit_pack(node, pack.frame)?;
+        }
+        Ok(shipped)
+    }
+
+    /// Unplug the packing aspect and ship whatever it buffered: every call
+    /// that entered the advice — including calls racing the unplug from
+    /// other threads — is delivered exactly once; calls issued after go
+    /// through the distribution aspect directly. The packer is closed for
+    /// good: a still-running advice that buffers after this drain ships its
+    /// call immediately instead (see [`MessagePacker::buffer`]).
+    pub fn unplug(&self, weaver: &Weaver, plugged: &PluggedAspect) -> WeaveResult<usize> {
+        weaver.unplug(plugged);
+        let drained: Vec<(usize, Pending)> = {
+            let mut pending = self.pending.lock();
+            // Closing under the lock linearises against `buffer`: an append
+            // that won the lock first is in `drained`; one that lost sees
+            // `closed` and self-ships.
+            self.closed.store(true, Ordering::SeqCst);
+            pending.drain().collect()
+        };
+        let mut shipped = 0;
+        for (node, pack) in drained {
+            shipped += self.fabric.submit_pack(node, pack.frame)?;
+        }
+        Ok(shipped)
+    }
+
+    /// Calls currently buffered across all nodes (tests, introspection).
+    pub fn pending_calls(&self) -> usize {
+        self.pending.lock().values().map(|p| p.frame.count() as usize).sum()
+    }
+}
+
+/// The paper's §4.4 *communication packing* optimisation as a pluggable
+/// aspect. Matched calls on remote stubs are appended to a per-node
+/// [`PackFrame`] and shipped as one [`Request::CallPack`] — one submit, one
+/// wakeup for up to `max_calls` calls. Returns the aspect plus its
+/// [`MessagePacker`] handle for explicit flushing.
+///
+/// Packed calls are **oneway**: the advice returns unit without waiting, so
+/// only apply the pointcut to methods whose results are unused (the same
+/// contract as `mpp_distribution_aspect` with `oneway = true`). Replied
+/// calls and non-remote targets are untouched — they proceed down the
+/// aspect stack as if this aspect were not plugged.
+pub fn message_packing_aspect(
+    name: impl Into<String>,
+    call_pointcut: Pointcut,
+    fabric: Arc<InProcFabric>,
+    max_calls: u32,
+    max_age: Duration,
+) -> (Aspect, MessagePacker) {
+    let packer = MessagePacker::new(fabric.clone(), max_calls, max_age);
+    let advice_packer = packer.clone();
+    let sig_cache = Arc::new(SigCache::default());
+    let aspect = Aspect::named(name)
+        .precedence(precedence::OPTIMISATION)
+        .around(call_pointcut, move |inv: &mut Invocation| {
+            let target = inv.target_required()?;
+            let remote = inv.weaver().intertype().get_field::<RemoteRef>(target, REMOTE_FIELD);
+            let Some(remote) = remote else {
+                // Local object: nothing to pack.
+                return inv.proceed();
+            };
+            let method = sig_cache.resolve(advice_packer.fabric.marshal(), inv.signature())?;
+            advice_packer.buffer(remote.node, remote.obj, method, inv.args()?)?;
+            Ok(weavepar_weave::ret!())
+        })
+        .build();
+    (aspect, packer)
 }
 
 #[cfg(test)]
@@ -194,6 +406,14 @@ mod tests {
         let f = InProcFabric::new(nodes, m);
         f.register_class::<Doubler>();
         f
+    }
+
+    /// Replied call straight to the remote instance — synchronises behind
+    /// any queued packs (FIFO) and reads the server-side call count.
+    fn remote_calls(f: &InProcFabric, remote: RemoteRef) -> u64 {
+        let args = f.marshal().encode_args("Doubler", "calls", &weavepar_weave::args![]).unwrap();
+        let reply = f.call(remote, "calls", args, true).unwrap().unwrap();
+        *f.marshal().decode_ret("Doubler", "calls", &reply).unwrap().downcast::<u64>().unwrap()
     }
 
     #[test]
@@ -363,5 +583,160 @@ mod tests {
         ));
         let err = DoublerProxy::construct(&weaver, 1).unwrap_err();
         assert!(matches!(err, WeaveError::Remote(_)));
+    }
+
+    #[test]
+    fn packing_buffers_and_auto_flushes_on_count() {
+        let weaver = Weaver::new();
+        let f = fabric(1);
+        let (aspect, packer) = message_packing_aspect(
+            "Packing",
+            Pointcut::call("Doubler.apply"),
+            f.clone(),
+            3,
+            Duration::from_secs(3600),
+        );
+        weaver.plug(aspect);
+        weaver.plug(mpp_distribution_aspect(
+            "DistributionMPP",
+            "Doubler",
+            Pointcut::call("Doubler.apply"),
+            f.clone(),
+            Policy::fixed(0),
+            true,
+        ));
+        let d = DoublerProxy::construct(&weaver, 0).unwrap();
+        let remote = weaver.intertype().get_field::<RemoteRef>(d.id(), REMOTE_FIELD).unwrap();
+
+        // Two calls: buffered, nothing on the wire yet.
+        for x in [1u64, 2] {
+            d.handle().call("apply", weavepar_weave::args![x]).unwrap();
+        }
+        assert_eq!(packer.pending_calls(), 2);
+        assert_eq!(remote_calls(&f, remote), 0, "buffered calls not yet shipped");
+
+        // Third call trips max_calls: the pack ships as one frame.
+        d.handle().call("apply", weavepar_weave::args![3u64]).unwrap();
+        assert_eq!(packer.pending_calls(), 0);
+        assert_eq!(remote_calls(&f, remote), 3);
+    }
+
+    #[test]
+    fn packing_explicit_flush_and_age_trigger() {
+        let weaver = Weaver::new();
+        let f = fabric(1);
+        let (aspect, packer) = message_packing_aspect(
+            "Packing",
+            Pointcut::call("Doubler.apply"),
+            f.clone(),
+            1000,
+            Duration::from_millis(10),
+        );
+        weaver.plug(aspect);
+        weaver.plug(mpp_distribution_aspect(
+            "DistributionMPP",
+            "Doubler",
+            Pointcut::call("Doubler.apply"),
+            f.clone(),
+            Policy::fixed(0),
+            true,
+        ));
+        let d = DoublerProxy::construct(&weaver, 0).unwrap();
+        let remote = weaver.intertype().get_field::<RemoteRef>(d.id(), REMOTE_FIELD).unwrap();
+
+        d.handle().call("apply", weavepar_weave::args![1u64]).unwrap();
+        assert_eq!(packer.flush().unwrap(), 1);
+        assert_eq!(packer.flush().unwrap(), 0, "flush is idempotent");
+        assert_eq!(remote_calls(&f, remote), 1);
+
+        // Age trigger: a stale pack ships on the next append.
+        d.handle().call("apply", weavepar_weave::args![2u64]).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        d.handle().call("apply", weavepar_weave::args![3u64]).unwrap();
+        assert_eq!(packer.pending_calls(), 0, "age threshold shipped the pack");
+        assert_eq!(remote_calls(&f, remote), 3);
+    }
+
+    #[test]
+    fn packing_unplug_flushes_and_restores_direct_sends() {
+        let weaver = Weaver::new();
+        let f = fabric(1);
+        let (aspect, packer) = message_packing_aspect(
+            "Packing",
+            Pointcut::call("Doubler.apply"),
+            f.clone(),
+            1000,
+            Duration::from_secs(3600),
+        );
+        let plugged = weaver.plug(aspect);
+        weaver.plug(mpp_distribution_aspect(
+            "DistributionMPP",
+            "Doubler",
+            Pointcut::call("Doubler.apply"),
+            f.clone(),
+            Policy::fixed(0),
+            true,
+        ));
+        let d = DoublerProxy::construct(&weaver, 0).unwrap();
+        let remote = weaver.intertype().get_field::<RemoteRef>(d.id(), REMOTE_FIELD).unwrap();
+
+        d.handle().call("apply", weavepar_weave::args![1u64]).unwrap();
+        d.handle().call("apply", weavepar_weave::args![2u64]).unwrap();
+        assert_eq!(packer.unplug(&weaver, &plugged).unwrap(), 2, "unplug ships the backlog");
+        // After unplug, calls go straight through the distribution aspect.
+        d.handle().call("apply", weavepar_weave::args![3u64]).unwrap();
+        assert_eq!(packer.pending_calls(), 0);
+        assert_eq!(remote_calls(&f, remote), 3);
+    }
+
+    #[test]
+    fn packing_flushes_with_batch_scope() {
+        let weaver = Weaver::new();
+        let f = fabric(1);
+        let (aspect, packer) = message_packing_aspect(
+            "Packing",
+            Pointcut::call("Doubler.apply"),
+            f.clone(),
+            1000,
+            Duration::from_secs(3600),
+        );
+        weaver.plug(aspect);
+        weaver.plug(mpp_distribution_aspect(
+            "DistributionMPP",
+            "Doubler",
+            Pointcut::call("Doubler.apply"),
+            f.clone(),
+            Policy::fixed(0),
+            true,
+        ));
+        let d = DoublerProxy::construct(&weaver, 0).unwrap();
+        let remote = weaver.intertype().get_field::<RemoteRef>(d.id(), REMOTE_FIELD).unwrap();
+
+        let scope = weavepar_concurrency::BatchScope::enter();
+        for x in [1u64, 2, 3] {
+            d.handle().call("apply", weavepar_weave::args![x]).unwrap();
+        }
+        assert_eq!(packer.pending_calls(), 3, "buffered while the scope is open");
+        scope.flush();
+        assert_eq!(packer.pending_calls(), 0, "scope flush shipped the pack");
+        assert_eq!(remote_calls(&f, remote), 3);
+    }
+
+    #[test]
+    fn packing_leaves_local_objects_alone() {
+        let weaver = Weaver::new();
+        let f = fabric(1);
+        let (aspect, packer) = message_packing_aspect(
+            "Packing",
+            Pointcut::call("Doubler.apply"),
+            f.clone(),
+            1000,
+            Duration::from_secs(3600),
+        );
+        weaver.plug(aspect);
+        // No distribution aspect: the object is purely local.
+        let d = DoublerProxy::construct(&weaver, 5).unwrap();
+        assert_eq!(d.apply(10).unwrap(), 25, "local calls proceed untouched");
+        assert_eq!(packer.pending_calls(), 0);
     }
 }

@@ -4,25 +4,38 @@
 //! nodes are real threads with private object spaces; calls are marshalled
 //! to bytes and cross channels — functionally a distributed system, minus
 //! the 2005 Ethernet (whose costs live in `weavepar-cluster`).
+//!
+//! The per-call fast path is allocation-free in the steady state:
+//! [`InProcFabric::call_id`] takes an interned [`MethodId`] (an array index
+//! into the registry, not a string lookup), draws its reply rendezvous from
+//! a slab of reusable park/unpark slots instead of a fresh `bounded(1)`
+//! channel, and encode/decode frames cycle through a shared [`BufPool`].
+//! [`InProcFabric::call_batch`] packs many oneway calls to one node into a
+//! single [`Request::CallPack`] frame — one submit, one wakeup.
 
 use std::sync::Arc;
 
 use bytes::Bytes;
 use crossbeam::channel::bounded;
 
-use weavepar_weave::{ObjId, WeaveError, WeaveResult, Weaveable};
+use weavepar_weave::{Args, ObjId, WeaveError, WeaveResult, Weaveable};
 
 use crate::nameserver::NameServer;
-use crate::node::{NodeRuntime, Request};
-use crate::wire::MarshalRegistry;
+use crate::node::{NodeRuntime, ReplySink, Request};
+use crate::pool::{BufPool, ReplyPool};
+use crate::wire::{ClassId, MarshalRegistry, MethodId, PackFrame};
 
-/// A reference to an object living on a fabric node.
+/// A reference to an object living on a fabric node. Carries the interned
+/// class id so method resolution on the stub side never re-hashes the class
+/// name.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RemoteRef {
     /// Hosting node.
     pub node: usize,
     /// Object id within that node's space.
     pub obj: ObjId,
+    /// Interned class of the remote instance.
+    pub class: ClassId,
 }
 
 /// N in-process nodes, a shared marshalling registry and a name server.
@@ -30,13 +43,25 @@ pub struct InProcFabric {
     nodes: Vec<NodeRuntime>,
     marshal: MarshalRegistry,
     nameserver: NameServer,
+    buffers: Arc<BufPool>,
+    replies: ReplyPool,
 }
 
 impl InProcFabric {
-    /// Spawn a fabric of `nodes` nodes sharing `marshal`.
+    /// Spawn a fabric of `nodes` nodes sharing `marshal` (and one frame
+    /// pool spanning clients and servers).
     pub fn new(nodes: usize, marshal: MarshalRegistry) -> Arc<Self> {
-        let nodes = (0..nodes.max(1)).map(|i| NodeRuntime::spawn(i, marshal.clone())).collect();
-        Arc::new(InProcFabric { nodes, marshal, nameserver: NameServer::new() })
+        let buffers = Arc::new(BufPool::new());
+        let nodes = (0..nodes.max(1))
+            .map(|i| NodeRuntime::spawn_with_pool(i, marshal.clone(), buffers.clone()))
+            .collect();
+        Arc::new(InProcFabric {
+            nodes,
+            marshal,
+            nameserver: NameServer::new(),
+            buffers,
+            replies: ReplyPool::new(),
+        })
     }
 
     /// Number of nodes.
@@ -54,12 +79,22 @@ impl InProcFabric {
         &self.nameserver
     }
 
+    /// The shared frame pool — encode argument packs into
+    /// [`BufPool::take`]n frames and the fabric recycles them on the far
+    /// side.
+    pub fn buffers(&self) -> &BufPool {
+        &self.buffers
+    }
+
     /// A node's runtime (tests, server-side inspection).
     pub fn node(&self, i: usize) -> WeaveResult<&NodeRuntime> {
         self.nodes.get(i).ok_or_else(|| WeaveError::remote(format!("no node {i}")))
     }
 
-    /// Failure injection: crash a node (see [`NodeRuntime::kill`]).
+    /// Failure injection: crash a node. Later submissions fail immediately
+    /// and requests already queued are failed promptly by the node's serve
+    /// loop (see [`NodeRuntime::kill`]) — callers blocked on replies get a
+    /// [`WeaveError::Remote`] instead of hanging until fabric teardown.
     pub fn kill_node(&self, i: usize) -> WeaveResult<()> {
         self.node(i)?.kill();
         Ok(())
@@ -73,14 +108,28 @@ impl InProcFabric {
     }
 
     /// Create an instance of `class` on `node` from marshalled arguments.
+    /// Interns the class's `"new"` method once; hot callers should hold the
+    /// [`MethodId`] and use [`InProcFabric::construct_on_id`].
     pub fn construct_on(&self, node: usize, class: &str, args: Bytes) -> WeaveResult<RemoteRef> {
+        self.construct_on_id(node, self.marshal.method_id(class, "new")?, args)
+    }
+
+    /// Create an instance on `node`; `ctor` is the interned id of the
+    /// class's `"new"` method.
+    pub fn construct_on_id(
+        &self,
+        node: usize,
+        ctor: MethodId,
+        args: Bytes,
+    ) -> WeaveResult<RemoteRef> {
+        let class = self.marshal.method_entry(ctor)?.class;
         let target = self.node(node)?;
         let (tx, rx) = bounded(1);
-        target.submit(Request::Construct { class: class.to_string(), args, reply: tx })?;
+        target.submit(Request::Construct { ctor, args, reply: tx })?;
         let obj = rx.recv().map_err(|_| {
             WeaveError::remote(format!("node {node} dropped the construct reply"))
         })??;
-        Ok(RemoteRef { node, obj })
+        Ok(RemoteRef { node, obj, class })
     }
 
     /// Snapshot a remote object's state (removing it when `remove`).
@@ -93,11 +142,12 @@ impl InProcFabric {
 
     /// Rebuild an instance of `class` on `node` from snapshotted state.
     pub fn restore(&self, node: usize, class: &str, state: Bytes) -> WeaveResult<RemoteRef> {
+        let class_id = self.marshal.intern_class(class);
         let target = self.node(node)?;
         let (tx, rx) = bounded(1);
-        target.submit(Request::Restore { class: class.to_string(), state, reply: tx })?;
+        target.submit(Request::Restore { class: class_id, state, reply: tx })?;
         let obj = rx.recv().map_err(|_| WeaveError::remote("node dropped the restore reply"))??;
-        Ok(RemoteRef { node, obj })
+        Ok(RemoteRef { node, obj, class: class_id })
     }
 
     /// Move a remote object to another node, preserving its state — the
@@ -110,13 +160,57 @@ impl InProcFabric {
         self.restore(to, class, state)
     }
 
-    /// Invoke `method` on a remote object. With `want_reply`, blocks for the
-    /// marshalled return value (RMI semantics); without, returns immediately
-    /// (MPP oneway send).
+    /// Invoke `method` on a remote object by name (resolves the interned id
+    /// first — convenience path; stubs on the hot path should cache the
+    /// [`MethodId`] and use [`InProcFabric::call_id`]).
     pub fn call(
         &self,
         reference: RemoteRef,
         method: &str,
+        args: Bytes,
+        want_reply: bool,
+    ) -> WeaveResult<Option<Bytes>> {
+        let class = self.marshal.class_name(reference.class)?;
+        let id = self.marshal.method_id(&class, method)?;
+        self.call_id(reference, id, args, want_reply)
+    }
+
+    /// Invoke an interned method on a remote object. With `want_reply`,
+    /// blocks on a pooled reply slot for the marshalled return value (RMI
+    /// semantics); without, returns immediately (MPP oneway send).
+    pub fn call_id(
+        &self,
+        reference: RemoteRef,
+        method: MethodId,
+        args: Bytes,
+        want_reply: bool,
+    ) -> WeaveResult<Option<Bytes>> {
+        let target = self.node(reference.node)?;
+        if want_reply {
+            let (ticket, reply) = self.replies.checkout();
+            target.submit(Request::Call {
+                obj: reference.obj,
+                method,
+                args,
+                reply: Some(ReplySink::Slot(reply)),
+            })?;
+            let result = ticket.wait();
+            self.replies.finish(ticket);
+            Ok(Some(result?))
+        } else {
+            target.submit(Request::Call { obj: reference.obj, method, args, reply: None })?;
+            Ok(None)
+        }
+    }
+
+    /// Ablation backend for the `remote_throughput` bench: identical to
+    /// [`InProcFabric::call_id`] but with a fresh `bounded(1)` channel per
+    /// replied call — the pre-pooling rendezvous. Not for production use.
+    #[doc(hidden)]
+    pub fn call_id_channel(
+        &self,
+        reference: RemoteRef,
+        method: MethodId,
         args: Bytes,
         want_reply: bool,
     ) -> WeaveResult<Option<Bytes>> {
@@ -125,23 +219,55 @@ impl InProcFabric {
             let (tx, rx) = bounded(1);
             target.submit(Request::Call {
                 obj: reference.obj,
-                method: method.to_string(),
+                method,
                 args,
-                reply: Some(tx),
+                reply: Some(ReplySink::Channel(tx)),
             })?;
             let bytes = rx.recv().map_err(|_| {
                 WeaveError::remote(format!("node {} dropped the call reply", reference.node))
             })??;
             Ok(Some(bytes))
         } else {
-            target.submit(Request::Call {
-                obj: reference.obj,
-                method: method.to_string(),
-                args,
-                reply: None,
-            })?;
+            target.submit(Request::Call { obj: reference.obj, method, args, reply: None })?;
             Ok(None)
         }
+    }
+
+    /// Pack many oneway calls to one node into a single framed
+    /// [`Request::CallPack`]: one submit, one queue wakeup, zero
+    /// intermediate allocation on the serving side. Returns the number of
+    /// calls shipped; an empty iterator ships nothing.
+    pub fn call_batch<I>(&self, node: usize, calls: I) -> WeaveResult<usize>
+    where
+        I: IntoIterator<Item = (ObjId, MethodId, Args)>,
+    {
+        let target = self.node(node)?;
+        let mut frame = PackFrame::new(self.buffers.take());
+        for (obj, method, args) in calls {
+            frame.push(obj, method, &self.marshal, &args)?;
+        }
+        if frame.is_empty() {
+            return Ok(0);
+        }
+        let count = frame.count() as usize;
+        target.submit(Request::CallPack { frame: frame.finish() })?;
+        Ok(count)
+    }
+
+    /// Submit an already-framed pack to `node` (the packing aspect builds
+    /// frames incrementally and ships them here).
+    pub fn submit_pack(&self, node: usize, frame: PackFrame) -> WeaveResult<usize> {
+        if frame.is_empty() {
+            return Ok(0);
+        }
+        let count = frame.count() as usize;
+        self.node(node)?.submit(Request::CallPack { frame: frame.finish() })?;
+        Ok(count)
+    }
+
+    /// Start an empty pack frame backed by the fabric's frame pool.
+    pub fn new_pack(&self) -> PackFrame {
+        PackFrame::new(self.buffers.take())
     }
 }
 
@@ -154,6 +280,7 @@ impl std::fmt::Debug for InProcFabric {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
     use weavepar_weave::args;
 
     struct Echo {
@@ -169,12 +296,31 @@ mod tests {
         }
     }
 
+    static FABRIC_GATE: AtomicBool = AtomicBool::new(false);
+
+    struct Staller;
+
+    weavepar_weave::weaveable! {
+        class Staller as StallerProxy {
+            fn new() -> Self { Staller }
+            fn stall(&mut self) -> u64 {
+                while !crate::fabric::tests::FABRIC_GATE.load(Ordering::SeqCst) {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                1
+            }
+        }
+    }
+
     fn fabric() -> Arc<InProcFabric> {
         let m = MarshalRegistry::new();
         m.register::<(String,), ()>("Echo", "new");
         m.register::<(String,), String>("Echo", "shout");
+        m.register::<(), ()>("Staller", "new");
+        m.register::<(), u64>("Staller", "stall");
         let f = InProcFabric::new(3, m);
         f.register_class::<Echo>();
+        f.register_class::<Staller>();
         f
     }
 
@@ -185,12 +331,31 @@ mod tests {
             let args = f.marshal().encode_args("Echo", "new", &args![format!("n{node}")]).unwrap();
             let r = f.construct_on(node, "Echo", args).unwrap();
             assert_eq!(r.node, node);
+            assert_eq!(r.class, f.marshal().class_id("Echo").unwrap());
             let call_args =
                 f.marshal().encode_args("Echo", "shout", &args!["hi".to_string()]).unwrap();
             let reply = f.call(r, "shout", call_args, true).unwrap().unwrap();
             let ret = f.marshal().decode_ret("Echo", "shout", &reply).unwrap();
             assert_eq!(*ret.downcast::<String>().unwrap(), format!("n{node}:hi"));
         }
+    }
+
+    #[test]
+    fn call_id_matches_string_path() {
+        let f = fabric();
+        let ctor = f.marshal().encode_args("Echo", "new", &args!["n".to_string()]).unwrap();
+        let r = f.construct_on(0, "Echo", ctor).unwrap();
+        let shout = f.marshal().method_id("Echo", "shout").unwrap();
+        for msg in ["a", "b", "c"] {
+            let mut buf = f.buffers().take();
+            f.marshal().encode_args_id(shout, &args![msg.to_string()], &mut buf).unwrap();
+            let reply = f.call_id(r, shout, buf.freeze(), true).unwrap().unwrap();
+            let ret = f.marshal().decode_ret_id(shout, &mut reply.clone()).unwrap();
+            assert_eq!(*ret.downcast::<String>().unwrap(), format!("n:{msg}"));
+            f.buffers().recycle(reply);
+        }
+        // The recycled reply frames are back in the shared pool.
+        assert!(f.buffers().pooled() > 0);
     }
 
     #[test]
@@ -205,7 +370,7 @@ mod tests {
         assert_eq!(f.node(2).unwrap().weaver().space().len(), 0);
         // Calling node 1's object id on node 0 fails: spaces are disjoint.
         let call_args = f.marshal().encode_args("Echo", "shout", &args!["x".to_string()]).unwrap();
-        let misdirected = RemoteRef { node: 0, obj: rb.obj };
+        let misdirected = RemoteRef { node: 0, obj: rb.obj, class: rb.class };
         // ids happen to collide across spaces (both start at 1), so this is
         // only an error when they don't; assert the *correct* routing works.
         let _ = misdirected;
@@ -232,11 +397,71 @@ mod tests {
     }
 
     #[test]
+    fn call_batch_ships_one_pack() {
+        let f = fabric();
+        let ctor = f.marshal().encode_args("Echo", "new", &args!["n".to_string()]).unwrap();
+        let r = f.construct_on(2, "Echo", ctor).unwrap();
+        let shout = f.marshal().method_id("Echo", "shout").unwrap();
+        let calls = (0..5).map(|i| (r.obj, shout, args![format!("m{i}")]));
+        assert_eq!(f.call_batch(2, calls).unwrap(), 5);
+        assert_eq!(f.call_batch(2, std::iter::empty()).unwrap(), 0);
+        // Synchronise; the replied call queues behind the pack.
+        let call_args = f.marshal().encode_args("Echo", "shout", &args!["x".to_string()]).unwrap();
+        assert!(f.call(r, "shout", call_args, true).unwrap().is_some());
+    }
+
+    #[test]
     fn remote_errors_propagate_on_replied_calls() {
         let f = fabric();
         let call_args = f.marshal().encode_args("Echo", "shout", &args!["x".to_string()]).unwrap();
-        let ghost = RemoteRef { node: 0, obj: ObjId::from_raw(404) };
+        let ghost = RemoteRef {
+            node: 0,
+            obj: ObjId::from_raw(404),
+            class: f.marshal().intern_class("Echo"),
+        };
         assert!(f.call(ghost, "shout", call_args, true).is_err());
+    }
+
+    #[test]
+    fn kill_fails_pending_replied_calls_promptly() {
+        let f = fabric();
+        let ctor = f.marshal().encode_args("Staller", "new", &args![]).unwrap();
+        let stall_ref = f.construct_on(0, "Staller", ctor).unwrap();
+        let echo_ctor = f.marshal().encode_args("Echo", "new", &args!["e".to_string()]).unwrap();
+        let echo_ref = f.construct_on(0, "Echo", echo_ctor).unwrap();
+
+        FABRIC_GATE.store(false, Ordering::SeqCst);
+        // Occupy node 0's serve loop with a blocking oneway call.
+        let stall_args = f.marshal().encode_args("Staller", "stall", &args![]).unwrap();
+        f.call(stall_ref, "stall", stall_args, false).unwrap();
+
+        // Queue replied calls behind it from worker threads; they block on
+        // their reply slots.
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let f = f.clone();
+                std::thread::spawn(move || {
+                    let args =
+                        f.marshal().encode_args("Echo", "shout", &args!["hi".to_string()]).unwrap();
+                    f.call(echo_ref, "shout", args, true)
+                })
+            })
+            .collect();
+        // Give the waiters time to enqueue, then crash the node and release
+        // the blocker.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        f.kill_node(0).unwrap();
+        FABRIC_GATE.store(true, Ordering::SeqCst);
+
+        // Every pending caller is failed promptly with a Remote error —
+        // nobody hangs until fabric teardown.
+        for waiter in waiters {
+            let err = waiter.join().unwrap().unwrap_err();
+            assert!(matches!(err, WeaveError::Remote(_)));
+        }
+        // And new submissions are rejected up front.
+        let args = f.marshal().encode_args("Echo", "shout", &args!["x".to_string()]).unwrap();
+        assert!(matches!(f.call(echo_ref, "shout", args, true), Err(WeaveError::Remote(_))));
     }
 
     #[test]

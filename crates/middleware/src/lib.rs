@@ -8,6 +8,11 @@
 //!
 //! * [`wire`] — a compact binary codec ([`Wire`]) plus argument-pack
 //!   marshalling ([`MarshalRegistry`]), standing in for Java serialisation;
+//!   registration hands out dense [`ClassId`]/[`MethodId`] handles so the
+//!   per-call fast path is an array index, and [`wire::PackFrame`] frames
+//!   many oneway calls into one `CallPack` message;
+//! * [`pool`] — the [`BufPool`] frame recycler and the [`pool::ReplyPool`]
+//!   park/unpark reply slab behind the zero-allocation call path;
 //! * [`nameserver`] — the RMI registry analogue (`PS1`, `PS2`, ... names);
 //! * [`node`] — a [`NodeRuntime`]: one simulated cluster node = one thread
 //!   with its own [`Weaver`](weavepar_weave::Weaver) and object space,
@@ -19,7 +24,9 @@
 //!   call with reply, Figure 14) and
 //!   [`aspects::mpp_distribution_aspect`] (direct node addressing, Figure 15),
 //!   plus node-selection [`Policy`](aspects::Policy) (round-robin, random,
-//!   fixed — §4.3 "several policies can be implemented in this aspect");
+//!   fixed — §4.3 "several policies can be implemented in this aspect") and
+//!   the §4.4 communication-packing optimisation
+//!   ([`aspects::message_packing_aspect`]);
 //! * [`migration`] — the paper's Figure 2 `migrate` method, introduced by
 //!   static crosscutting and actually moving object state between nodes.
 //!
@@ -32,11 +39,17 @@ pub mod fabric;
 pub mod migration;
 pub mod nameserver;
 pub mod node;
+pub mod pool;
 pub mod wire;
 
-pub use aspects::{mpp_distribution_aspect, rmi_distribution_aspect, Policy};
+pub use bytes::{Bytes, BytesMut};
+
+pub use aspects::{
+    message_packing_aspect, mpp_distribution_aspect, rmi_distribution_aspect, MessagePacker, Policy,
+};
 pub use fabric::{InProcFabric, RemoteRef};
 pub use migration::{introduce_migration, migrate_object, remove_migration, MigrationCapability};
 pub use nameserver::NameServer;
-pub use node::NodeRuntime;
-pub use wire::{MarshalRegistry, Wire, WireArgs};
+pub use node::{NodeRuntime, ReplySink, Request};
+pub use pool::{BufPool, ReplyPool};
+pub use wire::{ClassId, MarshalRegistry, MethodId, PackFrame, PackReader, Wire, WireArgs};

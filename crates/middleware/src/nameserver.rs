@@ -91,7 +91,7 @@ mod tests {
     use weavepar_weave::ObjId;
 
     fn rref(node: usize, obj: u64) -> RemoteRef {
-        RemoteRef { node, obj: ObjId::from_raw(obj) }
+        RemoteRef { node, obj: ObjId::from_raw(obj), class: crate::wire::ClassId::from_raw(0) }
     }
 
     #[test]

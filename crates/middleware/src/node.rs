@@ -4,6 +4,14 @@
 //! receive loop that takes messages off the wire and dispatches them to the
 //! local object — generalised to serve constructions and arbitrary method
 //! calls for any registered class.
+//!
+//! Requests carry interned [`MethodId`]/[`ClassId`] handles, not strings:
+//! resolving the codec on the serving side is an array index, and the method
+//! *name* needed for dispatch comes from the registry's `Arc<str>` boundary
+//! copy. Replies are encoded into frames drawn from a shared [`BufPool`],
+//! and a [`Request::CallPack`] frame executes many oneway calls from one
+//! queue wakeup with no intermediate allocation (the pack's argument views
+//! are zero-copy slices of the frame).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -15,14 +23,38 @@ use parking_lot::Mutex;
 
 use weavepar_weave::{ObjId, WeaveError, WeaveResult, Weaveable, Weaver};
 
-use crate::wire::MarshalRegistry;
+use crate::pool::{BufPool, SlotReply};
+use crate::wire::{ClassId, MarshalRegistry, MethodId, PackReader};
+
+/// Where a replied call's answer goes: a plain channel (convenience, tests)
+/// or a pooled reply slot (the fabric's fast path).
+pub enum ReplySink {
+    /// One-shot channel, as used by direct node tests.
+    Channel(Sender<WeaveResult<Bytes>>),
+    /// Checked-out slot from the fabric's [`ReplyPool`](crate::ReplyPool).
+    Slot(SlotReply),
+}
+
+impl ReplySink {
+    /// Deliver the reply.
+    pub fn send(self, result: WeaveResult<Bytes>) {
+        match self {
+            ReplySink::Channel(tx) => {
+                let _ = tx.send(result);
+            }
+            ReplySink::Slot(slot) => slot.send(result),
+        }
+    }
+}
 
 /// A request arriving at a node.
 pub enum Request {
-    /// Create an instance of `class` from marshalled constructor arguments.
+    /// Create an instance from marshalled constructor arguments. `ctor` is
+    /// the interned id of the class's `"new"` method — it names both the
+    /// class and the argument codec.
     Construct {
-        /// Class name (must be registered on the node's weaver).
-        class: String,
+        /// Interned id of `Class.new`.
+        ctor: MethodId,
         /// Marshalled constructor arguments.
         args: Bytes,
         /// Reply channel carrying the new object's id.
@@ -39,8 +71,8 @@ pub enum Request {
     },
     /// Rebuild an instance of `class` from snapshotted state.
     Restore {
-        /// Class name (must have a registered state codec).
-        class: String,
+        /// Interned class id (must have a registered state codec).
+        class: ClassId,
         /// Marshalled state.
         state: Bytes,
         /// Reply channel with the new object's id.
@@ -50,14 +82,38 @@ pub enum Request {
     Call {
         /// Target object on this node.
         obj: ObjId,
-        /// Method name.
-        method: String,
+        /// Interned method id.
+        method: MethodId,
         /// Marshalled arguments.
         args: Bytes,
-        /// Reply channel for the marshalled return value; `None` makes the
+        /// Reply sink for the marshalled return value; `None` makes the
         /// call oneway (MPP-style send).
-        reply: Option<Sender<WeaveResult<Bytes>>>,
+        reply: Option<ReplySink>,
     },
+    /// A framed pack of oneway calls (see
+    /// [`PackFrame`](crate::wire::PackFrame) for the layout): one submit,
+    /// one wakeup, many executions.
+    CallPack {
+        /// The framed calls.
+        frame: Bytes,
+    },
+}
+
+impl Request {
+    /// Fail the request's reply path with `err`; oneway requests are
+    /// silently dropped (they have nowhere to report to).
+    fn fail(self, err: impl Fn() -> WeaveError) {
+        match self {
+            Request::Construct { reply, .. } | Request::Restore { reply, .. } => {
+                let _ = reply.send(Err(err()));
+            }
+            Request::Snapshot { reply, .. } => {
+                let _ = reply.send(Err(err()));
+            }
+            Request::Call { reply: Some(reply), .. } => reply.send(Err(err())),
+            Request::Call { reply: None, .. } | Request::CallPack { .. } => {}
+        }
+    }
 }
 
 /// One in-process "cluster node".
@@ -71,31 +127,34 @@ pub struct NodeRuntime {
 }
 
 impl NodeRuntime {
-    /// Spawn the node's server thread.
+    /// Spawn the node's server thread with a private buffer pool.
     pub fn spawn(id: usize, marshal: MarshalRegistry) -> Self {
+        Self::spawn_with_pool(id, marshal, Arc::new(BufPool::new()))
+    }
+
+    /// Spawn the node's server thread, recycling reply frames through the
+    /// given pool (the fabric shares one pool across nodes and clients).
+    pub fn spawn_with_pool(id: usize, marshal: MarshalRegistry, pool: Arc<BufPool>) -> Self {
         let weaver = Weaver::new();
         let (tx, rx) = unbounded::<Request>();
         let server_weaver = weaver.clone();
         let woven = Arc::new(AtomicBool::new(false));
+        let down = Arc::new(AtomicBool::new(false));
         let server_woven = woven.clone();
+        let server_down = down.clone();
         let handle = std::thread::Builder::new()
             .name(format!("node-{id}"))
-            .spawn(move || serve(server_weaver, marshal, rx, server_woven))
+            .spawn(move || serve(id, server_weaver, marshal, rx, server_woven, server_down, pool))
             .expect("spawning node thread");
-        NodeRuntime {
-            id,
-            weaver,
-            tx,
-            handle: Mutex::new(Some(handle)),
-            down: Arc::new(AtomicBool::new(false)),
-            woven,
-        }
+        NodeRuntime { id, weaver, tx, handle: Mutex::new(Some(handle)), down, woven }
     }
 
-    /// Failure injection: mark the node as crashed. Requests already queued
-    /// still drain (in-flight packets), but every later submission fails
-    /// with a [`WeaveError::Remote`] — the `RemoteException` the paper's
-    /// Figure 14 wraps in try/catch.
+    /// Failure injection: mark the node as crashed. Every later submission
+    /// fails with a [`WeaveError::Remote`], and requests already queued are
+    /// failed promptly by the serve loop instead of executing — callers
+    /// blocked on a reply see the error as soon as the loop reaches their
+    /// request, rather than hanging until the node is dropped (the
+    /// `RemoteException` the paper's Figure 14 wraps in try/catch).
     pub fn kill(&self) {
         self.down.store(true, Ordering::SeqCst);
     }
@@ -159,15 +218,55 @@ impl std::fmt::Debug for NodeRuntime {
     }
 }
 
+/// Execute one already-decoded call: dispatch by the registry's boundary
+/// name, woven or unwoven.
+fn execute(
+    weaver: &Weaver,
+    marshal: &MarshalRegistry,
+    woven: bool,
+    obj: ObjId,
+    method: MethodId,
+    args: &Bytes,
+) -> WeaveResult<(MethodId, weavepar_weave::AnyValue)> {
+    let entry = marshal.method_entry(method)?;
+    let mut view = args.clone();
+    let decoded = marshal.decode_args_id(method, &mut view)?;
+    let ret = if woven {
+        weaver.invoke_call_dyn(obj, &entry.method_name, decoded)?
+    } else {
+        weaver.invoke_unwoven(obj, &entry.method_name, decoded)?
+    };
+    Ok((method, ret))
+}
+
 /// The receive loop: decode, dispatch unwoven (the weaving happened on the
-/// client), encode the reply.
-fn serve(weaver: Weaver, marshal: MarshalRegistry, rx: Receiver<Request>, woven: Arc<AtomicBool>) {
+/// client), encode the reply into a pooled frame.
+fn serve(
+    id: usize,
+    weaver: Weaver,
+    marshal: MarshalRegistry,
+    rx: Receiver<Request>,
+    woven: Arc<AtomicBool>,
+    down: Arc<AtomicBool>,
+    pool: Arc<BufPool>,
+) {
     while let Ok(request) = rx.recv() {
+        // Crashed node: fail everything still queued instead of executing
+        // it, so callers blocked on replies are released promptly.
+        if down.load(Ordering::SeqCst) {
+            request.fail(|| WeaveError::remote(format!("node {id} is down")));
+            continue;
+        }
         match request {
-            Request::Construct { class, args, reply } => {
-                let result = marshal
-                    .decode_args(&class, "new", &args)
-                    .and_then(|args| weaver.construct_dyn_unwoven(&class, args));
+            Request::Construct { ctor, args, reply } => {
+                let result = (|| {
+                    let entry = marshal.method_entry(ctor)?;
+                    let class = entry.class_name.clone();
+                    let mut view = args.clone();
+                    let decoded = marshal.decode_args_id(ctor, &mut view)?;
+                    weaver.construct_dyn_unwoven(&class, decoded)
+                })();
+                pool.recycle(args);
                 let _ = reply.send(result);
             }
             Request::Snapshot { obj, remove, reply } => {
@@ -182,22 +281,23 @@ fn serve(weaver: Weaver, marshal: MarshalRegistry, rx: Receiver<Request>, woven:
                 let _ = reply.send(result);
             }
             Request::Restore { class, state, reply } => {
-                let _ = reply.send(marshal.restore_state(&weaver, &class, &state));
+                let result = marshal
+                    .class_name(class)
+                    .and_then(|name| marshal.restore_state(&weaver, &name, &state));
+                let _ = reply.send(result);
             }
             Request::Call { obj, method, args, reply } => {
-                let result = (|| {
-                    let class = weaver.space().class_of(obj)?;
-                    let decoded = marshal.decode_args(class, &method, &args)?;
-                    let ret = if woven.load(Ordering::SeqCst) {
-                        weaver.invoke_call_dyn(obj, &method, decoded)?
-                    } else {
-                        weaver.invoke_unwoven(obj, &method, decoded)?
-                    };
-                    marshal.encode_ret(class, &method, &ret)
-                })();
+                let woven = woven.load(Ordering::SeqCst);
+                let result = execute(&weaver, &marshal, woven, obj, method, &args);
+                pool.recycle(args);
                 match reply {
                     Some(reply) => {
-                        let _ = reply.send(result);
+                        let encoded = result.and_then(|(method, ret)| {
+                            let mut buf = pool.take();
+                            marshal.encode_ret_id(method, &ret, &mut buf)?;
+                            Ok(buf.freeze())
+                        });
+                        reply.send(encoded);
                     }
                     None => {
                         // Oneway: failures have nowhere to go; drop them like
@@ -206,6 +306,21 @@ fn serve(weaver: Weaver, marshal: MarshalRegistry, rx: Receiver<Request>, woven:
                         let _ = result;
                     }
                 }
+            }
+            Request::CallPack { frame } => {
+                let woven = woven.load(Ordering::SeqCst);
+                match PackReader::new(frame.clone()) {
+                    Ok(reader) => {
+                        for entry in reader {
+                            // Entries are oneway: malformed frames and failed
+                            // calls alike are dropped datagrams.
+                            let Ok((obj, method, args)) = entry else { break };
+                            let _ = execute(&weaver, &marshal, woven, obj, method, &args);
+                        }
+                    }
+                    Err(_) => { /* truncated header: drop the pack */ }
+                }
+                pool.recycle(frame);
             }
         }
     }
@@ -231,18 +346,44 @@ mod tests {
         }
     }
 
+    static GATE_OPEN: AtomicBool = AtomicBool::new(false);
+
+    struct Blocker;
+
+    weavepar_weave::weaveable! {
+        class Blocker as BlockerProxy {
+            fn new() -> Self { Blocker }
+            fn block(&mut self) -> u64 {
+                while !super::tests::GATE_OPEN.load(Ordering::SeqCst) {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                1
+            }
+        }
+    }
+
     fn marshal() -> MarshalRegistry {
         let m = MarshalRegistry::new();
         m.register::<(u64,), ()>("Adder", "new");
         m.register::<(u64,), u64>("Adder", "add");
+        m.register::<(), ()>("Blocker", "new");
+        m.register::<(), u64>("Blocker", "block");
         m
     }
 
-    fn construct(node: &NodeRuntime, m: &MarshalRegistry, start: u64) -> WR<ObjId> {
+    fn construct(node: &NodeRuntime, m: &MarshalRegistry, class: &str, args: Bytes) -> WR<ObjId> {
         let (tx, rx) = bounded(1);
-        let args = m.encode_args("Adder", "new", &weavepar_weave::args![start]).unwrap();
-        node.submit(Request::Construct { class: "Adder".into(), args, reply: tx })?;
+        node.submit(Request::Construct { ctor: m.method_id(class, "new")?, args, reply: tx })?;
         rx.recv().map_err(|_| weavepar_weave::WeaveError::remote("no reply"))?
+    }
+
+    fn construct_adder(node: &NodeRuntime, m: &MarshalRegistry, start: u64) -> WR<ObjId> {
+        let args = m.encode_args("Adder", "new", &weavepar_weave::args![start]).unwrap();
+        construct(node, m, "Adder", args)
+    }
+
+    fn add_args(m: &MarshalRegistry, x: u64) -> Bytes {
+        m.encode_args("Adder", "add", &weavepar_weave::args![x]).unwrap()
     }
 
     #[test]
@@ -250,11 +391,16 @@ mod tests {
         let m = marshal();
         let node = NodeRuntime::spawn(0, m.clone());
         node.register_class::<Adder>();
-        let obj = construct(&node, &m, 10).unwrap();
+        let obj = construct_adder(&node, &m, 10).unwrap();
 
         let (tx, rx) = bounded(1);
-        let args = m.encode_args("Adder", "add", &weavepar_weave::args![5u64]).unwrap();
-        node.submit(Request::Call { obj, method: "add".into(), args, reply: Some(tx) }).unwrap();
+        node.submit(Request::Call {
+            obj,
+            method: m.method_id("Adder", "add").unwrap(),
+            args: add_args(&m, 5),
+            reply: Some(ReplySink::Channel(tx)),
+        })
+        .unwrap();
         let ret = rx.recv().unwrap().unwrap();
         let v = m.decode_ret("Adder", "add", &ret).unwrap();
         assert_eq!(*v.downcast::<u64>().unwrap(), 15);
@@ -265,18 +411,51 @@ mod tests {
         let m = marshal();
         let node = NodeRuntime::spawn(0, m.clone());
         node.register_class::<Adder>();
-        let obj = construct(&node, &m, 0).unwrap();
+        let obj = construct_adder(&node, &m, 0).unwrap();
+        let add = m.method_id("Adder", "add").unwrap();
         for _ in 0..3 {
-            let args = m.encode_args("Adder", "add", &weavepar_weave::args![1u64]).unwrap();
-            node.submit(Request::Call { obj, method: "add".into(), args, reply: None }).unwrap();
+            node.submit(Request::Call { obj, method: add, args: add_args(&m, 1), reply: None })
+                .unwrap();
         }
         // Synchronise via a replied call.
         let (tx, rx) = bounded(1);
-        let args = m.encode_args("Adder", "add", &weavepar_weave::args![0u64]).unwrap();
-        node.submit(Request::Call { obj, method: "add".into(), args, reply: Some(tx) }).unwrap();
+        node.submit(Request::Call {
+            obj,
+            method: add,
+            args: add_args(&m, 0),
+            reply: Some(ReplySink::Channel(tx)),
+        })
+        .unwrap();
         let ret = rx.recv().unwrap().unwrap();
         let v = m.decode_ret("Adder", "add", &ret).unwrap();
         assert_eq!(*v.downcast::<u64>().unwrap(), 3);
+    }
+
+    #[test]
+    fn call_pack_executes_all_entries() {
+        use crate::wire::PackFrame;
+        let m = marshal();
+        let node = NodeRuntime::spawn(0, m.clone());
+        node.register_class::<Adder>();
+        let obj = construct_adder(&node, &m, 0).unwrap();
+        let add = m.method_id("Adder", "add").unwrap();
+        let mut frame = PackFrame::new(bytes::BytesMut::new());
+        for _ in 0..10 {
+            frame.push(obj, add, &m, &weavepar_weave::args![1u64]).unwrap();
+        }
+        node.submit(Request::CallPack { frame: frame.finish() }).unwrap();
+        // Synchronise via a replied call: queue order is execution order.
+        let (tx, rx) = bounded(1);
+        node.submit(Request::Call {
+            obj,
+            method: add,
+            args: add_args(&m, 0),
+            reply: Some(ReplySink::Channel(tx)),
+        })
+        .unwrap();
+        let ret = rx.recv().unwrap().unwrap();
+        let v = m.decode_ret("Adder", "add", &ret).unwrap();
+        assert_eq!(*v.downcast::<u64>().unwrap(), 10);
     }
 
     #[test]
@@ -284,7 +463,7 @@ mod tests {
         let m = marshal();
         let node = NodeRuntime::spawn(0, m.clone());
         // Class NOT registered on the node.
-        let err = construct(&node, &m, 1).unwrap_err();
+        let err = construct_adder(&node, &m, 1).unwrap_err();
         assert!(matches!(err, weavepar_weave::WeaveError::Construction(_)));
     }
 
@@ -294,12 +473,11 @@ mod tests {
         let node = NodeRuntime::spawn(0, m.clone());
         node.register_class::<Adder>();
         let (tx, rx) = bounded(1);
-        let args = m.encode_args("Adder", "add", &weavepar_weave::args![1u64]).unwrap();
         node.submit(Request::Call {
             obj: ObjId::from_raw(404),
-            method: "add".into(),
-            args,
-            reply: Some(tx),
+            method: m.method_id("Adder", "add").unwrap(),
+            args: add_args(&m, 1),
+            reply: Some(ReplySink::Channel(tx)),
         })
         .unwrap();
         assert!(rx.recv().unwrap().is_err());
@@ -310,15 +488,59 @@ mod tests {
         let m = marshal();
         let node = NodeRuntime::spawn(0, m.clone());
         node.register_class::<Adder>();
-        let obj = construct(&node, &m, 0).unwrap();
+        let obj = construct_adder(&node, &m, 0).unwrap();
         assert!(!node.is_down());
         node.kill();
         assert!(node.is_down());
         let (tx, _rx) = bounded(1);
-        let args = m.encode_args("Adder", "add", &weavepar_weave::args![1u64]).unwrap();
         let err = node
-            .submit(Request::Call { obj, method: "add".into(), args, reply: Some(tx) })
+            .submit(Request::Call {
+                obj,
+                method: m.method_id("Adder", "add").unwrap(),
+                args: add_args(&m, 1),
+                reply: Some(ReplySink::Channel(tx)),
+            })
             .unwrap_err();
+        assert!(matches!(err, weavepar_weave::WeaveError::Remote(_)));
+    }
+
+    #[test]
+    fn kill_fails_queued_requests_promptly() {
+        let m = marshal();
+        let node = NodeRuntime::spawn(0, m.clone());
+        node.register_class::<Adder>();
+        node.register_class::<Blocker>();
+        let adder = construct_adder(&node, &m, 0).unwrap();
+        let blocker = construct(
+            &node,
+            &m,
+            "Blocker",
+            m.encode_args("Blocker", "new", &weavepar_weave::args![]).unwrap(),
+        )
+        .unwrap();
+        GATE_OPEN.store(false, Ordering::SeqCst);
+        // Occupy the serve loop with a blocking oneway call...
+        node.submit(Request::Call {
+            obj: blocker,
+            method: m.method_id("Blocker", "block").unwrap(),
+            args: m.encode_args("Blocker", "block", &weavepar_weave::args![]).unwrap(),
+            reply: None,
+        })
+        .unwrap();
+        // ...queue a replied call behind it...
+        let (tx, rx) = bounded(1);
+        node.submit(Request::Call {
+            obj: adder,
+            method: m.method_id("Adder", "add").unwrap(),
+            args: add_args(&m, 1),
+            reply: Some(ReplySink::Channel(tx)),
+        })
+        .unwrap();
+        // ...kill the node while the call is queued, then release the gate.
+        node.kill();
+        GATE_OPEN.store(true, Ordering::SeqCst);
+        // The queued caller must be failed, not executed or stranded.
+        let err = rx.recv().expect("reply delivered").unwrap_err();
         assert!(matches!(err, weavepar_weave::WeaveError::Remote(_)));
     }
 
@@ -340,12 +562,16 @@ mod tests {
                 })
                 .build(),
         );
-        let obj = construct(&node, &m, 0).unwrap();
+        let obj = construct_adder(&node, &m, 0).unwrap();
         let send = |obj| {
             let (tx, rx) = bounded(1);
-            let args = m.encode_args("Adder", "add", &weavepar_weave::args![1u64]).unwrap();
-            node.submit(Request::Call { obj, method: "add".into(), args, reply: Some(tx) })
-                .unwrap();
+            node.submit(Request::Call {
+                obj,
+                method: m.method_id("Adder", "add").unwrap(),
+                args: add_args(&m, 1),
+                reply: Some(ReplySink::Channel(tx)),
+            })
+            .unwrap();
             rx.recv().unwrap().unwrap();
         };
         // Unwoven (default): server aspects do not apply.

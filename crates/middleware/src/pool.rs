@@ -1,0 +1,274 @@
+//! Buffer and reply-slot pooling for the remote-call fast path.
+//!
+//! Two recyclers back the zero-allocation contract:
+//!
+//! * [`BufPool`] — a sharded stack of [`BytesMut`] frames. Encode paths
+//!   `take` a cleared frame (keeping a previous call's capacity), and
+//!   decode/reply paths hand frames back with `give` or reclaim frozen
+//!   [`Bytes`] whose refcount has dropped to one with `recycle`. Shards are
+//!   picked by thread id, so concurrent clients rarely contend on one lock.
+//!
+//! * [`ReplySlot`] — a park/unpark rendezvous replacing the per-call
+//!   `bounded(1)` channel. A caller checks a slot out of the pool, submits
+//!   the request carrying the [`SlotReply`] half, blocks on the condvar, and
+//!   returns the slot for reuse. `SlotReply` is a drop-guard: if the serving
+//!   side drops it without answering (node thread panicked, request dropped
+//!   on the floor), the waiter is woken with a `WeaveError::Remote` instead
+//!   of blocking forever.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use bytes::{Bytes, BytesMut};
+use parking_lot::{Condvar, Mutex};
+
+use weavepar_weave::{WeaveError, WeaveResult};
+
+const SHARDS: usize = 8;
+/// Per-shard cap: beyond this, returned frames are simply dropped so a burst
+/// doesn't pin its high-water allocation forever.
+const PER_SHARD: usize = 32;
+
+/// Sharded pool of reusable [`BytesMut`] frames.
+pub struct BufPool {
+    shards: [Mutex<Vec<BytesMut>>; SHARDS],
+    counter: AtomicUsize,
+}
+
+impl Default for BufPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BufPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        BufPool {
+            shards: std::array::from_fn(|_| Mutex::new(Vec::new())),
+            counter: AtomicUsize::new(0),
+        }
+    }
+
+    fn shard(&self) -> &Mutex<Vec<BytesMut>> {
+        // Per-thread shard affinity, assigned round-robin on first use so
+        // the hot path is a plain TLS read — no thread-id hashing per call.
+        static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+        thread_local! {
+            static SHARD: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+        }
+        let idx = SHARD.with(|s| {
+            let mut idx = s.get();
+            if idx == usize::MAX {
+                idx = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+                s.set(idx);
+            }
+            idx
+        });
+        &self.shards[idx]
+    }
+
+    /// A cleared frame, reusing a pooled allocation when one is available.
+    pub fn take(&self) -> BytesMut {
+        if let Some(buf) = self.shard().lock().pop() {
+            return buf;
+        }
+        // Steal from a rotating shard before allocating fresh.
+        let i = self.counter.fetch_add(1, Ordering::Relaxed);
+        if let Some(buf) = self.shards[i % SHARDS].lock().pop() {
+            return buf;
+        }
+        BytesMut::new()
+    }
+
+    /// Return a frame to the pool (cleared; dropped when the shard is full).
+    pub fn give(&self, mut buf: BytesMut) {
+        buf.clear();
+        let mut shard = self.shard().lock();
+        if shard.len() < PER_SHARD {
+            shard.push(buf);
+        }
+    }
+
+    /// Reclaim a frozen frame whose storage is no longer shared; frames with
+    /// live aliases are silently dropped.
+    pub fn recycle(&self, bytes: Bytes) {
+        if let Ok(buf) = bytes.try_into_mut() {
+            self.give(buf);
+        }
+    }
+
+    /// Frames currently parked in the pool (for tests).
+    pub fn pooled(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+/// One reusable reply rendezvous: a mutex-guarded mailbox plus a condvar.
+pub struct ReplySlot {
+    mailbox: Mutex<Option<WeaveResult<Bytes>>>,
+    ready: Condvar,
+}
+
+impl ReplySlot {
+    fn new() -> Arc<Self> {
+        Arc::new(ReplySlot { mailbox: Mutex::new(None), ready: Condvar::new() })
+    }
+
+    fn fill(&self, result: WeaveResult<Bytes>) {
+        let mut mailbox = self.mailbox.lock();
+        *mailbox = Some(result);
+        self.ready.notify_one();
+    }
+
+    /// Block until the serving side fills the slot, and take the result.
+    fn wait(&self) -> WeaveResult<Bytes> {
+        let mut mailbox = self.mailbox.lock();
+        while mailbox.is_none() {
+            self.ready.wait(&mut mailbox);
+        }
+        mailbox.take().expect("slot filled")
+    }
+}
+
+/// The serving side's half of a checked-out [`ReplySlot`]. Consuming `send`
+/// delivers the answer; dropping unsent wakes the waiter with an error so a
+/// lost request can never strand its caller.
+pub struct SlotReply {
+    slot: Arc<ReplySlot>,
+    sent: bool,
+}
+
+impl SlotReply {
+    /// Deliver the reply and wake the waiting caller.
+    pub fn send(mut self, result: WeaveResult<Bytes>) {
+        self.sent = true;
+        self.slot.fill(result);
+    }
+}
+
+impl Drop for SlotReply {
+    fn drop(&mut self) {
+        if !self.sent {
+            self.slot.fill(Err(WeaveError::remote("reply dropped before an answer was sent")));
+        }
+    }
+}
+
+/// The calling side's half: wait for the answer, then return the slot to the
+/// pool via [`ReplyPool::finish`].
+pub struct SlotTicket {
+    slot: Arc<ReplySlot>,
+}
+
+impl SlotTicket {
+    /// Block until the reply arrives.
+    pub fn wait(&self) -> WeaveResult<Bytes> {
+        self.slot.wait()
+    }
+}
+
+/// Pool of reply slots. `checkout` hands out a (ticket, reply) pair backed by
+/// a recycled slot when one is free.
+pub struct ReplyPool {
+    free: Mutex<Vec<Arc<ReplySlot>>>,
+}
+
+impl Default for ReplyPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReplyPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        ReplyPool { free: Mutex::new(Vec::new()) }
+    }
+
+    /// Check out a slot: the caller keeps the [`SlotTicket`], the request
+    /// carries the [`SlotReply`].
+    pub fn checkout(&self) -> (SlotTicket, SlotReply) {
+        let slot = self.free.lock().pop().unwrap_or_else(ReplySlot::new);
+        debug_assert!(slot.mailbox.lock().is_none(), "recycled slot must be empty");
+        (SlotTicket { slot: slot.clone() }, SlotReply { slot, sent: false })
+    }
+
+    /// Return a slot after its reply has been taken. Slots whose serving half
+    /// may still be live (caller gave up early) must NOT be finished — just
+    /// drop the ticket and the slot is garbage-collected with it.
+    pub fn finish(&self, ticket: SlotTicket) {
+        if ticket.slot.mailbox.lock().is_none() {
+            let mut free = self.free.lock();
+            if free.len() < PER_SHARD {
+                free.push(ticket.slot);
+            }
+        }
+    }
+
+    /// Slots currently parked in the pool (for tests).
+    pub fn pooled(&self) -> usize {
+        self.free.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BufMut;
+
+    #[test]
+    fn buf_pool_recycles_capacity() {
+        let pool = BufPool::new();
+        let mut buf = pool.take();
+        buf.reserve(1024);
+        buf.put_u64_le(7);
+        let cap = buf.capacity();
+        pool.give(buf);
+        assert_eq!(pool.pooled(), 1);
+        let again = pool.take();
+        assert!(again.is_empty(), "pooled frames come back cleared");
+        assert_eq!(again.capacity(), cap, "capacity survives the round trip");
+        assert_eq!(pool.pooled(), 0);
+    }
+
+    #[test]
+    fn recycle_reclaims_unshared_frozen_frames() {
+        let pool = BufPool::new();
+        let mut buf = BytesMut::with_capacity(256);
+        buf.put_u32_le(1);
+        pool.recycle(buf.freeze());
+        assert_eq!(pool.pooled(), 1);
+        // A frame with a live alias is dropped, not pooled.
+        let frozen = BytesMut::with_capacity(64).freeze();
+        let _alias = frozen.clone();
+        pool.recycle(frozen);
+        assert_eq!(pool.pooled(), 1);
+    }
+
+    #[test]
+    fn reply_slot_roundtrip_and_reuse() {
+        let pool = ReplyPool::new();
+        let (ticket, reply) = pool.checkout();
+        let payload = Bytes::copy_from_slice(b"ok");
+        let handle = std::thread::spawn(move || reply.send(Ok(payload)));
+        assert_eq!(&*ticket.wait().unwrap(), b"ok");
+        handle.join().unwrap();
+        pool.finish(ticket);
+        assert_eq!(pool.pooled(), 1);
+        let (t2, r2) = pool.checkout();
+        assert_eq!(pool.pooled(), 0);
+        r2.send(Err(WeaveError::remote("boom")));
+        assert!(t2.wait().is_err());
+        pool.finish(t2);
+    }
+
+    #[test]
+    fn dropped_reply_wakes_waiter_with_error() {
+        let pool = ReplyPool::new();
+        let (ticket, reply) = pool.checkout();
+        drop(reply);
+        let err = ticket.wait().unwrap_err();
+        assert!(matches!(err, WeaveError::Remote(_)));
+    }
+}

@@ -6,14 +6,37 @@
 //! [`Args`](weavepar_weave::Args) and bytes — the knowledge the distribution
 //! aspect needs to put a call on the wire and a node runtime needs to take it
 //! off again.
+//!
+//! ## Interned identifiers
+//!
+//! Registration hands out dense [`ClassId`]/[`MethodId`] handles. The
+//! per-call fast path ([`MarshalRegistry::encode_args_id`] and friends)
+//! indexes an append-only slot table — no lock, no string hashing, no
+//! allocation. The string-keyed methods remain as conveniences that resolve
+//! the id once (two `RwLock` reads + hash lookups) and then take the same
+//! indexed path; `Arc<str>` names are kept only at the boundary for error
+//! messages and name-based dispatch on the serving node.
+//!
+//! ## Pack frames
+//!
+//! [`PackFrame`]/[`PackReader`] define the `CallPack` wire format — many
+//! oneway calls to one node in a single frame:
+//!
+//! ```text
+//! count: u32 | count × ( obj: u64 | method: u32 | args_len: u32 | args )
+//! ```
+//!
+//! The reader yields zero-copy sub-views of the frame, so serving a pack
+//! never re-allocates the payload.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
-use weavepar_weave::{AnyValue, Args, WeaveError, WeaveResult};
+use weavepar_weave::{AnyValue, Args, ObjId, WeaveError, WeaveResult};
 
 /// A value with an explicit binary encoding.
 pub trait Wire: Sized + Send + 'static {
@@ -171,12 +194,12 @@ impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
     }
 }
 
-impl Wire for weavepar_weave::ObjId {
+impl Wire for ObjId {
     fn encode(&self, buf: &mut BytesMut) {
         buf.put_u64_le(self.raw());
     }
     fn decode(buf: &mut Bytes) -> WeaveResult<Self> {
-        Ok(weavepar_weave::ObjId::from_raw(u64::decode(buf)?))
+        Ok(ObjId::from_raw(u64::decode(buf)?))
     }
 }
 
@@ -239,10 +262,104 @@ impl_wire_args! {
     (A @ 0, B @ 1, C @ 2, D @ 3);
 }
 
-type ArgsEncoder = Arc<dyn Fn(&Args) -> WeaveResult<Bytes> + Send + Sync>;
-type ArgsDecoder = Arc<dyn Fn(&Bytes) -> WeaveResult<Args> + Send + Sync>;
-type RetEncoder = Arc<dyn Fn(&AnyValue) -> WeaveResult<Bytes> + Send + Sync>;
-type RetDecoder = Arc<dyn Fn(&Bytes) -> WeaveResult<AnyValue> + Send + Sync>;
+/// Dense handle for a registered class, handed out by
+/// [`MarshalRegistry::intern_class`]. Indexes an append-only table; `Copy`
+/// and 4 bytes on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClassId(u32);
+
+impl ClassId {
+    /// The raw table index (wire representation).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuild from a raw index (wire decode; validated at use).
+    pub fn from_raw(raw: u32) -> Self {
+        ClassId(raw)
+    }
+}
+
+/// Dense handle for a registered `(class, method)` pair, handed out by
+/// [`MarshalRegistry::register`]. The hot-path key: an array index instead
+/// of a string-hashed map lookup under a lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MethodId(u32);
+
+impl MethodId {
+    /// The raw table index (wire representation — `CallPack` entries carry
+    /// this).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuild from a raw index (wire decode; validated at use).
+    pub fn from_raw(raw: u32) -> Self {
+        MethodId(raw)
+    }
+}
+
+/// Lock-free-on-read, append-only slot table: readers index published slots
+/// with two atomic loads; writers serialise on a mutex and publish via a
+/// release store of `len`. Storage grows in doubling chunks so published
+/// references never move.
+struct SlotTable<T> {
+    chunks: [OnceLock<Box<[OnceLock<T>]>>; SlotTable::<()>::CHUNKS],
+    len: AtomicU32,
+    append: Mutex<()>,
+}
+
+impl<T> SlotTable<T> {
+    const CHUNKS: usize = 16;
+    const CHUNK0: usize = 64;
+
+    fn new() -> Self {
+        SlotTable {
+            chunks: std::array::from_fn(|_| OnceLock::new()),
+            len: AtomicU32::new(0),
+            append: Mutex::new(()),
+        }
+    }
+
+    /// Chunk index and offset for slot `i` (chunk `c` holds `64 << c` slots).
+    fn locate(i: usize) -> (usize, usize) {
+        let chunk = ((i / Self::CHUNK0) + 1).ilog2() as usize;
+        let start = Self::CHUNK0 * ((1usize << chunk) - 1);
+        (chunk, i - start)
+    }
+
+    fn len(&self) -> u32 {
+        self.len.load(Ordering::Acquire)
+    }
+
+    fn get(&self, i: u32) -> Option<&T> {
+        if i >= self.len.load(Ordering::Acquire) {
+            return None;
+        }
+        let (chunk, offset) = Self::locate(i as usize);
+        self.chunks[chunk].get()?[offset].get()
+    }
+
+    fn push(&self, value: T) -> u32 {
+        let _guard = self.append.lock();
+        let i = self.len.load(Ordering::Relaxed) as usize;
+        let (chunk, offset) = Self::locate(i);
+        assert!(chunk < Self::CHUNKS, "slot table full");
+        let slots = self.chunks[chunk].get_or_init(|| {
+            (0..Self::CHUNK0 << chunk).map(|_| OnceLock::new()).collect::<Vec<_>>().into()
+        });
+        if slots[offset].set(value).is_err() {
+            unreachable!("append slot already occupied");
+        }
+        self.len.store((i + 1) as u32, Ordering::Release);
+        i as u32
+    }
+}
+
+type ArgsEncoder = Box<dyn Fn(&Args, &mut BytesMut) -> WeaveResult<()> + Send + Sync>;
+type ArgsDecoder = Box<dyn Fn(&mut Bytes) -> WeaveResult<Args> + Send + Sync>;
+type RetEncoder = Box<dyn Fn(&AnyValue, &mut BytesMut) -> WeaveResult<()> + Send + Sync>;
+type RetDecoder = Box<dyn Fn(&mut Bytes) -> WeaveResult<AnyValue> + Send + Sync>;
 
 struct MethodMarshal {
     encode_args: ArgsEncoder,
@@ -251,11 +368,26 @@ struct MethodMarshal {
     decode_ret: RetDecoder,
 }
 
+/// One published method slot: the codec plus the boundary names (`Arc<str>`
+/// — cloned only for errors and name-based dispatch on the serving node).
+pub(crate) struct MethodEntry {
+    pub(crate) class: ClassId,
+    pub(crate) class_name: Arc<str>,
+    pub(crate) method_name: Arc<str>,
+    marshal: MethodMarshal,
+}
+
+struct ClassEntry {
+    name: Arc<str>,
+    /// Method name → id, for the string-keyed slow path.
+    methods: RwLock<HashMap<Arc<str>, MethodId>>,
+    state: RwLock<Option<StateCodec>>,
+}
+
 type StateSnapshot =
-    Arc<dyn Fn(&weavepar_weave::Weaver, weavepar_weave::ObjId) -> WeaveResult<Bytes> + Send + Sync>;
-type StateRestore = Arc<
-    dyn Fn(&weavepar_weave::Weaver, &Bytes) -> WeaveResult<weavepar_weave::ObjId> + Send + Sync,
->;
+    Arc<dyn Fn(&weavepar_weave::Weaver, ObjId) -> WeaveResult<Bytes> + Send + Sync>;
+type StateRestore =
+    Arc<dyn Fn(&weavepar_weave::Weaver, &Bytes) -> WeaveResult<ObjId> + Send + Sync>;
 
 /// Per-class object-state marshalling (used by migration: snapshot an
 /// instance's state to bytes on one node, rebuild it on another).
@@ -265,82 +397,209 @@ pub struct StateCodec {
     restore: StateRestore,
 }
 
+struct RegistryInner {
+    classes: SlotTable<ClassEntry>,
+    methods: SlotTable<MethodEntry>,
+    /// Class name → id, for interning and the string-keyed slow path.
+    class_ids: RwLock<HashMap<Arc<str>, ClassId>>,
+}
+
 /// Per-`(class, method)` marshalling knowledge — what Java gets from
 /// serialisable classes, an application registers here once per remotable
-/// method (constructions use method name `"new"`).
-/// Marshal table keyed by `(class, method)`.
-type MarshalTable = Arc<RwLock<HashMap<(String, String), Arc<MethodMarshal>>>>;
-
-#[derive(Clone, Default)]
+/// method (constructions use method name `"new"`). Registration returns a
+/// dense [`MethodId`]; per-call marshalling by id is an array index.
+#[derive(Clone)]
 pub struct MarshalRegistry {
-    inner: MarshalTable,
-    states: Arc<RwLock<HashMap<String, StateCodec>>>,
+    inner: Arc<RegistryInner>,
+}
+
+impl Default for MarshalRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl MarshalRegistry {
     /// An empty registry.
     pub fn new() -> Self {
-        Self::default()
+        MarshalRegistry {
+            inner: Arc::new(RegistryInner {
+                classes: SlotTable::new(),
+                methods: SlotTable::new(),
+                class_ids: RwLock::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// Intern `class`, creating an (empty) class slot on first sight.
+    pub fn intern_class(&self, class: &str) -> ClassId {
+        if let Some(&id) = self.inner.class_ids.read().get(class) {
+            return id;
+        }
+        let mut ids = self.inner.class_ids.write();
+        if let Some(&id) = ids.get(class) {
+            return id;
+        }
+        let name: Arc<str> = Arc::from(class);
+        let id = ClassId(self.inner.classes.push(ClassEntry {
+            name: name.clone(),
+            methods: RwLock::new(HashMap::new()),
+            state: RwLock::new(None),
+        }));
+        ids.insert(name, id);
+        id
+    }
+
+    /// The interned id of `class`, if it has been seen.
+    pub fn class_id(&self, class: &str) -> Option<ClassId> {
+        self.inner.class_ids.read().get(class).copied()
+    }
+
+    /// The name behind an interned class id.
+    pub fn class_name(&self, class: ClassId) -> WeaveResult<Arc<str>> {
+        self.class_entry(class).map(|e| e.name.clone())
+    }
+
+    fn class_entry(&self, class: ClassId) -> WeaveResult<&ClassEntry> {
+        self.inner
+            .classes
+            .get(class.0)
+            .ok_or_else(|| WeaveError::remote(format!("unknown class id {}", class.0)))
+    }
+
+    pub(crate) fn method_entry(&self, method: MethodId) -> WeaveResult<&MethodEntry> {
+        self.inner
+            .methods
+            .get(method.0)
+            .ok_or_else(|| WeaveError::remote(format!("unknown method id {}", method.0)))
     }
 
     /// Register marshalling for `class.method` with argument tuple `A` and
-    /// return type `R`.
-    pub fn register<A: WireArgs, R: Wire>(&self, class: &str, method: &str) {
+    /// return type `R`, returning the method's dense id. Registering an
+    /// already-known `(class, method)` returns the existing id unchanged.
+    pub fn register<A: WireArgs, R: Wire>(&self, class: &str, method: &str) -> MethodId {
+        let class_id = self.intern_class(class);
+        let entry = self.class_entry(class_id).expect("freshly interned class");
+        let mut methods = entry.methods.write();
+        if let Some(&id) = methods.get(method) {
+            return id;
+        }
         let marshal = MethodMarshal {
-            encode_args: Arc::new(|args| {
-                let mut buf = BytesMut::new();
-                A::encode_args(args, &mut buf)?;
-                Ok(buf.freeze())
-            }),
-            decode_args: Arc::new(|bytes| {
-                let mut buf = bytes.clone();
-                A::decode_args(&mut buf)
-            }),
-            encode_ret: Arc::new(|ret| {
+            encode_args: Box::new(|args, buf| A::encode_args(args, buf)),
+            decode_args: Box::new(|bytes| A::decode_args(bytes)),
+            encode_ret: Box::new(|ret, buf| {
                 let typed = ret.downcast_ref::<R>().ok_or_else(|| WeaveError::TypeMismatch {
                     expected: std::any::type_name::<R>(),
                     context: "marshalling return value".into(),
                 })?;
-                Ok(to_bytes(typed))
+                typed.encode(buf);
+                Ok(())
             }),
-            decode_ret: Arc::new(|bytes| {
-                let v: R = from_bytes(bytes)?;
+            decode_ret: Box::new(|bytes| {
+                let v: R = R::decode(bytes)?;
                 Ok(Box::new(v) as AnyValue)
             }),
         };
-        self.inner.write().insert((class.to_string(), method.to_string()), Arc::new(marshal));
+        let method_name: Arc<str> = Arc::from(method);
+        let id = MethodId(self.inner.methods.push(MethodEntry {
+            class: class_id,
+            class_name: entry.name.clone(),
+            method_name: method_name.clone(),
+            marshal,
+        }));
+        methods.insert(method_name, id);
+        id
     }
 
-    fn get(&self, class: &str, method: &str) -> WeaveResult<Arc<MethodMarshal>> {
-        self.inner.read().get(&(class.to_string(), method.to_string())).cloned().ok_or_else(|| {
+    /// The id of `class.method`, if registered.
+    pub fn try_method_id(&self, class: &str, method: &str) -> Option<MethodId> {
+        let class_id = self.class_id(class)?;
+        let entry = self.inner.classes.get(class_id.0)?;
+        entry.methods.read().get(method).copied()
+    }
+
+    /// The id of `class.method`, or a [`WeaveError::Remote`] when unknown.
+    pub fn method_id(&self, class: &str, method: &str) -> WeaveResult<MethodId> {
+        self.try_method_id(class, method).ok_or_else(|| {
             WeaveError::remote(format!("no marshaller registered for {class}.{method}"))
         })
     }
 
+    /// Is marshalling known for `class.method`?
+    pub fn knows(&self, class: &str, method: &str) -> bool {
+        self.try_method_id(class, method).is_some()
+    }
+
+    /// Number of registered methods.
+    pub fn method_count(&self) -> usize {
+        self.inner.methods.len() as usize
+    }
+
+    // ---- by-id fast path (no lock, no hashing, no allocation) ----
+
+    /// Encode an argument pack into `buf` by method id.
+    pub fn encode_args_id(
+        &self,
+        method: MethodId,
+        args: &Args,
+        buf: &mut BytesMut,
+    ) -> WeaveResult<()> {
+        (self.method_entry(method)?.marshal.encode_args)(args, buf)
+    }
+
+    /// Decode an argument pack from the front of `bytes` by method id.
+    pub fn decode_args_id(&self, method: MethodId, bytes: &mut Bytes) -> WeaveResult<Args> {
+        (self.method_entry(method)?.marshal.decode_args)(bytes)
+    }
+
+    /// Encode a return value into `buf` by method id.
+    pub fn encode_ret_id(
+        &self,
+        method: MethodId,
+        ret: &AnyValue,
+        buf: &mut BytesMut,
+    ) -> WeaveResult<()> {
+        (self.method_entry(method)?.marshal.encode_ret)(ret, buf)
+    }
+
+    /// Decode a return value from the front of `bytes` by method id.
+    pub fn decode_ret_id(&self, method: MethodId, bytes: &mut Bytes) -> WeaveResult<AnyValue> {
+        (self.method_entry(method)?.marshal.decode_ret)(bytes)
+    }
+
+    // ---- string-keyed conveniences (resolve the id, then index) ----
+
     /// Encode an argument pack for `class.method`.
     pub fn encode_args(&self, class: &str, method: &str, args: &Args) -> WeaveResult<Bytes> {
-        (self.get(class, method)?.encode_args)(args)
+        let id = self.method_id(class, method)?;
+        let mut buf = BytesMut::new();
+        self.encode_args_id(id, args, &mut buf)?;
+        Ok(buf.freeze())
     }
 
     /// Decode an argument pack for `class.method`.
     pub fn decode_args(&self, class: &str, method: &str, bytes: &Bytes) -> WeaveResult<Args> {
-        (self.get(class, method)?.decode_args)(bytes)
+        let id = self.method_id(class, method)?;
+        let mut view = bytes.clone();
+        self.decode_args_id(id, &mut view)
     }
 
     /// Encode a return value for `class.method`.
     pub fn encode_ret(&self, class: &str, method: &str, ret: &AnyValue) -> WeaveResult<Bytes> {
-        (self.get(class, method)?.encode_ret)(ret)
+        let id = self.method_id(class, method)?;
+        let mut buf = BytesMut::new();
+        self.encode_ret_id(id, ret, &mut buf)?;
+        Ok(buf.freeze())
     }
 
     /// Decode a return value for `class.method`.
     pub fn decode_ret(&self, class: &str, method: &str, bytes: &Bytes) -> WeaveResult<AnyValue> {
-        (self.get(class, method)?.decode_ret)(bytes)
+        let id = self.method_id(class, method)?;
+        let mut view = bytes.clone();
+        self.decode_ret_id(id, &mut view)
     }
 
-    /// Is marshalling known for `class.method`?
-    pub fn knows(&self, class: &str, method: &str) -> bool {
-        self.inner.read().contains_key(&(class.to_string(), method.to_string()))
-    }
+    // ---- object-state codecs (migration; cold path, name-keyed) ----
 
     /// Register object-state marshalling for `T`: `extract` captures the
     /// instance's state as a [`Wire`] value, `rebuild` reconstructs an
@@ -363,7 +622,16 @@ impl MarshalRegistry {
                 Ok(weaver.space().insert(rebuild(state)))
             }),
         };
-        self.states.write().insert(T::CLASS.to_string(), codec);
+        let class = self.intern_class(T::CLASS);
+        let entry = self.class_entry(class).expect("freshly interned class");
+        *entry.state.write() = Some(codec);
+    }
+
+    fn state_codec(&self, class: &str) -> WeaveResult<StateCodec> {
+        self.class_id(class)
+            .and_then(|id| self.inner.classes.get(id.0))
+            .and_then(|entry| entry.state.read().clone())
+            .ok_or_else(|| WeaveError::remote(format!("no state codec registered for `{class}`")))
     }
 
     /// Snapshot the state of a live object of `class`.
@@ -371,12 +639,9 @@ impl MarshalRegistry {
         &self,
         weaver: &weavepar_weave::Weaver,
         class: &str,
-        obj: weavepar_weave::ObjId,
+        obj: ObjId,
     ) -> WeaveResult<Bytes> {
-        let codec = self.states.read().get(class).cloned().ok_or_else(|| {
-            WeaveError::remote(format!("no state codec registered for `{class}`"))
-        })?;
-        (codec.snapshot)(weaver, obj)
+        (self.state_codec(class)?.snapshot)(weaver, obj)
     }
 
     /// Rebuild an instance of `class` from snapshotted state.
@@ -385,22 +650,138 @@ impl MarshalRegistry {
         weaver: &weavepar_weave::Weaver,
         class: &str,
         state: &Bytes,
-    ) -> WeaveResult<weavepar_weave::ObjId> {
-        let codec = self.states.read().get(class).cloned().ok_or_else(|| {
-            WeaveError::remote(format!("no state codec registered for `{class}`"))
-        })?;
-        (codec.restore)(weaver, state)
+    ) -> WeaveResult<ObjId> {
+        (self.state_codec(class)?.restore)(weaver, state)
     }
 
     /// Is a state codec known for `class`?
     pub fn knows_state(&self, class: &str) -> bool {
-        self.states.read().contains_key(class)
+        self.state_codec(class).is_ok()
     }
 }
 
 impl std::fmt::Debug for MarshalRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MarshalRegistry").field("methods", &self.inner.read().len()).finish()
+        f.debug_struct("MarshalRegistry")
+            .field("classes", &self.inner.classes.len())
+            .field("methods", &self.inner.methods.len())
+            .finish()
+    }
+}
+
+/// Builder for one `CallPack` frame: many oneway calls to one node, framed
+/// into a single contiguous buffer (see the module docs for the layout).
+pub struct PackFrame {
+    buf: BytesMut,
+    count: u32,
+}
+
+impl PackFrame {
+    /// Start a frame in `buf` (cleared; its capacity is reused).
+    pub fn new(mut buf: BytesMut) -> Self {
+        buf.clear();
+        buf.put_u32_le(0); // count, patched by `finish`
+        PackFrame { buf, count: 0 }
+    }
+
+    /// Append one call, encoding `args` in place through the registry. On
+    /// encode failure the frame is rolled back to its previous state.
+    pub fn push(
+        &mut self,
+        obj: ObjId,
+        method: MethodId,
+        registry: &MarshalRegistry,
+        args: &Args,
+    ) -> WeaveResult<()> {
+        let rollback = self.buf.len();
+        self.buf.put_u64_le(obj.raw());
+        self.buf.put_u32_le(method.raw());
+        let len_at = self.buf.len();
+        self.buf.put_u32_le(0); // args_len, patched below
+        if let Err(e) = registry.encode_args_id(method, args, &mut self.buf) {
+            self.buf.truncate(rollback);
+            return Err(e);
+        }
+        let args_len = (self.buf.len() - len_at - 4) as u32;
+        self.buf[len_at..len_at + 4].copy_from_slice(&args_len.to_le_bytes());
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Append one call whose arguments are already encoded.
+    pub fn push_encoded(&mut self, obj: ObjId, method: MethodId, args: &[u8]) {
+        self.buf.put_u64_le(obj.raw());
+        self.buf.put_u32_le(method.raw());
+        self.buf.put_u32_le(args.len() as u32);
+        self.buf.put_slice(args);
+        self.count += 1;
+    }
+
+    /// Calls in the frame so far.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// True when no call has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Frame size in bytes so far (header included).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Patch the header and freeze the frame for submission.
+    pub fn finish(mut self) -> Bytes {
+        let count = self.count;
+        self.buf[0..4].copy_from_slice(&count.to_le_bytes());
+        self.buf.freeze()
+    }
+}
+
+/// Zero-copy reader over a `CallPack` frame: yields `(obj, method, args)`
+/// entries whose `args` are sub-views of the frame. Fuses on the first
+/// malformed entry.
+pub struct PackReader {
+    frame: Bytes,
+    remaining: u32,
+}
+
+impl PackReader {
+    /// Open a frame; fails when even the count header is truncated.
+    pub fn new(mut frame: Bytes) -> WeaveResult<Self> {
+        let remaining = u32::decode(&mut frame)?;
+        Ok(PackReader { frame, remaining })
+    }
+
+    /// Entries not yet read.
+    pub fn remaining(&self) -> u32 {
+        self.remaining
+    }
+}
+
+impl Iterator for PackReader {
+    type Item = WeaveResult<(ObjId, MethodId, Bytes)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let entry = (|| {
+            let obj = ObjId::decode(&mut self.frame)?;
+            let method = MethodId::from_raw(u32::decode(&mut self.frame)?);
+            let len = u32::decode(&mut self.frame)? as usize;
+            if self.frame.remaining() < len {
+                return Err(short("CallPack entry"));
+            }
+            Ok((obj, method, self.frame.split_to(len)))
+        })();
+        if entry.is_err() {
+            self.remaining = 0;
+        }
+        Some(entry)
     }
 }
 
@@ -413,6 +794,24 @@ mod tests {
         let bytes = to_bytes(&v);
         let back: T = from_bytes(&bytes).unwrap();
         assert_eq!(back, v);
+    }
+
+    /// Satellite-3 harness: the value must round-trip, and *every* strict
+    /// prefix of its encoding must fail to decode. (Only meaningful for
+    /// values whose full encoding is needed — i.e. everything but `()`.)
+    fn roundtrip_and_truncation_matrix<T: Wire + PartialEq + std::fmt::Debug + Clone>(v: T) {
+        let bytes = to_bytes(&v);
+        assert!(!bytes.is_empty(), "matrix requires a non-empty encoding");
+        let back: T = from_bytes(&bytes).unwrap();
+        assert_eq!(back, v);
+        for cut in 0..bytes.len() {
+            let mut prefix = bytes.slice(0..cut);
+            assert!(
+                T::decode(&mut prefix).is_err(),
+                "decoding a {cut}/{} byte prefix of {v:?} must fail",
+                bytes.len()
+            );
+        }
     }
 
     #[test]
@@ -444,8 +843,41 @@ mod tests {
         roundtrip(None::<u8>);
         roundtrip((1u8, "two".to_string()));
         roundtrip((1u8, 2u16, vec![3u32]));
-        roundtrip(weavepar_weave::ObjId::from_raw(77));
+        roundtrip(ObjId::from_raw(77));
         roundtrip(vec![vec![1u8], vec![], vec![2, 3]]);
+    }
+
+    #[test]
+    fn truncation_matrix_ints() {
+        roundtrip_and_truncation_matrix(0x5Au8);
+        roundtrip_and_truncation_matrix(0xBEEFu16);
+        roundtrip_and_truncation_matrix(0xDEAD_BEEFu32);
+        roundtrip_and_truncation_matrix(u64::MAX - 3);
+        roundtrip_and_truncation_matrix(-5i8);
+        roundtrip_and_truncation_matrix(-12345i16);
+        roundtrip_and_truncation_matrix(i32::MIN + 1);
+        roundtrip_and_truncation_matrix(i64::MAX - 9);
+        roundtrip_and_truncation_matrix(1.5f32);
+        roundtrip_and_truncation_matrix(-2.25f64);
+        roundtrip_and_truncation_matrix(7usize);
+        roundtrip_and_truncation_matrix(true);
+        roundtrip_and_truncation_matrix(false);
+        roundtrip_and_truncation_matrix(ObjId::from_raw(404));
+    }
+
+    #[test]
+    fn truncation_matrix_containers() {
+        roundtrip_and_truncation_matrix("hello".to_string());
+        roundtrip_and_truncation_matrix(String::new());
+        roundtrip_and_truncation_matrix(vec![1u64, 2, 3]);
+        roundtrip_and_truncation_matrix(Vec::<u32>::new());
+        roundtrip_and_truncation_matrix(vec!["a".to_string(), String::new(), "bc".to_string()]);
+        roundtrip_and_truncation_matrix(Some(9u32));
+        roundtrip_and_truncation_matrix(None::<u8>);
+        roundtrip_and_truncation_matrix(vec![Some(1u8), None, Some(3)]);
+        roundtrip_and_truncation_matrix((1u8, "two".to_string()));
+        roundtrip_and_truncation_matrix((1u8, 2u16, vec![3u32]));
+        roundtrip_and_truncation_matrix(vec![vec![1u8], vec![], vec![2, 3]]);
     }
 
     #[test]
@@ -459,11 +891,32 @@ mod tests {
     }
 
     #[test]
+    fn short_container_is_an_error() {
+        // A Vec whose header promises more elements than the payload holds.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(3);
+        buf.put_u64_le(1);
+        let mut b = buf.freeze();
+        assert!(Vec::<u64>::decode(&mut b).is_err());
+        // A String whose header promises more bytes than remain.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(10);
+        buf.put_slice(b"abc");
+        let mut b = buf.freeze();
+        assert!(String::decode(&mut b).is_err());
+    }
+
+    #[test]
     fn invalid_bool_is_an_error() {
         let mut buf = BytesMut::new();
         buf.put_u8(7);
         let mut b = buf.freeze();
         assert!(bool::decode(&mut b).is_err());
+        // And through Option's tag byte too.
+        let mut buf = BytesMut::new();
+        buf.put_u8(2);
+        let mut b = buf.freeze();
+        assert!(Option::<u8>::decode(&mut b).is_err());
     }
 
     #[test]
@@ -515,10 +968,45 @@ mod tests {
     }
 
     #[test]
+    fn registry_ids_are_dense_and_stable() {
+        let reg = MarshalRegistry::new();
+        let a = reg.register::<(u64,), ()>("C", "a");
+        let b = reg.register::<(u64,), ()>("C", "b");
+        let c = reg.register::<(), ()>("D", "a");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Re-registration returns the existing id.
+        assert_eq!(reg.register::<(u64,), ()>("C", "a"), a);
+        assert_eq!(reg.method_id("C", "a").unwrap(), a);
+        assert_eq!(reg.method_id("D", "a").unwrap(), c);
+        assert_eq!(reg.method_count(), 3);
+        // Class ids are interned once.
+        assert_eq!(reg.intern_class("C"), reg.class_id("C").unwrap());
+        assert_eq!(&*reg.class_name(reg.class_id("D").unwrap()).unwrap(), "D");
+    }
+
+    #[test]
+    fn registry_by_id_matches_string_path() {
+        let reg = MarshalRegistry::new();
+        let id = reg.register::<(u64, String), String>("C", "m");
+        let args = args![7u64, "x".to_string()];
+        let via_string = reg.encode_args("C", "m", &args).unwrap();
+        let mut buf = BytesMut::new();
+        reg.encode_args_id(id, &args, &mut buf).unwrap();
+        assert_eq!(buf.freeze(), via_string);
+        let mut view = via_string.clone();
+        let back = reg.decode_args_id(id, &mut view).unwrap();
+        assert_eq!(*back.get::<u64>(0).unwrap(), 7);
+    }
+
+    #[test]
     fn registry_unknown_method_errors() {
         let reg = MarshalRegistry::new();
         let err = reg.encode_args("X", "y", &args![]).unwrap_err();
         assert!(matches!(err, WeaveError::Remote(_)));
+        assert!(reg.method_id("X", "y").is_err());
+        assert!(reg.decode_args_id(MethodId::from_raw(999), &mut Bytes::new()).is_err());
+        assert!(reg.class_name(ClassId::from_raw(999)).is_err());
     }
 
     #[test]
@@ -527,6 +1015,103 @@ mod tests {
         reg.register::<(), u64>("C", "m");
         let ret: AnyValue = Box::new("not a u64".to_string());
         assert!(reg.encode_ret("C", "m", &ret).is_err());
+    }
+
+    #[test]
+    fn slot_table_chunk_arithmetic() {
+        // Chunk c holds 64 << c slots starting at 64 * (2^c - 1).
+        assert_eq!(SlotTable::<()>::locate(0), (0, 0));
+        assert_eq!(SlotTable::<()>::locate(63), (0, 63));
+        assert_eq!(SlotTable::<()>::locate(64), (1, 0));
+        assert_eq!(SlotTable::<()>::locate(191), (1, 127));
+        assert_eq!(SlotTable::<()>::locate(192), (2, 0));
+        let t: SlotTable<usize> = SlotTable::new();
+        for i in 0..300 {
+            assert_eq!(t.push(i), i as u32);
+        }
+        for i in 0..300u32 {
+            assert_eq!(t.get(i), Some(&(i as usize)));
+        }
+        assert_eq!(t.get(300), None);
+    }
+
+    #[test]
+    fn pack_frame_roundtrip() {
+        let reg = MarshalRegistry::new();
+        let add = reg.register::<(u64,), u64>("Adder", "add");
+        let mut frame = PackFrame::new(BytesMut::new());
+        assert!(frame.is_empty());
+        for i in 0..5u64 {
+            frame.push(ObjId::from_raw(i + 1), add, &reg, &args![i]).unwrap();
+        }
+        assert_eq!(frame.count(), 5);
+        let bytes = frame.finish();
+        let reader = PackReader::new(bytes).unwrap();
+        assert_eq!(reader.remaining(), 5);
+        for (i, entry) in reader.enumerate() {
+            let (obj, method, mut argview) = entry.unwrap();
+            assert_eq!(obj, ObjId::from_raw(i as u64 + 1));
+            assert_eq!(method, add);
+            let args = reg.decode_args_id(method, &mut argview).unwrap();
+            assert_eq!(*args.get::<u64>(0).unwrap(), i as u64);
+        }
+    }
+
+    #[test]
+    fn pack_frame_push_encoded_matches_push() {
+        let reg = MarshalRegistry::new();
+        let add = reg.register::<(u64,), u64>("Adder", "add");
+        let args = args![9u64];
+        let mut a = PackFrame::new(BytesMut::new());
+        a.push(ObjId::from_raw(3), add, &reg, &args).unwrap();
+        let pre = reg.encode_args("Adder", "add", &args).unwrap();
+        let mut b = PackFrame::new(BytesMut::new());
+        b.push_encoded(ObjId::from_raw(3), add, &pre);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn pack_frame_rolls_back_failed_pushes() {
+        let reg = MarshalRegistry::new();
+        let add = reg.register::<(u64,), u64>("Adder", "add");
+        let mut frame = PackFrame::new(BytesMut::new());
+        frame.push(ObjId::from_raw(1), add, &reg, &args![1u64]).unwrap();
+        let len_before = frame.len();
+        // Wrong argument type: the push must fail and leave the frame as-is.
+        assert!(frame.push(ObjId::from_raw(2), add, &reg, &args!["bad".to_string()]).is_err());
+        assert_eq!(frame.len(), len_before);
+        assert_eq!(frame.count(), 1);
+        let reader = PackReader::new(frame.finish()).unwrap();
+        assert_eq!(reader.count(), 1);
+    }
+
+    #[test]
+    fn pack_frame_truncation_matrix() {
+        let reg = MarshalRegistry::new();
+        let add = reg.register::<(u64,), u64>("Adder", "add");
+        let mut frame = PackFrame::new(BytesMut::new());
+        frame.push(ObjId::from_raw(1), add, &reg, &args![1u64]).unwrap();
+        frame.push(ObjId::from_raw(2), add, &reg, &args![2u64]).unwrap();
+        let bytes = frame.finish();
+        for cut in 0..bytes.len() {
+            let prefix = bytes.slice(0..cut);
+            match PackReader::new(prefix) {
+                // Header truncated: the open itself fails.
+                Err(_) => assert!(cut < 4),
+                // Entries truncated: iteration must surface an error.
+                Ok(reader) => {
+                    let entries: Vec<_> = reader.collect();
+                    assert!(
+                        entries.iter().any(|e| e.is_err()),
+                        "a {cut}/{} byte prefix must not decode cleanly",
+                        bytes.len()
+                    );
+                }
+            }
+        }
+        // The empty frame is valid and yields nothing.
+        let empty = PackFrame::new(BytesMut::new()).finish();
+        assert_eq!(PackReader::new(empty).unwrap().count(), 0);
     }
 }
 
@@ -589,6 +1174,35 @@ mod proptests {
             let _ = from_bytes::<Vec<u64>>(&b);
             let _ = from_bytes::<(u64, String)>(&b);
             let _ = from_bytes::<Option<Vec<u8>>>(&b);
+        }
+
+        /// Reading arbitrary junk as a pack frame never panics.
+        #[test]
+        fn pack_reader_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..96)) {
+            if let Ok(reader) = PackReader::new(Bytes::from(bytes)) {
+                for entry in reader.take(64) {
+                    let _ = entry;
+                }
+            }
+        }
+
+        /// Packed frames round-trip for arbitrary payload sizes.
+        #[test]
+        fn pack_frame_roundtrips(vals in proptest::collection::vec(any::<u64>(), 0..32)) {
+            let reg = MarshalRegistry::new();
+            let add = reg.register::<(u64,), u64>("A", "m");
+            let mut frame = PackFrame::new(BytesMut::new());
+            for (i, v) in vals.iter().enumerate() {
+                frame.push(ObjId::from_raw(i as u64), add, &reg, &weavepar_weave::args![*v]).unwrap();
+            }
+            let reader = PackReader::new(frame.finish()).unwrap();
+            let mut seen = Vec::new();
+            for entry in reader {
+                let (_, method, mut argview) = entry.unwrap();
+                let args = reg.decode_args_id(method, &mut argview).unwrap();
+                seen.push(*args.get::<u64>(0).unwrap());
+            }
+            prop_assert_eq!(seen, vals);
         }
     }
 }

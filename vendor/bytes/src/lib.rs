@@ -1,18 +1,21 @@
 //! Offline stand-in for the `bytes` crate.
 //!
 //! [`Bytes`] is an immutable, cheaply clonable view into shared storage
-//! (`Arc<[u8]>` plus a window); [`BytesMut`] is a growable builder that
-//! [`BytesMut::freeze`]s into a [`Bytes`]. The [`Buf`]/[`BufMut`] traits carry
-//! the little-endian accessors the workspace's wire codec uses; reading
-//! through [`Buf`] advances the view, as in the real crate.
+//! (`Arc<Vec<u8>>` plus a window); [`BytesMut`] is a growable builder that
+//! [`BytesMut::freeze`]s into a [`Bytes`] without copying the payload. The
+//! [`Buf`]/[`BufMut`] traits carry the little-endian accessors the
+//! workspace's wire codec uses; reading through [`Buf`] advances the view, as
+//! in the real crate. [`Bytes::try_into_mut`] hands a uniquely-owned buffer
+//! back as a [`BytesMut`] with its capacity intact, which is what makes
+//! frame pooling possible.
 
-use std::ops::{Deref, Range};
+use std::ops::{Deref, DerefMut, Range};
 use std::sync::Arc;
 
 /// Immutable, reference-counted byte buffer; clones and slices share storage.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -61,6 +64,20 @@ impl Bytes {
         self.as_slice().to_vec()
     }
 
+    /// Reclaim the underlying storage as a [`BytesMut`] when this is the
+    /// only reference to it; returns `self` unchanged otherwise. The
+    /// reclaimed builder is empty but keeps the allocation's capacity.
+    pub fn try_into_mut(self) -> Result<BytesMut, Bytes> {
+        let Bytes { data, start, end } = self;
+        match Arc::try_unwrap(data) {
+            Ok(mut vec) => {
+                vec.clear();
+                Ok(BytesMut { data: vec })
+            }
+            Err(data) => Err(Bytes { data, start, end }),
+        }
+    }
+
     fn as_slice(&self) -> &[u8] {
         &self.data[self.start..self.end]
     }
@@ -69,7 +86,7 @@ impl Bytes {
 impl From<Vec<u8>> for Bytes {
     fn from(data: Vec<u8>) -> Self {
         let end = data.len();
-        Bytes { data: data.into(), start: 0, end }
+        Bytes { data: Arc::new(data), start: 0, end }
     }
 }
 
@@ -133,9 +150,35 @@ impl BytesMut {
         self.data.is_empty()
     }
 
+    /// Allocated capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Drop the contents, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Reserve room for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    /// Shorten the contents to `len` bytes; no-op when already shorter.
+    pub fn truncate(&mut self, len: usize) {
+        self.data.truncate(len);
+    }
+
     /// Convert into an immutable [`Bytes`] without copying.
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(data: Vec<u8>) -> Self {
+        BytesMut { data }
     }
 }
 
@@ -143,6 +186,12 @@ impl Deref for BytesMut {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
         &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
     }
 }
 
@@ -263,5 +312,38 @@ mod tests {
     fn underrun_panics() {
         let mut b = Bytes::from(vec![1]);
         b.get_u32_le();
+    }
+
+    #[test]
+    fn try_into_mut_reclaims_unique_buffers() {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u64_le(9);
+        let cap = buf.capacity();
+        let frozen = buf.freeze();
+        let reclaimed = frozen.try_into_mut().expect("sole owner reclaims");
+        assert!(reclaimed.is_empty());
+        assert_eq!(reclaimed.capacity(), cap, "capacity survives the round trip");
+    }
+
+    #[test]
+    fn try_into_mut_fails_when_shared() {
+        let frozen = Bytes::from(vec![1, 2, 3]);
+        let alias = frozen.clone();
+        let back = frozen.try_into_mut().expect_err("shared buffer cannot be reclaimed");
+        assert_eq!(back, alias);
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_deref_mut_patches() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(0);
+        buf.put_u8(0xAB);
+        // Patch the placeholder length in place (pack framing does this).
+        buf[0..4].copy_from_slice(&7u32.to_le_bytes());
+        let mut b = buf.clone().freeze();
+        assert_eq!(b.get_u32_le(), 7);
+        buf.clear();
+        assert!(buf.is_empty());
+        assert!(buf.capacity() >= 5);
     }
 }
