@@ -20,6 +20,20 @@ cargo test -q
 echo "==> cargo test --release (middleware stress: packing plug/unplug races)"
 cargo test --release -q -p weavepar-middleware -p weavepar-apps --test stress_middleware
 
+echo "==> chaos matrix, pinned seed (--release)"
+cargo test --release -q -p weavepar-apps --test chaos_middleware
+
+# Randomised seed on top of the pinned regression run: every fault schedule
+# is a pure function of CHAOS_SEED, so a failure here is replayed exactly by
+# re-running ci.sh with the printed seed exported.
+CHAOS_SEED=$(awk 'BEGIN { srand(); printf "%d", rand() * 2147483647 }')
+echo "==> chaos matrix, randomised seed CHAOS_SEED=$CHAOS_SEED (--release)"
+CHAOS_SEED="$CHAOS_SEED" cargo test --release -q -p weavepar-apps --test chaos_middleware || {
+    echo "chaos matrix failed under CHAOS_SEED=$CHAOS_SEED — replay with:"
+    echo "  CHAOS_SEED=$CHAOS_SEED cargo test --release -p weavepar-apps --test chaos_middleware"
+    exit 1
+}
+
 echo "==> cargo bench --workspace --no-run"
 cargo bench --workspace --no-run
 

@@ -9,7 +9,7 @@
 use std::io::Write;
 
 use weavepar_bench::{
-    default_max, figure16, figure17, measure_sequential, measure_weaving_inflation,
+    default_max, degradation, figure16, figure17, measure_sequential, measure_weaving_inflation,
     render_ascii_chart, render_points, table1, FigurePoint, PAPER_SEQUENTIAL_SECONDS,
 };
 
@@ -120,6 +120,23 @@ fn main() {
             row.distribution,
             if row.correct { "yes" } else { "NO" },
             row.wall,
+        ));
+    }
+    out.push('\n');
+
+    out.push_str("Degradation — FarmRMI (4 filters), worker nodes killed 30% into the run\n");
+    out.push_str(&format!(
+        "{:<8}{:<12}{:<14}{:<14}{}\n",
+        "killed", "makespan", "throughput", "redispatched", "messages"
+    ));
+    for row in degradation(max, packs, 4, 2).expect("degradation failed") {
+        out.push_str(&format!(
+            "{:<8}{:<12}{:<14}{:<14}{}\n",
+            row.killed,
+            format!("{:.2}s", row.makespan),
+            format!("{:.2}x", row.relative_throughput),
+            row.redispatched,
+            row.messages,
         ));
     }
     out.push('\n');

@@ -27,7 +27,9 @@
 
 use std::time::{Duration, Instant};
 
-use weavepar::cluster::{simulate, MiddlewareProfile, SimParams, SimReport};
+use weavepar::cluster::{
+    simulate, simulate_with_faults, FaultTimeline, MiddlewareProfile, SimParams, SimReport,
+};
 use weavepar::prelude::*;
 use weavepar::weave::trace::{Recorder, TraceGraph};
 use weavepar_apps::sieve::{
@@ -293,6 +295,55 @@ pub fn figure17(max: u64, packs: usize) -> WeaveResult<Vec<FigurePoint>> {
     Ok(points)
 }
 
+/// One row of the fault-degradation table: the same farm replay with
+/// `killed` worker nodes crashing mid-run.
+#[derive(Debug, Clone)]
+pub struct DegradationRow {
+    /// Worker nodes killed mid-run.
+    pub killed: usize,
+    /// Simulated end-to-end seconds.
+    pub makespan: f64,
+    /// Throughput relative to the undisturbed run (`baseline / makespan`).
+    pub relative_throughput: f64,
+    /// Tasks re-dispatched to surviving nodes.
+    pub redispatched: usize,
+    /// Cross-node messages (re-dispatches pay a fresh argument shipment).
+    pub messages: usize,
+}
+
+/// The farm-under-failure degradation table: replay one captured FarmRMI
+/// trace on the paper cluster, killing `0..=kills` worker nodes 30% into
+/// the faithful makespan (detection + recovery cost 50 ms per re-dispatch).
+/// Modelled costs keep the table deterministic: the only thing that varies
+/// across rows is the fault timeline.
+pub fn degradation(
+    max: u64,
+    packs: usize,
+    filters: usize,
+    kills: usize,
+) -> WeaveResult<Vec<DegradationRow>> {
+    let trace = capture_modelled(SieveConfig { packs, ..SieveConfig::farm_rmi(filters) }, max)?;
+    let params = params_for("FarmRMI", 1.0, 1.0);
+    let baseline = simulate(&trace, &params);
+    let kill_at = baseline.makespan * 0.3;
+    let mut rows = Vec::new();
+    for killed in 0..=kills {
+        let mut timeline = FaultTimeline::new().overhead(0.05);
+        for node in 1..=killed {
+            timeline = timeline.kill(node, kill_at);
+        }
+        let report = simulate_with_faults(&trace, &params, &timeline)?;
+        rows.push(DegradationRow {
+            killed,
+            makespan: report.makespan,
+            relative_throughput: baseline.makespan / report.makespan.max(1e-12),
+            redispatched: report.redispatched,
+            messages: report.messages,
+        });
+    }
+    Ok(rows)
+}
+
 /// One row of the regenerated Table 1.
 #[derive(Debug, Clone)]
 pub struct Table1Row {
@@ -485,6 +536,21 @@ mod tests {
         let mpp = replay(&trace, "FarmMPP", 1.0, 1.0).makespan;
         let rmi = replay(&trace, "FarmRMI", 1.0, 1.0).makespan;
         assert!(mpp <= rmi * 1.001, "MPP {mpp} vs RMI {rmi}");
+    }
+
+    #[test]
+    fn degradation_table_slows_but_completes() {
+        let rows = degradation(SMALL, 8, 4, 2).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert!((rows[0].relative_throughput - 1.0).abs() < 1e-9, "{rows:?}");
+        assert_eq!(rows[0].redispatched, 0, "{rows:?}");
+        // Each kill re-dispatches work and can only cost time, never data.
+        for pair in rows.windows(2) {
+            assert!(pair[1].makespan >= pair[0].makespan - 1e-9, "{rows:?}");
+            assert!(pair[1].redispatched >= pair[0].redispatched, "{rows:?}");
+        }
+        assert!(rows[1].redispatched >= 1, "killing a worker node must orphan tasks: {rows:?}");
+        assert!(rows[2].relative_throughput <= rows[1].relative_throughput + 1e-9, "{rows:?}");
     }
 
     #[test]

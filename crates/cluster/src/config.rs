@@ -171,6 +171,73 @@ impl PackingModel {
     }
 }
 
+/// One node crashing at a virtual time, never to return.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeFailure {
+    /// The node that dies.
+    pub node: usize,
+    /// Virtual time of the crash, seconds.
+    pub at: f64,
+}
+
+/// Deterministic node-failure schedule for degradation studies — the replay
+/// analogue of the middleware's fault plan plus the supervisor aspect.
+///
+/// Semantics in [`simulate_with_faults`](crate::sim::simulate_with_faults):
+/// a task that completes before its node's failure time keeps its result
+/// (checkpoints are at task granularity, like the supervisor's per-pack
+/// checkpoints); a task that would still be running — or start after — the
+/// crash is re-dispatched to the next surviving node, paying
+/// `redispatch_overhead` (detection plus worker reconstruction) and a fresh
+/// argument shipment from the client's node. Partial work lost on the dead
+/// node is not booked as busy time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultTimeline {
+    failures: Vec<NodeFailure>,
+    /// Detection + recovery cost added to each re-dispatched task, seconds.
+    pub redispatch_overhead: f64,
+}
+
+impl FaultTimeline {
+    /// An empty timeline (no failures).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a node crash at virtual time `at` seconds.
+    pub fn kill(mut self, node: usize, at: f64) -> Self {
+        self.failures.push(NodeFailure { node, at: at.max(0.0) });
+        self
+    }
+
+    /// Set the per-re-dispatch detection/recovery cost.
+    pub fn overhead(mut self, seconds: f64) -> Self {
+        self.redispatch_overhead = seconds.max(0.0);
+        self
+    }
+
+    /// The scheduled failures.
+    pub fn failures(&self) -> &[NodeFailure] {
+        &self.failures
+    }
+
+    /// Earliest failure time of `node`, if it ever dies.
+    pub fn down_since(&self, node: usize) -> Option<f64> {
+        self.failures.iter().filter(|f| f.node == node).map(|f| f.at).min_by(|a, b| a.total_cmp(b))
+    }
+
+    /// Whether `node` is dead at `time`.
+    pub fn dead_at(&self, node: usize, time: f64) -> bool {
+        self.down_since(node).is_some_and(|at| time >= at)
+    }
+
+    /// First node after `from` (cyclically) alive at `time`.
+    pub fn next_alive(&self, from: usize, nodes: usize, time: f64) -> Option<usize> {
+        let nodes = nodes.max(1);
+        (1..=nodes).map(|k| (from + k) % nodes).find(|&n| !self.dead_at(n, time))
+    }
+}
+
 /// Everything [`simulate`](crate::sim::simulate) needs besides the trace.
 #[derive(Debug, Clone)]
 pub struct SimParams {
@@ -290,6 +357,20 @@ mod tests {
         assert_eq!(p.cluster.nodes, 7);
         assert_eq!(p.middleware.name, "RMI");
         assert_eq!(p.packing, None, "packing is off by default");
+    }
+
+    #[test]
+    fn fault_timeline_queries() {
+        let ft = FaultTimeline::new().kill(1, 0.5).kill(1, 0.2).kill(2, 1.0).overhead(0.01);
+        assert_eq!(ft.down_since(1), Some(0.2), "earliest failure wins");
+        assert_eq!(ft.down_since(0), None);
+        assert!(ft.dead_at(1, 0.2));
+        assert!(!ft.dead_at(1, 0.1));
+        assert_eq!(ft.next_alive(1, 3, 0.3), Some(2), "node 2 still alive at 0.3");
+        assert_eq!(ft.next_alive(1, 3, 2.0), Some(0), "only node 0 survives late");
+        assert_eq!(ft.redispatch_overhead, 0.01);
+        assert_eq!(ft.failures().len(), 3);
+        assert_eq!(FaultTimeline::new().next_alive(0, 2, 0.0), Some(1));
     }
 
     #[test]

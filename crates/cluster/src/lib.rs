@@ -33,6 +33,9 @@ pub mod report;
 pub mod sim;
 
 pub use analysis::{critical_path, lower_bound};
-pub use config::{ClusterConfig, MiddlewareProfile, PackingModel, Placement, SimParams};
+pub use config::{
+    ClusterConfig, FaultTimeline, MiddlewareProfile, NodeFailure, PackingModel, Placement,
+    SimParams,
+};
 pub use report::SimReport;
-pub use sim::{simulate, simulate_schedule, Schedule, ScheduledTask};
+pub use sim::{simulate, simulate_schedule, simulate_with_faults, Schedule, ScheduledTask};

@@ -18,6 +18,9 @@ pub struct SimReport {
     pub bytes: usize,
     /// Number of tasks executed.
     pub tasks: usize,
+    /// Tasks re-dispatched to a surviving node after a simulated node
+    /// failure (always 0 without a fault timeline).
+    pub redispatched: usize,
     /// Time at which the client issued its last root (or resumed after its
     /// last synchronous call), seconds.
     pub client_done: f64,
@@ -63,6 +66,7 @@ mod tests {
             messages: 10,
             bytes: 1000,
             tasks: 5,
+            redispatched: 0,
             client_done: 1.0,
         }
     }

@@ -32,7 +32,7 @@ use std::collections::{BinaryHeap, HashMap};
 use weavepar_weave::trace::{TaskId, TraceGraph};
 use weavepar_weave::ObjId;
 
-use crate::config::SimParams;
+use crate::config::{FaultTimeline, SimParams};
 use crate::report::SimReport;
 
 /// Total-ordered f64 for use in heaps (simulation times are finite and
@@ -82,6 +82,9 @@ struct Engine<'a> {
     busy: Vec<f64>,
     messages: usize,
     bytes: usize,
+    // Failure model (None = faithful cluster).
+    faults: Option<&'a FaultTimeline>,
+    redispatched: usize,
     client_clock: f64,
     client_blocked_on: Option<TaskId>,
     roots: Vec<TaskId>,
@@ -162,11 +165,18 @@ impl<'a> Engine<'a> {
             busy: vec![0.0; params.cluster.nodes.max(1)],
             messages: 0,
             bytes: 0,
+            faults: None,
+            redispatched: 0,
             client_clock: 0.0,
             client_blocked_on: None,
             roots,
             next_root: 0,
         }
+    }
+
+    fn with_faults(mut self, faults: &'a FaultTimeline) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// One-way in-flight delay between nodes.
@@ -302,13 +312,51 @@ impl<'a> Engine<'a> {
 
     /// Schedule the next ready task; returns false when the heap is empty.
     fn step(&mut self) -> bool {
-        let Some(Reverse((Time(ready), _seq, raw))) = self.ready_heap.pop() else {
+        let Some(Reverse((Time(mut ready), _seq, raw))) = self.ready_heap.pop() else {
             return false;
         };
         let id = TaskId::from_raw(raw);
         let i = self.idx(id);
+        let mut node = self.node_of_task[i];
+        // Node-failure model: a task that cannot finish on its node before
+        // that node's crash is re-dispatched to the next survivor — the
+        // replay analogue of the supervisor aspect's recovery. A task that
+        // completes before the crash keeps its result (checkpointing is at
+        // task granularity, like the supervisor's per-pack checkpoints).
+        if let Some(ft) = self.faults {
+            let nodes = self.params.cluster.nodes.max(1);
+            let args_bytes = self.trace.tasks[i].args_bytes;
+            let obj_at = self.trace.tasks[i]
+                .target
+                .and_then(|o| self.object_free.get(&o))
+                .copied()
+                .unwrap_or(0.0);
+            // Bounded walk: a never-failing node always terminates it
+            // (`simulate_with_faults` rejects all-dead timelines).
+            for _ in 0..=nodes {
+                let Some(at) = ft.down_since(node) else { break };
+                let core_at = self.core_free[node].peek().map(|r| r.0 .0).unwrap_or(0.0);
+                let start = ready.max(core_at).max(obj_at);
+                if start + self.cost_of_task[i] + self.recv_extra[i] <= at {
+                    break;
+                }
+                // Lost in flight (or queued on an already-dead node): the
+                // loss is detected at the crash — immediately if the node
+                // was already down — and the arguments are re-shipped from
+                // the client's node to the next surviving node.
+                let detect = ready.max(at);
+                let Some(alt) = ft.next_alive(node, nodes, detect) else { break };
+                self.redispatched += 1;
+                self.messages += 1;
+                self.bytes += args_bytes;
+                ready = detect
+                    + ft.redispatch_overhead
+                    + self.hop(self.params.client_node, alt, args_bytes);
+                node = alt;
+                self.node_of_task[i] = alt;
+            }
+        }
         let t = &self.trace.tasks[i];
-        let node = self.node_of_task[i];
 
         let Reverse(Time(core_at)) = self.core_free[node].pop().expect("node has cores");
         let obj_at = t.target.and_then(|o| self.object_free.get(&o)).copied().unwrap_or(0.0);
@@ -424,6 +472,7 @@ impl<'a> Engine<'a> {
             messages: self.messages,
             bytes: self.bytes,
             tasks: self.trace.len(),
+            redispatched: self.redispatched,
             client_done: self.client_clock,
         };
         (report, Schedule { entries })
@@ -509,10 +558,33 @@ pub fn simulate_schedule(trace: &TraceGraph, params: &SimParams) -> (SimReport, 
     Engine::new(trace, params).run()
 }
 
+/// Replay `trace` under `params` with a node-failure schedule: every task
+/// that cannot finish on its node before the node's crash is re-dispatched
+/// to the next surviving node, paying the timeline's detection/recovery
+/// overhead plus a fresh argument shipment (see
+/// [`FaultTimeline`](crate::config::FaultTimeline)). The report's
+/// `redispatched` counts those recoveries.
+///
+/// Fails if the timeline eventually kills every node — with nobody left to
+/// re-dispatch onto, the replay could not complete.
+pub fn simulate_with_faults(
+    trace: &TraceGraph,
+    params: &SimParams,
+    faults: &FaultTimeline,
+) -> weavepar_weave::WeaveResult<SimReport> {
+    let nodes = params.cluster.nodes.max(1);
+    if (0..nodes).all(|n| faults.down_since(n).is_some()) {
+        return Err(weavepar_weave::WeaveError::remote(
+            "fault timeline kills every node; no survivor to re-dispatch onto",
+        ));
+    }
+    Ok(Engine::new(trace, params).with_faults(faults).run().0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{ClusterConfig, MiddlewareProfile, Placement};
+    use crate::config::{ClusterConfig, FaultTimeline, MiddlewareProfile, Placement};
     use std::time::Duration;
     use weavepar_weave::trace::TaskRecord;
     use weavepar_weave::Signature;
@@ -927,6 +999,66 @@ mod tests {
         let a = simulate(&trace, &remote_params(3));
         let bb = simulate(&trace, &remote_params(3));
         assert_eq!(a, bb, "packing: None stays deterministic and unchanged");
+    }
+
+    #[test]
+    fn dead_node_tasks_are_redispatched_to_survivors() {
+        // 4 async tasks on node 1 (odd targets under round-robin/2). Node 1
+        // is dead from the start: everything re-dispatches to node 0 and the
+        // replay still completes.
+        let mut b = TraceBuilder::new();
+        for k in 0..4u64 {
+            b.task(None, None, 1 + 2 * k, 100, true, 0);
+        }
+        let trace = b.build();
+        let p = local_params(2, 4);
+        let ft = FaultTimeline::new().kill(1, 0.0);
+        let r = simulate_with_faults(&trace, &p, &ft).unwrap();
+        assert_eq!(r.redispatched, 4);
+        assert!((r.busy[0] - 0.4).abs() < 1e-9, "all work landed on the survivor");
+        assert_eq!(r.busy[1], 0.0, "the dead node did nothing");
+        // The faithful replay is unchanged and reports zero re-dispatches.
+        assert_eq!(simulate(&trace, &p).redispatched, 0);
+    }
+
+    #[test]
+    fn mid_run_failure_loses_only_in_flight_work() {
+        // Two 100 ms tasks serialised on one object on node 1; the node dies
+        // at 150 ms. The first task's result survives (it completed before
+        // the crash); the second is lost in flight and re-runs on node 0
+        // after detection plus the recovery overhead.
+        let mut b = TraceBuilder::new();
+        b.task(None, None, 1, 100, true, 0);
+        b.task(None, None, 1, 100, true, 0);
+        let trace = b.build();
+        let p = local_params(2, 4);
+        let ft = FaultTimeline::new().kill(1, 0.15).overhead(0.01);
+        let r = simulate_with_faults(&trace, &p, &ft).unwrap();
+        assert_eq!(r.redispatched, 1, "only the in-flight task is lost");
+        // Detection at 150 ms + 10 ms overhead + 100 ms re-run = 260 ms.
+        assert!((r.makespan - 0.26).abs() < 1e-6, "{}", r.makespan);
+    }
+
+    #[test]
+    fn empty_timeline_matches_faithful_replay() {
+        let mut b = TraceBuilder::new();
+        for i in 0..10 {
+            b.task(None, None, i, 20, i % 2 == 0, 64);
+        }
+        let trace = b.build();
+        let p = remote_params(3);
+        let faithful = simulate(&trace, &p);
+        let faulted = simulate_with_faults(&trace, &p, &FaultTimeline::new()).unwrap();
+        assert_eq!(faithful, faulted);
+    }
+
+    #[test]
+    fn all_dead_timeline_is_rejected() {
+        let mut b = TraceBuilder::new();
+        b.task(None, None, 0, 10, true, 0);
+        let p = local_params(2, 1);
+        let ft = FaultTimeline::new().kill(0, 0.0).kill(1, 5.0);
+        assert!(simulate_with_faults(&b.build(), &p, &ft).is_err());
     }
 
     #[test]

@@ -96,7 +96,8 @@ impl<T> FutureValue<T> {
         }
     }
 
-    /// Like [`FutureValue::take`] but gives up after `timeout`.
+    /// Like [`FutureValue::take`] but gives up after `timeout` with a typed
+    /// [`WeaveError::Timeout`] (retryable under a call policy).
     pub fn take_timeout(&self, timeout: Duration) -> WeaveResult<T> {
         let deadline = Instant::now() + timeout;
         let mut state = self.shared.state.lock();
@@ -107,7 +108,7 @@ impl<T> FutureValue<T> {
                 State::Pending => {
                     *state = State::Pending;
                     if self.shared.cv.wait_until(&mut state, deadline).timed_out() {
-                        return Err(WeaveError::app("future wait timed out"));
+                        return Err(WeaveError::Timeout { waited_ms: timeout.as_millis() as u64 });
                     }
                 }
             }
@@ -180,6 +181,28 @@ impl FutureAny {
     /// Blocking take with timeout.
     pub fn take_timeout(&self, timeout: Duration) -> WeaveResult<AnyValue> {
         self.inner.take_timeout(timeout)?
+    }
+}
+
+/// Deadline-aware [`resolve_any`]: unwraps chained futures, but gives up
+/// with a typed [`WeaveError::Timeout`] once `deadline` has elapsed in
+/// total across the chain. `None` waits forever (plain `resolve_any`).
+pub fn resolve_any_deadline(
+    mut ret: AnyValue,
+    deadline: Option<Duration>,
+) -> WeaveResult<AnyValue> {
+    let Some(total) = deadline else { return resolve_any(ret) };
+    let start = Instant::now();
+    loop {
+        match ret.downcast::<FutureAny>() {
+            Ok(f) => {
+                let left = total
+                    .checked_sub(start.elapsed())
+                    .ok_or(WeaveError::Timeout { waited_ms: total.as_millis() as u64 })?;
+                ret = f.take_timeout(left)?;
+            }
+            Err(value) => return Ok(value),
+        }
     }
 }
 
@@ -293,9 +316,30 @@ mod tests {
     fn take_timeout_expires() {
         let f = FutureValue::<u8>::new();
         let err = f.take_timeout(Duration::from_millis(20)).unwrap_err();
-        assert!(matches!(err, WeaveError::App(_)));
+        assert!(matches!(err, WeaveError::Timeout { .. }), "typed timeout: {err:?}");
+        assert!(err.is_retryable());
         f.fulfill(1);
         assert_eq!(f.take_timeout(Duration::from_millis(20)).unwrap(), 1);
+    }
+
+    #[test]
+    fn resolve_any_deadline_times_out_and_resolves() {
+        // Pending future: the deadline expires with a typed Timeout.
+        let f = FutureAny::new();
+        let ret: AnyValue = Box::new(f.clone());
+        let err = resolve_any_deadline(ret, Some(Duration::from_millis(15))).unwrap_err();
+        assert!(matches!(err, WeaveError::Timeout { .. }));
+        // Fulfilled chain: resolves like resolve_any, deadline untouched.
+        let inner = FutureAny::new();
+        inner.fulfill(Ok(Box::new(9u32)));
+        let outer = FutureAny::new();
+        outer.fulfill(Ok(Box::new(inner)));
+        let ret: AnyValue = Box::new(outer);
+        let v = resolve_any_deadline(ret, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(*v.downcast::<u32>().unwrap(), 9);
+        // None deadline degrades to plain resolve_any.
+        let plain: AnyValue = Box::new(3u32);
+        assert_eq!(*resolve_any_deadline(plain, None).unwrap().downcast::<u32>().unwrap(), 3);
     }
 
     #[test]

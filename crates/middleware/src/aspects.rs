@@ -44,6 +44,7 @@ use weavepar_weave::prelude::*;
 use weavepar_weave::Signature;
 
 use crate::fabric::{InProcFabric, RemoteRef};
+use crate::policy::CallPolicy;
 use crate::wire::{MarshalRegistry, MethodId, PackFrame};
 
 /// Node-selection policy (§4.3: "Several policies can be implemented in this
@@ -115,6 +116,7 @@ impl SigCache {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn distribution_aspect(
     name: String,
     class: &'static str,
@@ -123,6 +125,7 @@ fn distribution_aspect(
     policy: Policy,
     use_nameserver: bool,
     oneway: bool,
+    call_policy: Option<CallPolicy>,
 ) -> Aspect {
     let construct_fabric = fabric.clone();
     let sig_cache = Arc::new(SigCache::default());
@@ -169,13 +172,21 @@ fn distribution_aspect(
             let method = sig_cache.resolve(fabric.marshal(), inv.signature())?;
             let mut buf = fabric.buffers().take();
             fabric.marshal().encode_args_id(method, inv.args()?, &mut buf)?;
+            // With a call policy the invocation gets a deadline on the reply
+            // park and transparent retry of transient failures; without one
+            // it is the original wait-forever fast path.
+            let send = |frame, want_reply| match &call_policy {
+                Some(policy) => {
+                    fabric.call_id_with_policy(remote, method, frame, want_reply, policy)
+                }
+                None => fabric.call_id(remote, method, frame, want_reply),
+            };
             if oneway {
-                fabric.call_id(remote, method, buf.freeze(), false)?;
+                send(buf.freeze(), false)?;
                 Ok(weavepar_weave::ret!())
             } else {
-                let reply = fabric
-                    .call_id(remote, method, buf.freeze(), true)?
-                    .ok_or_else(|| WeaveError::remote("missing reply"))?;
+                let reply =
+                    send(buf.freeze(), true)?.ok_or_else(|| WeaveError::remote("missing reply"))?;
                 let mut view = reply.clone();
                 let ret = fabric.marshal().decode_ret_id(method, &mut view);
                 drop(view);
@@ -195,7 +206,31 @@ pub fn rmi_distribution_aspect(
     fabric: Arc<InProcFabric>,
     policy: Policy,
 ) -> Aspect {
-    distribution_aspect(name.into(), class, call_pointcut, fabric, policy, true, false)
+    distribution_aspect(name.into(), class, call_pointcut, fabric, policy, true, false, None)
+}
+
+/// [`rmi_distribution_aspect`] with a [`CallPolicy`]: every redirected call
+/// gets a deadline on its reply wait and retries transient failures with
+/// backoff — the fault-tolerant flavour of Figure 14, still one pluggable
+/// module.
+pub fn rmi_distribution_aspect_with_policy(
+    name: impl Into<String>,
+    class: &'static str,
+    call_pointcut: Pointcut,
+    fabric: Arc<InProcFabric>,
+    policy: Policy,
+    call_policy: CallPolicy,
+) -> Aspect {
+    distribution_aspect(
+        name.into(),
+        class,
+        call_pointcut,
+        fabric,
+        policy,
+        true,
+        false,
+        Some(call_policy),
+    )
 }
 
 /// The MPP-style distribution aspect (Figure 15): direct node addressing,
@@ -210,7 +245,30 @@ pub fn mpp_distribution_aspect(
     policy: Policy,
     oneway: bool,
 ) -> Aspect {
-    distribution_aspect(name.into(), class, call_pointcut, fabric, policy, false, oneway)
+    distribution_aspect(name.into(), class, call_pointcut, fabric, policy, false, oneway, None)
+}
+
+/// [`mpp_distribution_aspect`] with a [`CallPolicy`] on redirected calls
+/// (deadline + retry/backoff; oneway sends only mint a dedup key).
+pub fn mpp_distribution_aspect_with_policy(
+    name: impl Into<String>,
+    class: &'static str,
+    call_pointcut: Pointcut,
+    fabric: Arc<InProcFabric>,
+    policy: Policy,
+    oneway: bool,
+    call_policy: CallPolicy,
+) -> Aspect {
+    distribution_aspect(
+        name.into(),
+        class,
+        call_pointcut,
+        fabric,
+        policy,
+        false,
+        oneway,
+        Some(call_policy),
+    )
 }
 
 /// One node's pending pack.

@@ -13,15 +13,20 @@
 //! [`InProcFabric::call_batch`] packs many oneway calls to one node into a
 //! single [`Request::CallPack`] frame — one submit, one wakeup.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use bytes::Bytes;
 use crossbeam::channel::bounded;
+use parking_lot::{Mutex, RwLock};
 
 use weavepar_weave::{Args, ObjId, WeaveError, WeaveResult, Weaveable};
 
+use crate::faults::{FaultAction, FaultPlan, RequestClass};
 use crate::nameserver::NameServer;
 use crate::node::{NodeRuntime, ReplySink, Request};
+use crate::policy::CallPolicy;
 use crate::pool::{BufPool, ReplyPool};
 use crate::wire::{ClassId, MarshalRegistry, MethodId, PackFrame};
 
@@ -45,6 +50,18 @@ pub struct InProcFabric {
     nameserver: NameServer,
     buffers: Arc<BufPool>,
     replies: ReplyPool,
+    /// Installed fault schedule (chaos testing); `None` in production.
+    faults: RwLock<Option<Arc<FaultPlan>>>,
+    /// Fast-path flag mirroring `faults.is_some()`: the per-call check is a
+    /// single relaxed load, so an un-faulted fabric pays nothing.
+    faulty: AtomicBool,
+    /// Dedup-key generator for at-most-once call delivery.
+    seq: AtomicU64,
+    /// Reply senders of channel-backed calls whose request was injected as
+    /// lost. Holding them keeps the caller parked until its own deadline —
+    /// a dropped datagram is *silent* on both reply backends — instead of a
+    /// prompt disconnect. Drained with the plan.
+    lost_replies: Mutex<Vec<crossbeam::channel::Sender<WeaveResult<Bytes>>>>,
 }
 
 impl InProcFabric {
@@ -61,6 +78,10 @@ impl InProcFabric {
             nameserver: NameServer::new(),
             buffers,
             replies: ReplyPool::new(),
+            faults: RwLock::new(None),
+            faulty: AtomicBool::new(false),
+            seq: AtomicU64::new(1),
+            lost_replies: Mutex::new(Vec::new()),
         })
     }
 
@@ -94,10 +115,117 @@ impl InProcFabric {
     /// Failure injection: crash a node. Later submissions fail immediately
     /// and requests already queued are failed promptly by the node's serve
     /// loop (see [`NodeRuntime::kill`]) — callers blocked on replies get a
-    /// [`WeaveError::Remote`] instead of hanging until fabric teardown.
+    /// typed [`WeaveError::NodeDown`] instead of hanging until fabric
+    /// teardown. The name server is swept in the same stroke: every name
+    /// bound to an object on the dead node is tombstoned, so lookups fail
+    /// fast with `NodeDown` too.
     pub fn kill_node(&self, i: usize) -> WeaveResult<()> {
         self.node(i)?.kill();
+        self.nameserver.unbind_node(i);
         Ok(())
+    }
+
+    /// Install a seeded fault schedule; every subsequent outbound request
+    /// consults it. Installing a plan also switches replied calls to carry
+    /// dedup keys, so duplicated deliveries stay at-most-once.
+    pub fn install_faults(&self, plan: Arc<FaultPlan>) {
+        *self.faults.write() = Some(plan);
+        self.faulty.store(true, Ordering::SeqCst);
+    }
+
+    /// Remove the fault schedule (back to a faithful network). Reply
+    /// senders parked by injected drops are released here; their callers
+    /// have long since timed out against their own deadlines.
+    pub fn clear_faults(&self) {
+        self.faulty.store(false, Ordering::SeqCst);
+        *self.faults.write() = None;
+        self.lost_replies.lock().clear();
+    }
+
+    /// The installed fault plan, if any (chaos harnesses read its stats).
+    pub fn faults(&self) -> Option<Arc<FaultPlan>> {
+        self.faults.read().clone()
+    }
+
+    /// Next at-most-once dedup key.
+    fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Route one request to `node`, applying the installed fault schedule.
+    /// With no plan installed this is exactly `submit`.
+    fn route(&self, node: usize, class: RequestClass, request: Request) -> WeaveResult<()> {
+        let target = self.node(node)?;
+        if self.faulty.load(Ordering::Relaxed) {
+            if let Some(plan) = self.faults.read().clone() {
+                if let Some(action) = plan.decide(class, node) {
+                    return self.inject(node, action, request);
+                }
+            }
+        }
+        target.submit(request)
+    }
+
+    /// Apply one injected fault to a request.
+    fn inject(&self, node: usize, action: FaultAction, request: Request) -> WeaveResult<()> {
+        let target = self.node(node)?;
+        match action {
+            FaultAction::Drop => {
+                self.discard(request);
+                Ok(())
+            }
+            FaultAction::Delay(by) => {
+                if target.is_down() {
+                    return Err(WeaveError::NodeDown { node });
+                }
+                // Deliver late from a helper thread holding a clone of the
+                // live queue sender. If the node dies in the interim the
+                // serve loop's down-check fails the request — same as a
+                // packet arriving at a dead host.
+                let sender = target.sender();
+                std::thread::spawn(move || {
+                    std::thread::sleep(by);
+                    let _ = sender.send(request);
+                });
+                Ok(())
+            }
+            FaultAction::Duplicate => {
+                // Only oneway calls are duplicated (a replied call owns its
+                // single reply slot). The duplicate carries the same dedup
+                // key, so a seq-carrying call still executes at most once.
+                if let Request::Call { obj, method, ref args, reply: None, seq } = request {
+                    let dup = Request::Call { obj, method, args: args.clone(), reply: None, seq };
+                    target.submit(dup)?;
+                }
+                target.submit(request)
+            }
+            FaultAction::CrashNode => {
+                self.kill_node(node)?;
+                // The request itself dies with the node.
+                target.submit(request)
+            }
+        }
+    }
+
+    /// Lose a request: recycle its frames and silence its reply path. A
+    /// pooled reply slot is *discarded*, and a plain channel sender is
+    /// parked in `lost_replies` — either way the caller times out against
+    /// its own deadline, like a lost datagram, rather than seeing a prompt
+    /// disconnect the real network would never deliver.
+    fn discard(&self, request: Request) {
+        match request {
+            Request::Construct { args, .. } => self.buffers.recycle(args),
+            Request::Call { args, reply, .. } => {
+                self.buffers.recycle(args);
+                match reply {
+                    Some(ReplySink::Slot(slot)) => slot.discard(),
+                    Some(ReplySink::Channel(tx)) => self.lost_replies.lock().push(tx),
+                    None => {}
+                }
+            }
+            Request::CallPack { frame } => self.buffers.recycle(frame),
+            Request::Snapshot { .. } | Request::Restore { .. } => {}
+        }
     }
 
     /// Register a weaveable class on every node.
@@ -123,9 +251,8 @@ impl InProcFabric {
         args: Bytes,
     ) -> WeaveResult<RemoteRef> {
         let class = self.marshal.method_entry(ctor)?.class;
-        let target = self.node(node)?;
         let (tx, rx) = bounded(1);
-        target.submit(Request::Construct { ctor, args, reply: tx })?;
+        self.route(node, RequestClass::Construct, Request::Construct { ctor, args, reply: tx })?;
         let obj = rx.recv().map_err(|_| {
             WeaveError::remote(format!("node {node} dropped the construct reply"))
         })??;
@@ -134,30 +261,52 @@ impl InProcFabric {
 
     /// Snapshot a remote object's state (removing it when `remove`).
     pub fn snapshot(&self, reference: RemoteRef, remove: bool) -> WeaveResult<Bytes> {
-        let target = self.node(reference.node)?;
         let (tx, rx) = bounded(1);
-        target.submit(Request::Snapshot { obj: reference.obj, remove, reply: tx })?;
+        self.route(
+            reference.node,
+            RequestClass::Snapshot,
+            Request::Snapshot { obj: reference.obj, remove, reply: tx },
+        )?;
         rx.recv().map_err(|_| WeaveError::remote("node dropped the snapshot reply"))?
     }
 
     /// Rebuild an instance of `class` on `node` from snapshotted state.
     pub fn restore(&self, node: usize, class: &str, state: Bytes) -> WeaveResult<RemoteRef> {
         let class_id = self.marshal.intern_class(class);
-        let target = self.node(node)?;
         let (tx, rx) = bounded(1);
-        target.submit(Request::Restore { class: class_id, state, reply: tx })?;
+        self.route(
+            node,
+            RequestClass::Restore,
+            Request::Restore { class: class_id, state, reply: tx },
+        )?;
         let obj = rx.recv().map_err(|_| WeaveError::remote("node dropped the restore reply"))??;
         Ok(RemoteRef { node, obj, class: class_id })
     }
 
     /// Move a remote object to another node, preserving its state — the
     /// runtime behind the paper's `Point.migrate` (Figure 2).
+    ///
+    /// Migrating *to* a dead node fails up front with
+    /// [`WeaveError::NodeDown`] before any state leaves the source, so the
+    /// object stays intact where it was. If the target dies between that
+    /// check and the restore, the snapshotted state is restored back onto
+    /// the source (under a fresh object id) rather than lost.
     pub fn migrate(&self, reference: RemoteRef, class: &str, to: usize) -> WeaveResult<RemoteRef> {
         if reference.node == to {
             return Ok(reference);
         }
+        let target = self.node(to)?;
+        if target.is_down() {
+            return Err(WeaveError::NodeDown { node: to });
+        }
         let state = self.snapshot(reference, true)?;
-        self.restore(to, class, state)
+        match self.restore(to, class, state.clone()) {
+            Ok(restored) => Ok(restored),
+            Err(err) => {
+                let _ = self.restore(reference.node, class, state);
+                Err(err)
+            }
+        }
     }
 
     /// Invoke `method` on a remote object by name (resolves the interned id
@@ -185,22 +334,125 @@ impl InProcFabric {
         args: Bytes,
         want_reply: bool,
     ) -> WeaveResult<Option<Bytes>> {
-        let target = self.node(reference.node)?;
+        // Dedup keys are only minted while a fault plan is installed: the
+        // production fast path pays no atomic increment and the serving
+        // node's dedup window stays untouched.
+        let seq = self.faulty.load(Ordering::Relaxed).then(|| self.next_seq());
         if want_reply {
             let (ticket, reply) = self.replies.checkout();
-            target.submit(Request::Call {
-                obj: reference.obj,
-                method,
-                args,
-                reply: Some(ReplySink::Slot(reply)),
-            })?;
+            self.route(
+                reference.node,
+                RequestClass::Call,
+                Request::Call {
+                    obj: reference.obj,
+                    method,
+                    args,
+                    reply: Some(ReplySink::Slot(reply)),
+                    seq,
+                },
+            )?;
             let result = ticket.wait();
             self.replies.finish(ticket);
             Ok(Some(result?))
         } else {
-            target.submit(Request::Call { obj: reference.obj, method, args, reply: None })?;
+            self.route(
+                reference.node,
+                RequestClass::Oneway,
+                Request::Call { obj: reference.obj, method, args, reply: None, seq },
+            )?;
             Ok(None)
         }
+    }
+
+    /// Invoke an interned method under a [`CallPolicy`]: the synchronous
+    /// reply wait gets a real deadline on the pooled reply slot, and
+    /// *retryable* failures (timeouts, declared transients — never
+    /// [`WeaveError::NodeDown`]) are retried with exponential backoff and
+    /// seeded jitter. All attempts share one dedup key, so a retry whose
+    /// original delivery actually executed is answered from the node's
+    /// at-most-once window instead of executing twice.
+    pub fn call_id_with_policy(
+        &self,
+        reference: RemoteRef,
+        method: MethodId,
+        args: Bytes,
+        want_reply: bool,
+        policy: &CallPolicy,
+    ) -> WeaveResult<Option<Bytes>> {
+        let seq = self.next_seq();
+        if !want_reply {
+            self.route(
+                reference.node,
+                RequestClass::Oneway,
+                Request::Call { obj: reference.obj, method, args, reply: None, seq: Some(seq) },
+            )?;
+            return Ok(None);
+        }
+        // Jitter stream: policy seed mixed with the call's dedup key, so
+        // concurrent calls de-synchronise but a given (seed, call) replays.
+        let mut rng = policy.seed ^ seq.wrapping_mul(0x9e3779b97f4a7c15);
+        let mut attempt = 0u32;
+        loop {
+            match self.try_call_once(reference, method, args.clone(), seq, policy) {
+                Ok(bytes) => return Ok(Some(bytes)),
+                Err(err) => {
+                    if !policy.should_retry(&err, attempt) {
+                        return Err(err);
+                    }
+                    attempt += 1;
+                    let pause = policy.backoff.delay(attempt, &mut rng);
+                    if !pause.is_zero() {
+                        std::thread::sleep(pause);
+                    }
+                }
+            }
+        }
+    }
+
+    /// One attempt of a replied call under a policy: checkout a reply slot,
+    /// route the request, park with the policy's deadline.
+    fn try_call_once(
+        &self,
+        reference: RemoteRef,
+        method: MethodId,
+        args: Bytes,
+        seq: u64,
+        policy: &CallPolicy,
+    ) -> WeaveResult<Bytes> {
+        let (ticket, reply) = self.replies.checkout();
+        let routed = self.route(
+            reference.node,
+            RequestClass::Call,
+            Request::Call {
+                obj: reference.obj,
+                method,
+                args,
+                reply: Some(ReplySink::Slot(reply)),
+                seq: Some(seq),
+            },
+        );
+        if let Err(err) = routed {
+            // The reply sink died with the request; its drop-guard filled
+            // the slot, so finishing the ticket garbage-collects it.
+            self.replies.finish(ticket);
+            return Err(err);
+        }
+        let result = match policy.deadline {
+            Some(after) => {
+                ticket.wait_deadline(Some(Instant::now() + after), after.as_millis() as u64)
+            }
+            None => ticket.wait(),
+        };
+        if matches!(result, Err(WeaveError::Timeout { .. })) {
+            // A late reply may still land in the slot: drop the ticket
+            // (abandoning the slot to garbage collection) instead of
+            // finishing it back into the pool where the stale reply would
+            // poison the next caller.
+            drop(ticket);
+        } else {
+            self.replies.finish(ticket);
+        }
+        result
     }
 
     /// Ablation backend for the `remote_throughput` bench: identical to
@@ -222,14 +474,98 @@ impl InProcFabric {
                 method,
                 args,
                 reply: Some(ReplySink::Channel(tx)),
+                seq: None,
             })?;
             let bytes = rx.recv().map_err(|_| {
                 WeaveError::remote(format!("node {} dropped the call reply", reference.node))
             })??;
             Ok(Some(bytes))
         } else {
-            target.submit(Request::Call { obj: reference.obj, method, args, reply: None })?;
+            target.submit(Request::Call {
+                obj: reference.obj,
+                method,
+                args,
+                reply: None,
+                seq: None,
+            })?;
             Ok(None)
+        }
+    }
+
+    /// The channel-rendezvous ablation path under a [`CallPolicy`]: same
+    /// deadline/retry/at-most-once semantics as
+    /// [`InProcFabric::call_id_with_policy`], parked on a fresh `bounded(1)`
+    /// channel (`recv_timeout`) instead of a pooled slot. Chaos tests run
+    /// both backends against the same fault schedule.
+    #[doc(hidden)]
+    pub fn call_id_channel_with_policy(
+        &self,
+        reference: RemoteRef,
+        method: MethodId,
+        args: Bytes,
+        want_reply: bool,
+        policy: &CallPolicy,
+    ) -> WeaveResult<Option<Bytes>> {
+        let seq = self.next_seq();
+        if !want_reply {
+            self.route(
+                reference.node,
+                RequestClass::Oneway,
+                Request::Call { obj: reference.obj, method, args, reply: None, seq: Some(seq) },
+            )?;
+            return Ok(None);
+        }
+        let mut rng = policy.seed ^ seq.wrapping_mul(0x9e3779b97f4a7c15);
+        let mut attempt = 0u32;
+        loop {
+            let (tx, rx) = bounded(1);
+            let routed = self.route(
+                reference.node,
+                RequestClass::Call,
+                Request::Call {
+                    obj: reference.obj,
+                    method,
+                    args: args.clone(),
+                    reply: Some(ReplySink::Channel(tx)),
+                    seq: Some(seq),
+                },
+            );
+            let result: WeaveResult<Bytes> = match routed {
+                Err(err) => Err(err),
+                Ok(()) => match policy.deadline {
+                    Some(after) => match rx.recv_timeout(after) {
+                        Ok(reply) => reply,
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                            Err(WeaveError::Timeout { waited_ms: after.as_millis() as u64 })
+                        }
+                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                            Err(WeaveError::remote(format!(
+                                "node {} dropped the call reply",
+                                reference.node
+                            )))
+                        }
+                    },
+                    None => rx.recv().map_err(|_| {
+                        WeaveError::remote(format!(
+                            "node {} dropped the call reply",
+                            reference.node
+                        ))
+                    })?,
+                },
+            };
+            match result {
+                Ok(bytes) => return Ok(Some(bytes)),
+                Err(err) => {
+                    if !policy.should_retry(&err, attempt) {
+                        return Err(err);
+                    }
+                    attempt += 1;
+                    let pause = policy.backoff.delay(attempt, &mut rng);
+                    if !pause.is_zero() {
+                        std::thread::sleep(pause);
+                    }
+                }
+            }
         }
     }
 
@@ -241,7 +577,6 @@ impl InProcFabric {
     where
         I: IntoIterator<Item = (ObjId, MethodId, Args)>,
     {
-        let target = self.node(node)?;
         let mut frame = PackFrame::new(self.buffers.take());
         for (obj, method, args) in calls {
             frame.push(obj, method, &self.marshal, &args)?;
@@ -250,7 +585,7 @@ impl InProcFabric {
             return Ok(0);
         }
         let count = frame.count() as usize;
-        target.submit(Request::CallPack { frame: frame.finish() })?;
+        self.route(node, RequestClass::Pack, Request::CallPack { frame: frame.finish() })?;
         Ok(count)
     }
 
@@ -261,7 +596,7 @@ impl InProcFabric {
             return Ok(0);
         }
         let count = frame.count() as usize;
-        self.node(node)?.submit(Request::CallPack { frame: frame.finish() })?;
+        self.route(node, RequestClass::Pack, Request::CallPack { frame: frame.finish() })?;
         Ok(count)
     }
 
@@ -453,15 +788,101 @@ mod tests {
         f.kill_node(0).unwrap();
         FABRIC_GATE.store(true, Ordering::SeqCst);
 
-        // Every pending caller is failed promptly with a Remote error —
+        // Every pending caller is failed promptly with a typed NodeDown —
         // nobody hangs until fabric teardown.
         for waiter in waiters {
             let err = waiter.join().unwrap().unwrap_err();
-            assert!(matches!(err, WeaveError::Remote(_)));
+            assert!(matches!(err, WeaveError::NodeDown { node: 0 }), "{err}");
         }
         // And new submissions are rejected up front.
         let args = f.marshal().encode_args("Echo", "shout", &args!["x".to_string()]).unwrap();
-        assert!(matches!(f.call(echo_ref, "shout", args, true), Err(WeaveError::Remote(_))));
+        assert!(matches!(
+            f.call(echo_ref, "shout", args, true),
+            Err(WeaveError::NodeDown { node: 0 })
+        ));
+    }
+
+    #[test]
+    fn kill_node_sweeps_nameserver_bindings() {
+        let f = fabric();
+        let ctor0 = f.marshal().encode_args("Echo", "new", &args!["a".to_string()]).unwrap();
+        let ctor1 = f.marshal().encode_args("Echo", "new", &args!["b".to_string()]).unwrap();
+        let r0 = f.construct_on(0, "Echo", ctor0).unwrap();
+        let r1 = f.construct_on(1, "Echo", ctor1).unwrap();
+        f.nameserver().rebind("PS1", r0);
+        f.nameserver().rebind("PS2", r1);
+        f.kill_node(0).unwrap();
+        // The dead node's binding fails fast and typed; the survivor's holds.
+        assert!(matches!(f.nameserver().lookup("PS1"), Err(WeaveError::NodeDown { node: 0 })));
+        assert_eq!(f.nameserver().lookup("PS2").unwrap(), r1);
+    }
+
+    #[test]
+    fn policy_deadline_times_out_on_dropped_replies() {
+        use crate::faults::{FaultAction, FaultPlan, FaultRule, RequestClass};
+        use crate::policy::CallPolicy;
+        use std::time::Duration;
+
+        let f = fabric();
+        let ctor = f.marshal().encode_args("Echo", "new", &args!["n".to_string()]).unwrap();
+        let r = f.construct_on(0, "Echo", ctor).unwrap();
+        let shout = f.marshal().method_id("Echo", "shout").unwrap();
+        // Every replied call's message is silently lost.
+        f.install_faults(Arc::new(
+            FaultPlan::seeded(77).rule(FaultRule::on(RequestClass::Call, FaultAction::Drop)),
+        ));
+        let policy = CallPolicy::with_deadline(Duration::from_millis(30));
+        let args = f.marshal().encode_args("Echo", "shout", &args!["x".to_string()]).unwrap();
+        let start = std::time::Instant::now();
+        let err = f.call_id_with_policy(r, shout, args, true, &policy).unwrap_err();
+        assert!(matches!(err, WeaveError::Timeout { waited_ms: 30 }), "{err}");
+        assert!(start.elapsed() < Duration::from_secs(2));
+        assert!(f.faults().unwrap().stats().snapshot().dropped >= 1);
+        // Clearing the plan restores the faithful network.
+        f.clear_faults();
+        let args = f.marshal().encode_args("Echo", "shout", &args!["y".to_string()]).unwrap();
+        assert!(f.call_id_with_policy(r, shout, args, true, &policy).unwrap().is_some());
+    }
+
+    #[test]
+    fn policy_retries_recover_from_transient_drops() {
+        use crate::faults::{FaultAction, FaultPlan, FaultRule, RequestClass};
+        use crate::policy::{Backoff, CallPolicy};
+        use std::time::Duration;
+
+        let f = fabric();
+        let ctor = f.marshal().encode_args("Echo", "new", &args!["n".to_string()]).unwrap();
+        let r = f.construct_on(1, "Echo", ctor).unwrap();
+        let shout = f.marshal().method_id("Echo", "shout").unwrap();
+        // Lose the first two replied deliveries, then behave.
+        f.install_faults(Arc::new(
+            FaultPlan::seeded(3)
+                .rule(FaultRule::on(RequestClass::Call, FaultAction::Drop).times(2)),
+        ));
+        let policy = CallPolicy::with_deadline(Duration::from_millis(25))
+            .retries(3)
+            .backoff(Backoff { base: Duration::from_millis(1), max: Duration::from_millis(4) })
+            .seed(42);
+        let args = f.marshal().encode_args("Echo", "shout", &args!["hi".to_string()]).unwrap();
+        let reply = f.call_id_with_policy(r, shout, args, true, &policy).unwrap().unwrap();
+        let ret = f.marshal().decode_ret("Echo", "shout", &reply).unwrap();
+        assert_eq!(*ret.downcast::<String>().unwrap(), "n:hi");
+        assert_eq!(f.faults().unwrap().stats().snapshot().dropped, 2);
+    }
+
+    #[test]
+    fn migrate_to_dead_node_leaves_source_intact() {
+        let f = fabric();
+        let ctor = f.marshal().encode_args("Echo", "new", &args!["m".to_string()]).unwrap();
+        let r = f.construct_on(0, "Echo", ctor).unwrap();
+        f.kill_node(2).unwrap();
+        let err = f.migrate(r, "Echo", 2).unwrap_err();
+        assert!(matches!(err, WeaveError::NodeDown { node: 2 }), "{err}");
+        // No state left the source: the original reference still answers.
+        let args = f.marshal().encode_args("Echo", "shout", &args!["ok".to_string()]).unwrap();
+        let reply = f.call(r, "shout", args, true).unwrap().unwrap();
+        let ret = f.marshal().decode_ret("Echo", "shout", &reply).unwrap();
+        assert_eq!(*ret.downcast::<String>().unwrap(), "m:ok");
     }
 
     #[test]

@@ -36,20 +36,25 @@
 
 pub mod aspects;
 pub mod fabric;
+pub mod faults;
 pub mod migration;
 pub mod nameserver;
 pub mod node;
+pub mod policy;
 pub mod pool;
 pub mod wire;
 
 pub use bytes::{Bytes, BytesMut};
 
 pub use aspects::{
-    message_packing_aspect, mpp_distribution_aspect, rmi_distribution_aspect, MessagePacker, Policy,
+    message_packing_aspect, mpp_distribution_aspect, mpp_distribution_aspect_with_policy,
+    rmi_distribution_aspect, rmi_distribution_aspect_with_policy, MessagePacker, Policy,
 };
 pub use fabric::{InProcFabric, RemoteRef};
+pub use faults::{FaultAction, FaultPlan, FaultRule, FaultStats, FaultStatsSnapshot, RequestClass};
 pub use migration::{introduce_migration, migrate_object, remove_migration, MigrationCapability};
 pub use nameserver::NameServer;
 pub use node::{NodeRuntime, ReplySink, Request};
+pub use policy::{Backoff, CallPolicy};
 pub use pool::{BufPool, ReplyPool};
 pub use wire::{ClassId, MarshalRegistry, MethodId, PackFrame, PackReader, Wire, WireArgs};

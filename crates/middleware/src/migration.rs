@@ -196,6 +196,61 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_kill_restore_on_survivor_preserves_state() {
+        // The supervisor's recovery primitive: a checkpointed snapshot taken
+        // before the node died can rebuild the object on a survivor with its
+        // state intact.
+        let weaver = Weaver::new();
+        let fabric = InProcFabric::new(3, marshal());
+        fabric.register_class::<Counter>();
+        weaver.plug(rmi_distribution_aspect(
+            "Distribution",
+            "Counter",
+            Pointcut::call("Counter.bump"),
+            fabric.clone(),
+            Policy::fixed(1),
+        ));
+        introduce_migration(&weaver, "Counter", fabric.clone());
+        let c = CounterProxy::construct(&weaver, 40).unwrap();
+        c.bump().unwrap();
+        c.bump().unwrap();
+        let remote =
+            weaver.intertype().get_field::<RemoteRef>(c.id(), REMOTE_FIELD).expect("distributed");
+        // Checkpoint (without removing), then the node dies.
+        let state = fabric.snapshot(remote, false).unwrap();
+        fabric.kill_node(1).unwrap();
+        // Restore on a survivor and repoint the stub: computation continues
+        // where the checkpoint left it.
+        let revived = fabric.restore(2, "Counter", state).unwrap();
+        weaver.intertype().set_field(c.id(), REMOTE_FIELD, revived);
+        assert_eq!(c.bump().unwrap(), 43, "state survived the node loss");
+        assert_eq!(fabric.node(2).unwrap().weaver().space().len(), 1);
+    }
+
+    #[test]
+    fn migrate_to_dead_node_is_typed_and_source_intact() {
+        let weaver = Weaver::new();
+        let fabric = InProcFabric::new(3, marshal());
+        fabric.register_class::<Counter>();
+        weaver.plug(rmi_distribution_aspect(
+            "Distribution",
+            "Counter",
+            Pointcut::call("Counter.bump"),
+            fabric.clone(),
+            Policy::fixed(0),
+        ));
+        introduce_migration(&weaver, "Counter", fabric.clone());
+        let c = CounterProxy::construct(&weaver, 7).unwrap();
+        c.bump().unwrap();
+        fabric.kill_node(2).unwrap();
+        let err = migrate_object(&weaver, c.id(), 2).unwrap_err();
+        assert!(matches!(err, WeaveError::NodeDown { node: 2 }), "{err}");
+        // The failed migration never touched the source instance.
+        assert_eq!(fabric.node(0).unwrap().weaver().space().len(), 1);
+        assert_eq!(c.bump().unwrap(), 9, "object still lives on the source");
+    }
+
+    #[test]
     fn migration_capability_is_removable() {
         let weaver = Weaver::new();
         let fabric = InProcFabric::new(1, marshal());

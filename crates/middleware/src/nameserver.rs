@@ -25,6 +25,11 @@ pub struct NameServer {
 #[derive(Default)]
 struct Inner {
     entries: RwLock<HashMap<String, RemoteRef>>,
+    /// Names whose binding was swept because its hosting node died, keyed to
+    /// the dead node: a later [`NameServer::lookup`] fails fast with a typed
+    /// [`WeaveError::NodeDown`] instead of an opaque "not bound", so callers
+    /// (and supervisor aspects) can tell node loss from a never-bound name.
+    tombstones: RwLock<HashMap<String, usize>>,
     counter: AtomicU64,
 }
 
@@ -35,23 +40,44 @@ impl NameServer {
     }
 
     /// Bind `name` to `reference` (rebinding replaces, like RMI `rebind`).
+    /// Rebinding a tombstoned name clears the tombstone — the name now
+    /// points at a live replacement.
     pub fn rebind(&self, name: impl Into<String>, reference: RemoteRef) {
-        self.inner.entries.write().insert(name.into(), reference);
+        let name = name.into();
+        self.inner.tombstones.write().remove(&name);
+        self.inner.entries.write().insert(name, reference);
     }
 
     /// Look up a name.
     pub fn lookup(&self, name: &str) -> WeaveResult<RemoteRef> {
-        self.inner
-            .entries
-            .read()
-            .get(name)
-            .copied()
-            .ok_or_else(|| WeaveError::remote(format!("name server: `{name}` not bound")))
+        if let Some(reference) = self.inner.entries.read().get(name).copied() {
+            return Ok(reference);
+        }
+        if let Some(node) = self.inner.tombstones.read().get(name).copied() {
+            return Err(WeaveError::NodeDown { node });
+        }
+        Err(WeaveError::remote(format!("name server: `{name}` not bound")))
     }
 
     /// Remove a binding. Returns true when it existed.
     pub fn unbind(&self, name: &str) -> bool {
         self.inner.entries.write().remove(name).is_some()
+    }
+
+    /// Sweep every binding hosted on `node` (the node died), leaving
+    /// tombstones so lookups fail fast with [`WeaveError::NodeDown`] rather
+    /// than pretending the name was never bound. Returns the number of
+    /// bindings swept.
+    pub fn unbind_node(&self, node: usize) -> usize {
+        let mut entries = self.inner.entries.write();
+        let mut tombstones = self.inner.tombstones.write();
+        let dead: Vec<String> =
+            entries.iter().filter(|(_, r)| r.node == node).map(|(name, _)| name.clone()).collect();
+        for name in &dead {
+            entries.remove(name);
+            tombstones.insert(name.clone(), node);
+        }
+        dead.len()
     }
 
     /// Generate the next automatic name with the given prefix —
@@ -129,6 +155,28 @@ mod tests {
         ns.rebind("b", rref(0, 1));
         ns.rebind("a", rref(0, 2));
         assert_eq!(ns.names(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn unbind_node_sweeps_and_tombstones() {
+        let ns = NameServer::new();
+        ns.rebind("PS1", rref(0, 1));
+        ns.rebind("PS2", rref(1, 2));
+        ns.rebind("PS3", rref(1, 3));
+        // Sweeping node 1 removes its two bindings, leaves node 0's.
+        assert_eq!(ns.unbind_node(1), 2);
+        assert_eq!(ns.len(), 1);
+        assert_eq!(ns.lookup("PS1").unwrap(), rref(0, 1));
+        // Swept names fail fast with the dead node's id, not "not bound".
+        assert!(matches!(ns.lookup("PS2"), Err(WeaveError::NodeDown { node: 1 })));
+        assert!(matches!(ns.lookup("PS3"), Err(WeaveError::NodeDown { node: 1 })));
+        // A never-bound name is still the opaque error.
+        assert!(matches!(ns.lookup("PS9"), Err(WeaveError::Remote(_))));
+        // Rebinding a swept name to a survivor clears the tombstone.
+        ns.rebind("PS2", rref(0, 9));
+        assert_eq!(ns.lookup("PS2").unwrap(), rref(0, 9));
+        // Sweeping an unknown node is a no-op.
+        assert_eq!(ns.unbind_node(7), 0);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! queue wakeup with no intermediate allocation (the pack's argument views
 //! are zero-copy slices of the frame).
 
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -89,6 +90,12 @@ pub enum Request {
         /// Reply sink for the marshalled return value; `None` makes the
         /// call oneway (MPP-style send).
         reply: Option<ReplySink>,
+        /// At-most-once dedup key: a retried or duplicated delivery carrying
+        /// a `seq` already in the node's dedup window is never executed
+        /// again — replied duplicates get the cached reply, oneway
+        /// duplicates are dropped. `None` (the default fast path) skips the
+        /// window entirely.
+        seq: Option<u64>,
     },
     /// A framed pack of oneway calls (see
     /// [`PackFrame`](crate::wire::PackFrame) for the layout): one submit,
@@ -120,7 +127,9 @@ impl Request {
 pub struct NodeRuntime {
     id: usize,
     weaver: Weaver,
-    tx: Sender<Request>,
+    /// The request queue's sender, behind a mutex so [`NodeRuntime::kill`]
+    /// can swap it for a closed channel without racing concurrent submits.
+    tx: Mutex<Sender<Request>>,
     handle: Mutex<Option<JoinHandle<()>>>,
     down: Arc<AtomicBool>,
     woven: Arc<AtomicBool>,
@@ -146,17 +155,37 @@ impl NodeRuntime {
             .name(format!("node-{id}"))
             .spawn(move || serve(id, server_weaver, marshal, rx, server_woven, server_down, pool))
             .expect("spawning node thread");
-        NodeRuntime { id, weaver, tx, handle: Mutex::new(Some(handle)), down, woven }
+        NodeRuntime {
+            id,
+            weaver,
+            tx: Mutex::new(tx),
+            handle: Mutex::new(Some(handle)),
+            down,
+            woven,
+        }
     }
 
     /// Failure injection: mark the node as crashed. Every later submission
-    /// fails with a [`WeaveError::Remote`], and requests already queued are
+    /// fails with a [`WeaveError::NodeDown`], and requests already queued are
     /// failed promptly by the serve loop instead of executing — callers
     /// blocked on a reply see the error as soon as the loop reaches their
     /// request, rather than hanging until the node is dropped (the
     /// `RemoteException` the paper's Figure 14 wraps in try/catch).
+    ///
+    /// The kill linearises on the `down` flag *before* the channel swap: a
+    /// concurrent [`NodeRuntime::submit`] either observed `down == false`
+    /// and still holds the live sender (its request is drained-and-failed by
+    /// the serve loop, which re-checks the flag per request), or observes
+    /// `down == true` and is rejected up front. Either way no request is
+    /// executed after the kill, and none is silently stranded in a channel
+    /// nobody serves.
     pub fn kill(&self) {
         self.down.store(true, Ordering::SeqCst);
+        // Swap the queue for a closed channel: the serve loop exits once the
+        // original senders (including any in-flight clones) are gone, after
+        // draining and failing whatever was queued.
+        let (closed_tx, _) = unbounded();
+        *self.tx.lock() = closed_tx;
     }
 
     /// Is the node marked as crashed?
@@ -192,9 +221,18 @@ impl NodeRuntime {
     /// Submit a request to the node's queue.
     pub fn submit(&self, request: Request) -> WeaveResult<()> {
         if self.is_down() {
-            return Err(WeaveError::remote(format!("node {} is down", self.id)));
+            return Err(WeaveError::NodeDown { node: self.id });
         }
-        self.tx.send(request).map_err(|_| WeaveError::remote(format!("node {} is down", self.id)))
+        self.tx.lock().send(request).map_err(|_| WeaveError::NodeDown { node: self.id })
+    }
+
+    /// A clone of the live queue sender, for delivery-injection threads that
+    /// need to enqueue after a delay without borrowing the runtime. If the
+    /// node is killed in the meantime the clone feeds the old (drained)
+    /// channel or a closed one — either way the request is failed or
+    /// dropped, never executed.
+    pub(crate) fn sender(&self) -> Sender<Request> {
+        self.tx.lock().clone()
     }
 }
 
@@ -202,7 +240,7 @@ impl Drop for NodeRuntime {
     fn drop(&mut self) {
         // Closing the channel ends the serve loop after the queue drains.
         let (closed_tx, _) = unbounded();
-        self.tx = closed_tx;
+        *self.tx.lock() = closed_tx;
         if let Some(handle) = self.handle.lock().take() {
             let _ = handle.join();
         }
@@ -239,6 +277,43 @@ fn execute(
     Ok((method, ret))
 }
 
+/// Per-node at-most-once window: remembers recently seen call `seq` keys and
+/// the reply outcome they produced, so a retried (or fault-injected
+/// duplicate) delivery is answered from cache instead of executed twice.
+///
+/// `Some(result)` caches a replied call's encoded outcome; `None` marks a
+/// oneway already executed (nothing to resend — the duplicate is dropped).
+/// The window is bounded: the oldest entries are evicted FIFO, which is safe
+/// because retries happen within a call's deadline, far inside the window.
+struct DedupWindow {
+    seen: HashMap<u64, Option<WeaveResult<Bytes>>>,
+    order: VecDeque<u64>,
+    cap: usize,
+}
+
+impl DedupWindow {
+    fn new(cap: usize) -> Self {
+        DedupWindow { seen: HashMap::new(), order: VecDeque::new(), cap }
+    }
+
+    /// Look up a previously executed call. `Some(cached)` means duplicate.
+    fn check(&self, seq: u64) -> Option<&Option<WeaveResult<Bytes>>> {
+        self.seen.get(&seq)
+    }
+
+    /// Record an executed call's outcome under its dedup key.
+    fn record(&mut self, seq: u64, outcome: Option<WeaveResult<Bytes>>) {
+        if self.seen.len() >= self.cap {
+            if let Some(old) = self.order.pop_front() {
+                self.seen.remove(&old);
+            }
+        }
+        if self.seen.insert(seq, outcome).is_none() {
+            self.order.push_back(seq);
+        }
+    }
+}
+
 /// The receive loop: decode, dispatch unwoven (the weaving happened on the
 /// client), encode the reply into a pooled frame.
 fn serve(
@@ -250,11 +325,12 @@ fn serve(
     down: Arc<AtomicBool>,
     pool: Arc<BufPool>,
 ) {
+    let mut dedup = DedupWindow::new(4096);
     while let Ok(request) = rx.recv() {
         // Crashed node: fail everything still queued instead of executing
         // it, so callers blocked on replies are released promptly.
         if down.load(Ordering::SeqCst) {
-            request.fail(|| WeaveError::remote(format!("node {id} is down")));
+            request.fail(|| WeaveError::NodeDown { node: id });
             continue;
         }
         match request {
@@ -286,7 +362,27 @@ fn serve(
                     .and_then(|name| marshal.restore_state(&weaver, &name, &state));
                 let _ = reply.send(result);
             }
-            Request::Call { obj, method, args, reply } => {
+            Request::Call { obj, method, args, reply, seq } => {
+                // At-most-once: a seq already in the window was executed by
+                // an earlier delivery — answer from cache (replied) or drop
+                // (oneway) without touching the object again.
+                if let Some(seq) = seq {
+                    if let Some(cached) = dedup.check(seq) {
+                        pool.recycle(args);
+                        if let Some(reply) = reply {
+                            match cached {
+                                Some(outcome) => reply.send(outcome.clone()),
+                                // A oneway executed under this seq; a replied
+                                // duplicate asking for its result is a
+                                // protocol mismatch — fail it loudly.
+                                None => reply.send(Err(WeaveError::remote(
+                                    "duplicate delivery of a oneway call",
+                                ))),
+                            }
+                        }
+                        continue;
+                    }
+                }
                 let woven = woven.load(Ordering::SeqCst);
                 let result = execute(&weaver, &marshal, woven, obj, method, &args);
                 pool.recycle(args);
@@ -297,6 +393,9 @@ fn serve(
                             marshal.encode_ret_id(method, &ret, &mut buf)?;
                             Ok(buf.freeze())
                         });
+                        if let Some(seq) = seq {
+                            dedup.record(seq, Some(encoded.clone()));
+                        }
                         reply.send(encoded);
                     }
                     None => {
@@ -304,6 +403,9 @@ fn serve(
                         // a lost datagram (the paper's MPP send has the same
                         // property).
                         let _ = result;
+                        if let Some(seq) = seq {
+                            dedup.record(seq, None);
+                        }
                     }
                 }
             }
@@ -399,6 +501,7 @@ mod tests {
             method: m.method_id("Adder", "add").unwrap(),
             args: add_args(&m, 5),
             reply: Some(ReplySink::Channel(tx)),
+            seq: None,
         })
         .unwrap();
         let ret = rx.recv().unwrap().unwrap();
@@ -414,8 +517,14 @@ mod tests {
         let obj = construct_adder(&node, &m, 0).unwrap();
         let add = m.method_id("Adder", "add").unwrap();
         for _ in 0..3 {
-            node.submit(Request::Call { obj, method: add, args: add_args(&m, 1), reply: None })
-                .unwrap();
+            node.submit(Request::Call {
+                obj,
+                method: add,
+                args: add_args(&m, 1),
+                reply: None,
+                seq: None,
+            })
+            .unwrap();
         }
         // Synchronise via a replied call.
         let (tx, rx) = bounded(1);
@@ -424,6 +533,7 @@ mod tests {
             method: add,
             args: add_args(&m, 0),
             reply: Some(ReplySink::Channel(tx)),
+            seq: None,
         })
         .unwrap();
         let ret = rx.recv().unwrap().unwrap();
@@ -451,6 +561,7 @@ mod tests {
             method: add,
             args: add_args(&m, 0),
             reply: Some(ReplySink::Channel(tx)),
+            seq: None,
         })
         .unwrap();
         let ret = rx.recv().unwrap().unwrap();
@@ -478,6 +589,7 @@ mod tests {
             method: m.method_id("Adder", "add").unwrap(),
             args: add_args(&m, 1),
             reply: Some(ReplySink::Channel(tx)),
+            seq: None,
         })
         .unwrap();
         assert!(rx.recv().unwrap().is_err());
@@ -499,9 +611,10 @@ mod tests {
                 method: m.method_id("Adder", "add").unwrap(),
                 args: add_args(&m, 1),
                 reply: Some(ReplySink::Channel(tx)),
+                seq: None,
             })
             .unwrap_err();
-        assert!(matches!(err, weavepar_weave::WeaveError::Remote(_)));
+        assert!(matches!(err, weavepar_weave::WeaveError::NodeDown { node: 0 }));
     }
 
     #[test]
@@ -525,6 +638,7 @@ mod tests {
             method: m.method_id("Blocker", "block").unwrap(),
             args: m.encode_args("Blocker", "block", &weavepar_weave::args![]).unwrap(),
             reply: None,
+            seq: None,
         })
         .unwrap();
         // ...queue a replied call behind it...
@@ -534,6 +648,7 @@ mod tests {
             method: m.method_id("Adder", "add").unwrap(),
             args: add_args(&m, 1),
             reply: Some(ReplySink::Channel(tx)),
+            seq: None,
         })
         .unwrap();
         // ...kill the node while the call is queued, then release the gate.
@@ -541,7 +656,63 @@ mod tests {
         GATE_OPEN.store(true, Ordering::SeqCst);
         // The queued caller must be failed, not executed or stranded.
         let err = rx.recv().expect("reply delivered").unwrap_err();
-        assert!(matches!(err, weavepar_weave::WeaveError::Remote(_)));
+        assert!(matches!(err, weavepar_weave::WeaveError::NodeDown { node: 0 }));
+    }
+
+    #[test]
+    fn kill_linearises_against_concurrent_submits() {
+        // A submit racing the kill must either be rejected up front or have
+        // its request drained-and-failed — never stranded in a queue nobody
+        // serves. Run several rounds; each round hammers submits from two
+        // threads while the main thread kills the node, then asserts every
+        // accepted replied call got an answer.
+        for _round in 0..8 {
+            let m = marshal();
+            let node = Arc::new(NodeRuntime::spawn(3, m.clone()));
+            node.register_class::<Adder>();
+            let obj = construct_adder(&node, &m, 0).unwrap();
+            let add = m.method_id("Adder", "add").unwrap();
+            let stop = Arc::new(AtomicBool::new(false));
+            let mut submitters = Vec::new();
+            for _ in 0..2 {
+                let node = node.clone();
+                let m = m.clone();
+                let stop = stop.clone();
+                submitters.push(std::thread::spawn(move || {
+                    let mut accepted = Vec::new();
+                    while !stop.load(Ordering::SeqCst) {
+                        let (tx, rx) = bounded(1);
+                        let sent = node.submit(Request::Call {
+                            obj,
+                            method: add,
+                            args: m
+                                .encode_args("Adder", "add", &weavepar_weave::args![1u64])
+                                .unwrap(),
+                            reply: Some(ReplySink::Channel(tx)),
+                            seq: None,
+                        });
+                        if sent.is_ok() {
+                            accepted.push(rx);
+                        }
+                    }
+                    accepted
+                }));
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            node.kill();
+            stop.store(true, Ordering::SeqCst);
+            for handle in submitters {
+                for rx in handle.join().unwrap() {
+                    // Every accepted call gets a reply (value before the kill,
+                    // NodeDown after) within a bounded wait — no stranding.
+                    let _ = rx
+                        .recv_timeout(std::time::Duration::from_secs(5))
+                        .expect("accepted call must be answered");
+                }
+            }
+            // And the node still shuts down cleanly.
+            drop(node);
+        }
     }
 
     #[test]
@@ -570,6 +741,7 @@ mod tests {
                 method: m.method_id("Adder", "add").unwrap(),
                 args: add_args(&m, 1),
                 reply: Some(ReplySink::Channel(tx)),
+                seq: None,
             })
             .unwrap();
             rx.recv().unwrap().unwrap();
@@ -584,6 +756,59 @@ mod tests {
         node.set_woven(false);
         send(obj);
         assert_eq!(fired.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn dedup_window_suppresses_duplicate_deliveries() {
+        let m = marshal();
+        let node = NodeRuntime::spawn(0, m.clone());
+        node.register_class::<Adder>();
+        let obj = construct_adder(&node, &m, 0).unwrap();
+        let add = m.method_id("Adder", "add").unwrap();
+        // Same seq delivered twice as a oneway: the add executes once.
+        for _ in 0..2 {
+            node.submit(Request::Call {
+                obj,
+                method: add,
+                args: add_args(&m, 5),
+                reply: None,
+                seq: Some(7),
+            })
+            .unwrap();
+        }
+        // A replied call duplicated under one seq: executed once, the second
+        // delivery answered from the cached reply.
+        let mut replies = Vec::new();
+        for _ in 0..2 {
+            let (tx, rx) = bounded(1);
+            node.submit(Request::Call {
+                obj,
+                method: add,
+                args: add_args(&m, 1),
+                reply: Some(ReplySink::Channel(tx)),
+                seq: Some(8),
+            })
+            .unwrap();
+            replies.push(rx);
+        }
+        for rx in replies {
+            let ret = rx.recv().unwrap().unwrap();
+            let v = m.decode_ret("Adder", "add", &ret).unwrap();
+            // 0 + 5 (executed once) + 1 (executed once) — both deliveries of
+            // the replied call see the same total.
+            assert_eq!(*v.downcast::<u64>().unwrap(), 6);
+        }
+    }
+
+    #[test]
+    fn dedup_window_evicts_oldest_entries() {
+        let mut w = DedupWindow::new(2);
+        w.record(1, None);
+        w.record(2, None);
+        w.record(3, None);
+        assert!(w.check(1).is_none(), "oldest entry evicted at capacity");
+        assert!(w.check(2).is_some());
+        assert!(w.check(3).is_some());
     }
 
     #[test]

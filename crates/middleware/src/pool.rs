@@ -18,6 +18,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use bytes::{Bytes, BytesMut};
 use parking_lot::{Condvar, Mutex};
@@ -129,6 +130,20 @@ impl ReplySlot {
         }
         mailbox.take().expect("slot filled")
     }
+
+    /// Like `wait`, but give up at `deadline` with a typed
+    /// [`WeaveError::Timeout`]. A timed-out slot may still be filled later
+    /// by the serving side — the caller must abandon the ticket (not
+    /// `finish` it) so the late reply is garbage-collected with the slot.
+    fn wait_until(&self, deadline: Instant, waited_ms: u64) -> WeaveResult<Bytes> {
+        let mut mailbox = self.mailbox.lock();
+        while mailbox.is_none() {
+            if self.ready.wait_until(&mut mailbox, deadline).timed_out() && mailbox.is_none() {
+                return Err(WeaveError::Timeout { waited_ms });
+            }
+        }
+        mailbox.take().expect("slot filled")
+    }
 }
 
 /// The serving side's half of a checked-out [`ReplySlot`]. Consuming `send`
@@ -144,6 +159,15 @@ impl SlotReply {
     pub fn send(mut self, result: WeaveResult<Bytes>) {
         self.sent = true;
         self.slot.fill(result);
+    }
+
+    /// Fault injection: make the reply vanish *silently* — the drop-guard is
+    /// defused, the mailbox is never filled, and the waiter only learns of
+    /// the loss when its deadline expires (a dropped datagram, not an
+    /// error). The slot's Arc is released normally; the abandoned ticket is
+    /// garbage-collected with it.
+    pub(crate) fn discard(mut self) {
+        self.sent = true;
     }
 }
 
@@ -165,6 +189,17 @@ impl SlotTicket {
     /// Block until the reply arrives.
     pub fn wait(&self) -> WeaveResult<Bytes> {
         self.slot.wait()
+    }
+
+    /// Block until the reply arrives or `deadline` passes. On
+    /// [`WeaveError::Timeout`] the ticket must be dropped, NOT
+    /// [`ReplyPool::finish`]ed: the serving side may still fill the slot
+    /// later, and recycling it would leak a stale reply into the next call.
+    pub fn wait_deadline(&self, deadline: Option<Instant>, waited_ms: u64) -> WeaveResult<Bytes> {
+        match deadline {
+            Some(d) => self.slot.wait_until(d, waited_ms),
+            None => self.slot.wait(),
+        }
     }
 }
 
@@ -270,5 +305,41 @@ mod tests {
         drop(reply);
         let err = ticket.wait().unwrap_err();
         assert!(matches!(err, WeaveError::Remote(_)));
+    }
+
+    #[test]
+    fn deadline_wait_times_out_typed() {
+        let pool = ReplyPool::new();
+        let (ticket, reply) = pool.checkout();
+        let deadline = Instant::now() + std::time::Duration::from_millis(20);
+        let err = ticket.wait_deadline(Some(deadline), 20).unwrap_err();
+        assert!(matches!(err, WeaveError::Timeout { waited_ms: 20 }));
+        // The slot is abandoned, not finished: a late reply lands in the
+        // orphaned mailbox and the pool never recycles a poisoned slot.
+        reply.send(Ok(Bytes::copy_from_slice(b"late")));
+        drop(ticket);
+        assert_eq!(pool.pooled(), 0);
+    }
+
+    #[test]
+    fn deadline_wait_returns_early_reply() {
+        let pool = ReplyPool::new();
+        let (ticket, reply) = pool.checkout();
+        reply.send(Ok(Bytes::copy_from_slice(b"fast")));
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        assert_eq!(&*ticket.wait_deadline(Some(deadline), 5000).unwrap(), b"fast");
+        pool.finish(ticket);
+        assert_eq!(pool.pooled(), 1);
+    }
+
+    #[test]
+    fn discarded_reply_stays_silent_until_deadline() {
+        let pool = ReplyPool::new();
+        let (ticket, reply) = pool.checkout();
+        reply.discard();
+        // No drop-guard error: the waiter only learns via its deadline.
+        let deadline = Instant::now() + std::time::Duration::from_millis(15);
+        let err = ticket.wait_deadline(Some(deadline), 15).unwrap_err();
+        assert!(matches!(err, WeaveError::Timeout { .. }));
     }
 }

@@ -62,7 +62,7 @@ pub fn dynamic_farm_aspect(name: impl Into<String>, protocol: DynamicFarmConfig)
                 let (res_tx, res_rx) = unbounded::<(usize, WeaveResult<AnyValue>)>();
                 let ctx = CurrentContext::capture();
                 let mut threads = Vec::with_capacity(workers.len());
-                for worker in workers {
+                for &worker in &workers {
                     let rx = task_rx.clone();
                     let tx = res_tx.clone();
                     let weaver = weaver.clone();
@@ -94,9 +94,14 @@ pub fn dynamic_farm_aspect(name: impl Into<String>, protocol: DynamicFarmConfig)
 
                 let mut slots: Vec<Option<AnyValue>> = (0..total).map(|_| None).collect();
                 let mut first_error = None;
+                let mut orphans: Vec<usize> = Vec::new();
                 for (k, result) in res_rx {
                     match result {
                         Ok(v) => slots[k] = Some(v),
+                        // A pack lost to a dead node is not fatal: a
+                        // demand-driven farm can re-offer it to whichever
+                        // worker still answers once the main wave is done.
+                        Err(e) if e.is_node_loss() => orphans.push(k),
                         Err(e) => {
                             if first_error.is_none() {
                                 first_error = Some(e);
@@ -109,6 +114,39 @@ pub fn dynamic_farm_aspect(name: impl Into<String>, protocol: DynamicFarmConfig)
                 }
                 if let Some(e) = first_error {
                     return Err(e);
+                }
+                for k in orphans {
+                    // Regenerate the orphaned pack from the original
+                    // arguments (packs are consumed by dispatch) and try the
+                    // workers in turn; only node loss moves to the next one.
+                    let mut recovered = None;
+                    let mut last = None;
+                    for offset in 0..workers.len() {
+                        let alt = workers[(k + offset) % workers.len()];
+                        let pack =
+                            (drive.split)(inv.args()?)?.into_iter().nth(k).ok_or_else(|| {
+                                WeaveError::app("dynamic farm cannot regenerate a lost pack")
+                            })?;
+                        match weaver
+                            .invoke_call(alt, drive.class, drive.method, pack)
+                            .and_then(resolve_any)
+                        {
+                            Ok(v) => {
+                                recovered = Some(v);
+                                break;
+                            }
+                            Err(e) if e.is_node_loss() => last = Some(e),
+                            Err(e) => return Err(e),
+                        }
+                    }
+                    match recovered {
+                        Some(v) => slots[k] = Some(v),
+                        None => {
+                            return Err(
+                                last.unwrap_or_else(|| WeaveError::app("dynamic farm lost a pack"))
+                            )
+                        }
+                    }
                 }
                 let results: WeaveResult<Vec<AnyValue>> = slots
                     .into_iter()
@@ -202,6 +240,33 @@ mod tests {
         let w = UnevenProxy::construct(&weaver, 0).unwrap();
         let out = w.crunch(vec![1, 2, 3, 4]).unwrap();
         assert_eq!(out, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn dynamic_farm_redispatches_packs_lost_to_a_dead_node() {
+        use weavepar_middleware::{rmi_distribution_aspect, InProcFabric, MarshalRegistry, Policy};
+        let m = MarshalRegistry::new();
+        m.register::<(u64,), ()>("Uneven", "new");
+        m.register::<(Vec<u64>,), Vec<u64>>("Uneven", "crunch");
+        let fabric = InProcFabric::new(2, m);
+        fabric.register_class::<Uneven>();
+        let weaver = Weaver::new();
+        weaver.plug(dynamic_farm_aspect("Partition+Concurrency", protocol(2, 6)));
+        weaver.plug(rmi_distribution_aspect(
+            "Distribution",
+            "Uneven",
+            Pointcut::call("Uneven.crunch"),
+            fabric.clone(),
+            Policy::round_robin(),
+        ));
+        let w = UnevenProxy::construct(&weaver, 0).unwrap();
+        // One of the two workers' nodes dies: every pack its thread pulls
+        // fails with NodeDown, is collected as an orphan, and is re-offered
+        // to the survivor — the crunch still completes with exact results.
+        fabric.kill_node(1).unwrap();
+        let input: Vec<u64> = (0..12).collect();
+        let out = w.crunch(input.clone()).unwrap();
+        assert_eq!(out, input.iter().map(|x| x + 1).collect::<Vec<_>>());
     }
 
     #[test]

@@ -61,17 +61,63 @@ pub fn farm_aspect(name: impl Into<String>, protocol: FarmConfig) -> Aspect {
                 let scope = BatchScope::enter();
                 for (k, pack) in packs.into_iter().enumerate() {
                     let worker = workers[k % workers.len()];
-                    pending.push(weaver.invoke_call(worker, route.class, route.method, pack)?);
+                    pending.push((k, weaver.invoke_call(worker, route.class, route.method, pack)));
                 }
                 scope.flush();
                 let mut results = Vec::with_capacity(pending.len());
-                for ret in pending {
-                    results.push(resolve_any(ret)?);
+                for (k, ret) in pending {
+                    match ret.and_then(resolve_any) {
+                        Ok(v) => results.push(v),
+                        Err(err) if err.is_node_loss() => {
+                            // Farm property: any worker can process any pack.
+                            // A pack orphaned by a dead node is regenerated
+                            // from the original arguments and offered to the
+                            // surviving workers.
+                            results.push(redispatch_pack(
+                                &weaver,
+                                &route,
+                                &workers,
+                                k,
+                                inv.args()?,
+                                err,
+                            )?);
+                        }
+                        Err(err) => return Err(err),
+                    }
                 }
                 (route.combine)(results)
             },
         )
         .build()
+}
+
+/// Re-dispatch pack `k`, lost to a dead node, on the other workers in
+/// round-robin order starting after the one that failed. Each attempt
+/// regenerates the pack from the original call arguments (argument packs are
+/// consumed by dispatch). Returns the last node-loss error when every worker
+/// is unreachable; non-loss errors abort immediately.
+fn redispatch_pack(
+    weaver: &Weaver,
+    route: &Protocol,
+    workers: &[ObjId],
+    k: usize,
+    original: &Args,
+    err: WeaveError,
+) -> WeaveResult<AnyValue> {
+    let mut last = err;
+    for offset in 1..workers.len() {
+        let alt = workers[(k + offset) % workers.len()];
+        let pack = (route.split)(original)?
+            .into_iter()
+            .nth(k)
+            .ok_or_else(|| WeaveError::app("farm cannot regenerate a lost pack"))?;
+        match weaver.invoke_call(alt, route.class, route.method, pack).and_then(resolve_any) {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_node_loss() => last = e,
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last)
 }
 
 #[cfg(test)]
@@ -196,6 +242,57 @@ pub(crate) mod tests {
         weaver.plug(farm_aspect("Partition", protocol(3, 3)));
         let w2 = WorkerProxy::construct(&weaver, 0).unwrap();
         assert_eq!(w2.compute(vec![3]).unwrap(), vec![6]);
+    }
+
+    fn marshal() -> weavepar_middleware::MarshalRegistry {
+        let m = weavepar_middleware::MarshalRegistry::new();
+        m.register::<(u64,), ()>("Worker", "new");
+        m.register::<(Vec<u64>,), Vec<u64>>("Worker", "compute");
+        m
+    }
+
+    #[test]
+    fn farm_redispatches_orphaned_packs_without_a_supervisor() {
+        use weavepar_middleware::{rmi_distribution_aspect, InProcFabric, Policy};
+        let fabric = InProcFabric::new(2, marshal());
+        fabric.register_class::<Worker>();
+        let weaver = Weaver::new();
+        weaver.plug(farm_aspect("Partition", protocol(2, 4)));
+        weaver.plug(rmi_distribution_aspect(
+            "Distribution",
+            "Worker",
+            Pointcut::call("Worker.compute"),
+            fabric.clone(),
+            Policy::round_robin(),
+        ));
+        let w = WorkerProxy::construct(&weaver, 0).unwrap();
+        // Two workers on nodes 0 and 1; node 1 dies. Its packs are
+        // regenerated and served by the survivor — results identical.
+        fabric.kill_node(1).unwrap();
+        let input: Vec<u64> = (0..16).collect();
+        let out = w.compute(input.clone()).unwrap();
+        assert_eq!(out, input.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn farm_with_every_worker_dead_fails_typed() {
+        use weavepar_middleware::{rmi_distribution_aspect, InProcFabric, Policy};
+        let fabric = InProcFabric::new(2, marshal());
+        fabric.register_class::<Worker>();
+        let weaver = Weaver::new();
+        weaver.plug(farm_aspect("Partition", protocol(2, 2)));
+        weaver.plug(rmi_distribution_aspect(
+            "Distribution",
+            "Worker",
+            Pointcut::call("Worker.compute"),
+            fabric.clone(),
+            Policy::round_robin(),
+        ));
+        let w = WorkerProxy::construct(&weaver, 0).unwrap();
+        fabric.kill_node(0).unwrap();
+        fabric.kill_node(1).unwrap();
+        let err = w.compute(vec![1, 2]).unwrap_err();
+        assert!(err.is_node_loss(), "unexpected error: {err}");
     }
 }
 

@@ -16,7 +16,10 @@
 //! * [`heartbeat`] — block duplication plus an iterate/exchange/step driver
 //!   for stencil-style computations;
 //! * [`divide_conquer`] — object creation at *call* join points, unfolding a
-//!   recursion tree of sub-workers (the §4.1 divide-and-conquer remark).
+//!   recursion tree of sub-workers (the §4.1 divide-and-conquer remark);
+//! * [`supervisor`] — fault tolerance as one more pluggable layer: worker
+//!   checkpoints, node-loss detection and re-dispatch of orphaned tasks,
+//!   woven outside the distribution aspect.
 //!
 //! Every protocol is *generic*: it quantifies over a weaveable class by name
 //! and composes with the application through a small set of closures
@@ -34,6 +37,7 @@ pub mod dynamic_farm;
 pub mod farm;
 pub mod heartbeat;
 pub mod pipeline;
+pub mod supervisor;
 
 pub use common::{
     CollectFn, ExchangeFn, IterationsFn, MapArgsFn, PredicateFn, Protocol, RankedArgsFn, SplitFn,
@@ -43,3 +47,4 @@ pub use dynamic_farm::{dynamic_farm_aspect, DynamicFarmConfig};
 pub use farm::{farm_aspect, FarmConfig};
 pub use heartbeat::{heartbeat_aspect, HeartbeatConfig};
 pub use pipeline::{pipeline_aspect, PipelineConfig};
+pub use supervisor::{supervisor_aspect, SupervisorStats};

@@ -61,6 +61,10 @@ pub mod precedence {
     /// Optimisation aspects (caching, message packing); they sit just outside
     /// distribution so they can elide or batch remote calls.
     pub const OPTIMISATION: i32 = 250;
+    /// Supervision aspects (fault detection, worker recovery, task
+    /// re-dispatch): outside distribution so a `NodeDown` surfacing from a
+    /// remote call is caught and repaired before the partition layer sees it.
+    pub const SUPERVISION: i32 = 275;
     /// Distribution aspects (remote redirection), innermost.
     pub const DISTRIBUTION: i32 = 300;
 }

@@ -46,6 +46,23 @@ pub enum WeaveError {
     /// A distribution middleware failure (connection, marshalling, remote
     /// dispatch). Mirrors Java's `RemoteException` in the paper's Figure 14.
     Remote(String),
+    /// A cluster node is known to be dead. Not retryable against the same
+    /// node: recovery means picking a *different* node (a supervisor's job),
+    /// not submitting the same request again.
+    NodeDown {
+        /// The dead node's index.
+        node: usize,
+    },
+    /// A call exceeded its deadline. Retryable: the request may have been
+    /// lost (or merely delayed — at-most-once dedup on the serving side
+    /// makes the retry safe either way).
+    Timeout {
+        /// How long the caller waited, milliseconds.
+        waited_ms: u64,
+    },
+    /// A transient middleware failure (injected drop, transport hiccup) that
+    /// is safe to retry under a [`CallPolicy`]-style backoff.
+    Retryable(String),
     /// Error surfaced from aspect or application code.
     App(String),
 }
@@ -59,6 +76,24 @@ impl WeaveError {
     /// Convenience constructor for remote/middleware errors.
     pub fn remote(msg: impl Into<String>) -> Self {
         WeaveError::Remote(msg.into())
+    }
+
+    /// Convenience constructor for transient, retry-safe failures.
+    pub fn retryable(msg: impl Into<String>) -> Self {
+        WeaveError::Retryable(msg.into())
+    }
+
+    /// Would submitting the same request again plausibly succeed?
+    /// `Timeout` and `Retryable` qualify; `NodeDown` does not — the node
+    /// stays dead, so recovery needs a different placement.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, WeaveError::Timeout { .. } | WeaveError::Retryable(_))
+    }
+
+    /// Did a node die under this call? Supervisors key their recovery
+    /// (restore on a survivor + re-dispatch) on this predicate.
+    pub fn is_node_loss(&self) -> bool {
+        matches!(self, WeaveError::NodeDown { .. })
     }
 }
 
@@ -81,6 +116,11 @@ impl fmt::Display for WeaveError {
             WeaveError::NoTarget => write!(f, "join point has no target object"),
             WeaveError::Construction(msg) => write!(f, "construction failed: {msg}"),
             WeaveError::Remote(msg) => write!(f, "remote invocation failed: {msg}"),
+            WeaveError::NodeDown { node } => write!(f, "node {node} is down"),
+            WeaveError::Timeout { waited_ms } => {
+                write!(f, "call timed out after {waited_ms} ms")
+            }
+            WeaveError::Retryable(msg) => write!(f, "transient failure (retryable): {msg}"),
             WeaveError::App(msg) => write!(f, "application error: {msg}"),
         }
     }
@@ -103,11 +143,25 @@ mod tests {
             WeaveError::NoTarget,
             WeaveError::Construction("boom".into()),
             WeaveError::Remote("link down".into()),
+            WeaveError::NodeDown { node: 3 },
+            WeaveError::Timeout { waited_ms: 250 },
+            WeaveError::Retryable("dropped".into()),
             WeaveError::App("oops".into()),
         ];
         for e in cases {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn retryability_partition() {
+        assert!(WeaveError::Timeout { waited_ms: 1 }.is_retryable());
+        assert!(WeaveError::retryable("x").is_retryable());
+        assert!(!WeaveError::NodeDown { node: 0 }.is_retryable());
+        assert!(!WeaveError::remote("x").is_retryable());
+        assert!(!WeaveError::app("x").is_retryable());
+        assert!(WeaveError::NodeDown { node: 0 }.is_node_loss());
+        assert!(!WeaveError::Timeout { waited_ms: 1 }.is_node_loss());
     }
 
     #[test]

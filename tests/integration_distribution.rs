@@ -212,7 +212,7 @@ fn node_failure_surfaces_through_the_whole_stack() {
     let run = build_sieve(SieveConfig { packs: 6, nodes: 3, ..SieveConfig::farm_rmi(3) });
     run.fabric.as_ref().unwrap().kill_node(1).unwrap();
     let err = run_sieve(&run, 2_000).unwrap_err();
-    assert!(matches!(err, WeaveError::Remote(_)), "got {err:?}");
+    assert!(err.is_node_loss(), "expected a typed NodeDown, got {err:?}");
 }
 
 #[test]
