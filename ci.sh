@@ -34,10 +34,25 @@ CHAOS_SEED="$CHAOS_SEED" cargo test --release -q -p weavepar-apps --test chaos_m
     exit 1
 }
 
+# Autotuner convergence under a randomised seed: the hill-climb trajectory is
+# a pure function of TUNE_SEED, so a failure here is replayed exactly by
+# re-running with the printed seed exported (the test also embeds the seed in
+# its assertion message).
+TUNE_SEED=$(awk 'BEGIN { srand(); printf "%d", rand() * 2147483647 }')
+echo "==> autotuner convergence, randomised seed TUNE_SEED=$TUNE_SEED (--release)"
+TUNE_SEED="$TUNE_SEED" cargo test --release -q -p weavepar tuning::tests::climbs_a_u_shaped || {
+    echo "autotuner convergence failed under TUNE_SEED=$TUNE_SEED — replay with:"
+    echo "  TUNE_SEED=$TUNE_SEED cargo test --release -p weavepar tuning::tests::climbs_a_u_shaped"
+    exit 1
+}
+
 echo "==> cargo bench --workspace --no-run"
 cargo bench --workspace --no-run
 
 echo "==> remote_throughput smoke (WEAVEPAR_BENCH_QUICK=1)"
 WEAVEPAR_BENCH_QUICK=1 cargo bench -p weavepar-bench --bench remote_throughput
+
+echo "==> autotune_throughput smoke (WEAVEPAR_BENCH_QUICK=1, pinned TUNE_SEED)"
+WEAVEPAR_BENCH_QUICK=1 cargo bench -p weavepar-bench --bench autotune_throughput
 
 echo "CI OK"

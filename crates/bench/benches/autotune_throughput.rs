@@ -1,0 +1,309 @@
+//! Adaptive grain-size autotuning vs. static pack sizes (PR 8 tentpole).
+//!
+//! Run with: `cargo bench -p weavepar-bench --bench autotune_throughput`
+//!
+//! The scenario: a 4-worker farm over a pooled executor, whose split grain
+//! (packs per call) is a live tunable. Two workloads:
+//!
+//! * `uniform`    — every item costs the same; optimal grain is a small
+//!   multiple of the worker count (coarse packs amortise per-pack overhead,
+//!   but one pack serialises everything);
+//! * `heavy_tail` — the first quarter of the items carries ~80% of the
+//!   cost; coarse packs trap the heavy region in one pack (load imbalance),
+//!   pushing the optimum toward finer grain than `uniform`'s.
+//!
+//! Item "cost" is a worker-side sleep (sleeps overlap across pool workers,
+//! so load balance matters even on a single-core container) plus a CPU-spin
+//! per pack call (the per-pack overhead that punishes over-fine grain).
+//!
+//! Three configurations per workload:
+//!
+//! * statics — the pack hint pinned at each of {1, 2, 4, 8, 16, 32, 64};
+//!   `worst_static` / `best_static` are the measured extremes;
+//! * `adaptive` — the pack hint starts at the same default as every run
+//!   (packs = 1) and is driven by the seeded hill-climb controller
+//!   ([`autotune_aspect_at`] observing the whole farmed call from outside
+//!   the partition layer).
+//!
+//! Acceptance (checked here, recorded in the JSON): adaptive's steady-state
+//! median is within 10% of the best static and ≥ 1.3× the worst static on
+//! both workloads. Hand-rolled harness (same contract as the other benches):
+//! writes `BENCH_autotune.json` at the workspace root; with
+//! `WEAVEPAR_BENCH_QUICK=1` it runs a tiny smoke and skips the JSON and the
+//! acceptance assertions (used by ci.sh alongside the seeded controller
+//! tests).
+
+use std::sync::atomic::AtomicU32;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use weavepar::prelude::*;
+use weavepar::skeletons::{farm_aspect_tuned, hints, Protocol};
+use weavepar::tuning::{autotune_aspect_at, Autotuner, Step, Tunable, TuneConfig};
+use weavepar::{args, weaveable};
+
+/// Per-pack CPU overhead, microseconds (spin: does not overlap).
+const PACK_OVERHEAD_US: u64 = 40;
+const WORKERS: usize = 4;
+const DEFAULT_PACKS: u32 = 1;
+const STATIC_PACKS: [u32; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+struct Knobs {
+    items: usize,
+    warmup: usize,
+    rounds: usize,
+    adapt_calls: usize,
+    measure_calls: usize,
+    statics: Vec<u32>,
+    quick: bool,
+}
+
+impl Knobs {
+    fn from_env() -> Self {
+        if std::env::var("WEAVEPAR_BENCH_QUICK").is_ok_and(|v| v == "1") {
+            Knobs {
+                items: 64,
+                warmup: 1,
+                rounds: 3,
+                adapt_calls: 12,
+                measure_calls: 6,
+                statics: vec![1, 8, 64],
+                quick: true,
+            }
+        } else {
+            Knobs {
+                items: 256,
+                warmup: 2,
+                rounds: 9,
+                adapt_calls: 48,
+                measure_calls: 25,
+                statics: STATIC_PACKS.to_vec(),
+                quick: false,
+            }
+        }
+    }
+}
+
+struct Work;
+
+weaveable! {
+    class Work as WorkProxy {
+        fn new(_seed: u64) -> Self { Work }
+        fn crunch(&mut self, items: Vec<u64>) -> u64 {
+            // Per-pack overhead: CPU spin (serialises across packs).
+            let spin_until = Instant::now() + Duration::from_micros(PACK_OVERHEAD_US);
+            while Instant::now() < spin_until {
+                std::hint::spin_loop();
+            }
+            // Pack payload: item values are their cost in µs; one sleep for
+            // the pack total (sleeps overlap across pool workers).
+            let cost: u64 = items.iter().sum();
+            std::thread::sleep(Duration::from_micros(cost));
+            items.len() as u64
+        }
+    }
+}
+
+/// Item costs (µs) for one workload.
+fn workload_items(workload: &str, n: usize) -> Vec<u64> {
+    match workload {
+        // 256 × 16µs = 4.1ms of sleep.
+        "uniform" => vec![16; n],
+        // First quarter heavy: 64 × 100µs + 192 × 8µs ≈ 7.9ms, ~80% of it
+        // in the first quarter of the index space.
+        _ => (0..n).map(|i| if i < n / 4 { 100 } else { 8 }).collect(),
+    }
+}
+
+/// The farm protocol with a grain-aware split: the pack count comes from
+/// the tuner's published hint, falling back to the captured default.
+fn protocol() -> Protocol {
+    Protocol {
+        class: "Work",
+        method: "crunch",
+        workers: WORKERS,
+        worker_args: Arc::new(|_r, _n, orig: &Args| Ok(args![*orig.get::<u64>(0)?])),
+        split: Arc::new(|a: &Args| {
+            let items = a.get::<Vec<u64>>(0)?;
+            let packs = hints::packs_or(DEFAULT_PACKS as usize);
+            let chunk = items.len().div_ceil(packs.max(1)).max(1);
+            Ok(items.chunks(chunk).map(|c| args![c.to_vec()]).collect())
+        }),
+        reforward: Arc::new(|v: AnyValue| Ok(Args::from_values(vec![v]))),
+        combine: Arc::new(|vs: Vec<AnyValue>| {
+            let mut total = 0u64;
+            for v in vs {
+                total += weavepar::weave::value::downcast_ret::<u64>(v)?;
+            }
+            Ok(weavepar::ret!(total))
+        }),
+    }
+}
+
+struct Rig {
+    weaver: Weaver,
+    proxy: WorkProxy,
+    cell: Arc<AtomicU32>,
+    executor: Executor,
+}
+
+/// A fresh farm + pooled-concurrency stack whose pack grain is `cell`.
+fn rig() -> Rig {
+    let weaver = Weaver::new();
+    let cell = Arc::new(AtomicU32::new(DEFAULT_PACKS));
+    weaver.plug(farm_aspect_tuned("Partition", protocol(), Some(cell.clone())));
+    let executor = Executor::pool(WORKERS, "autotune-bench");
+    // Only the farm's dispatch calls run asynchronously; the outer core
+    // call stays synchronous so its wall time is the farmed-call latency.
+    for a in future_concurrency_aspect(
+        "Concurrency",
+        Pointcut::call_sig("Work", "crunch").and(Pointcut::within_core().not()),
+        executor.clone(),
+    ) {
+        weaver.plug(a);
+    }
+    let proxy = WorkProxy::construct(&weaver, 0).expect("construct farm");
+    Rig { weaver, proxy, cell, executor }
+}
+
+/// One timed outer call; returns µs.
+fn timed_call(rig: &Rig, items: &[u64]) -> f64 {
+    let start = Instant::now();
+    let n = rig.proxy.crunch(items.to_vec()).expect("crunch");
+    assert_eq!(n as usize, items.len(), "farm lost items");
+    start.elapsed().as_nanos() as f64 / 1e3
+}
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mid = samples.len() / 2;
+    if samples.len().is_multiple_of(2) {
+        (samples[mid - 1] + samples[mid]) / 2.0
+    } else {
+        samples[mid]
+    }
+}
+
+/// Median µs/call at a pinned static pack count.
+fn run_static(knobs: &Knobs, items: &[u64], packs: u32) -> f64 {
+    let rig = rig();
+    rig.cell.store(packs, std::sync::atomic::Ordering::Relaxed);
+    let mut samples = Vec::with_capacity(knobs.rounds);
+    for round in 0..knobs.warmup + knobs.rounds {
+        let us = timed_call(&rig, items);
+        if round >= knobs.warmup {
+            samples.push(us);
+        }
+    }
+    rig.executor.wait_idle();
+    median(samples)
+}
+
+/// Median µs/call of the adaptive run's steady-state tail, plus the final
+/// pack count the controller converged to.
+fn run_adaptive(knobs: &Knobs, items: &[u64], seed: u64) -> (f64, u32) {
+    let rig = rig();
+    let tuner =
+        Autotuner::new(TuneConfig { epoch_calls: 2, seed, hysteresis: 0.05, settle: 0, dwell: 2 });
+    tuner.register(Tunable::bound(
+        "farm.packs",
+        rig.cell.clone(),
+        DEFAULT_PACKS,
+        1,
+        64,
+        Step::Mul(2),
+    ));
+    // The observer sits OUTSIDE the partition layer (precedence below
+    // PARTITION) so each observation is the whole split/dispatch/combine.
+    rig.weaver.plug(autotune_aspect_at(
+        "Autotune",
+        Pointcut::call_sig("Work", "crunch").and(Pointcut::within_core()),
+        tuner.clone(),
+        weavepar::weave::aspect::precedence::PARTITION - 10,
+    ));
+    for _ in 0..knobs.adapt_calls {
+        timed_call(&rig, items);
+    }
+    let mut samples = Vec::with_capacity(knobs.measure_calls);
+    for _ in 0..knobs.measure_calls {
+        samples.push(timed_call(&rig, items));
+    }
+    rig.executor.wait_idle();
+    (median(samples), rig.cell.load(std::sync::atomic::Ordering::Relaxed))
+}
+
+fn main() {
+    let _ = std::env::args();
+    let knobs = Knobs::from_env();
+    let seed = std::env::var("TUNE_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42u64);
+
+    let mut json_cells = Vec::new();
+    let mut summaries = Vec::new();
+    for workload in ["uniform", "heavy_tail"] {
+        let items = workload_items(workload, knobs.items);
+        println!("\n== {workload} (median µs/farmed call, {} rounds) ==", knobs.rounds);
+        let mut best = f64::MAX;
+        let mut worst = f64::MIN;
+        let mut best_packs = 0;
+        let mut worst_packs = 0;
+        for &packs in &knobs.statics {
+            let us = run_static(&knobs, &items, packs);
+            println!("{:>18} {us:>12.0}", format!("static packs={packs}"));
+            json_cells.push(format!(
+                "    {{\"workload\": \"{workload}\", \"config\": \"static_p{packs}\", \"median_us_per_call\": {us:.1}}}"
+            ));
+            if us < best {
+                best = us;
+                best_packs = packs;
+            }
+            if us > worst {
+                worst = us;
+                worst_packs = packs;
+            }
+        }
+        let (adaptive, converged) = run_adaptive(&knobs, &items, seed);
+        println!("{:>18} {adaptive:>12.0}  (converged packs={converged})", "adaptive");
+        json_cells.push(format!(
+            "    {{\"workload\": \"{workload}\", \"config\": \"adaptive\", \"median_us_per_call\": {adaptive:.1}, \"seed\": {seed}, \"converged_packs\": {converged}}}"
+        ));
+
+        let vs_best = adaptive / best;
+        let vs_worst = worst / adaptive;
+        println!(
+            "    best static packs={best_packs} ({best:.0}µs)  worst static packs={worst_packs} \
+             ({worst:.0}µs)  adaptive/best={vs_best:.2}  worst/adaptive={vs_worst:.2}x"
+        );
+        summaries.push(format!(
+            "    {{\"workload\": \"{workload}\", \"best_static_packs\": {best_packs}, \
+             \"best_static_us\": {best:.1}, \"worst_static_packs\": {worst_packs}, \
+             \"worst_static_us\": {worst:.1}, \"adaptive_us\": {adaptive:.1}, \
+             \"adaptive_over_best\": {vs_best:.3}, \"worst_over_adaptive\": {vs_worst:.3}}}"
+        ));
+        if !knobs.quick {
+            assert!(
+                vs_best <= 1.10,
+                "TUNE_SEED={seed}: {workload}: adaptive ({adaptive:.0}µs) not within 10% of \
+                 best static packs={best_packs} ({best:.0}µs)"
+            );
+            assert!(
+                vs_worst >= 1.3,
+                "TUNE_SEED={seed}: {workload}: adaptive ({adaptive:.0}µs) not ≥1.3x the worst \
+                 static packs={worst_packs} ({worst:.0}µs)"
+            );
+        }
+    }
+
+    if knobs.quick {
+        println!("\nquick mode: skipping BENCH_autotune.json and acceptance bounds");
+        return;
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"autotune_throughput\",\n  \"unit\": \"us_per_call\",\n  \"rounds\": {},\n  \"seed\": {seed},\n  \"summary\": [\n{}\n  ],\n  \"cells\": [\n{}\n  ]\n}}\n",
+        knobs.rounds,
+        summaries.join(",\n"),
+        json_cells.join(",\n")
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_autotune.json");
+    std::fs::write(out, json).expect("write BENCH_autotune.json");
+    println!("\nwrote {out}");
+}

@@ -91,6 +91,16 @@ impl Executor {
         }
     }
 
+    /// The pooled backend's batch-submission grain cell (0 = whole-batch
+    /// submission), for binding to a tuning controller. `None` for the
+    /// thread-per-call executor, which has no queue to chunk.
+    pub fn batch_grain_cell(&self) -> Option<Arc<std::sync::atomic::AtomicU32>> {
+        match self {
+            Executor::ThreadPerCall(_) => None,
+            Executor::Pool(pool) => Some(pool.batch_grain_cell()),
+        }
+    }
+
     /// True when `other` is a clone of this executor (same tracker/pool).
     pub fn same_as(&self, other: &Executor) -> bool {
         match (self, other) {

@@ -22,6 +22,7 @@
 //! | [`cluster`] | deterministic discrete-event cluster simulator for the paper's testbed (§6) |
 //! | [`stack`] | [`ConcernStack`]: the plug/unplug lifecycle of the four concern categories |
 //! | [`optimisation`] | optimisation aspects: object cache, call batching, pooled execution (§4.4) |
+//! | [`tuning`] | adaptive grain-size autotuning: tunables, feedback controller, autotune aspect |
 //! | [`logging`] | the Figure 3 logging aspect as a structure-inspection tool |
 //!
 //! ## Quickstart
@@ -76,9 +77,11 @@
 pub mod logging;
 pub mod optimisation;
 pub mod stack;
+pub mod tuning;
 
 pub use logging::{logging_aspect, CallLog, CallRecord};
 pub use stack::{Concern, ConcernStack};
+pub use tuning::{autotune_aspect, autotune_aspect_at, Autotuner, Step, Tunable, TuneConfig};
 
 // Re-export the sub-crates under stable names.
 pub use weavepar_cluster as cluster;

@@ -105,30 +105,120 @@ impl std::fmt::Debug for CacheStats {
 }
 
 /// The cache-objects optimisation: matched calls are memoised per
-/// `(target, key)`. Returns the aspect and its statistics handle.
+/// `(target, key)`, unbounded. Returns the aspect and its statistics handle.
+/// See [`object_cache_aspect_bounded`] for the capacity-limited variant —
+/// both share the single-flight miss path.
 pub fn object_cache_aspect(
     name: impl Into<String>,
     pointcut: Pointcut,
     policy: CachePolicy,
 ) -> (Aspect, CacheStats) {
+    object_cache_aspect_bounded(name, pointcut, policy, usize::MAX)
+}
+
+/// Entries plus the LRU clock, under one mutex.
+struct CacheStore {
+    map: HashMap<(ObjId, String), (AnyValue, u64)>,
+    tick: u64,
+}
+
+impl CacheStore {
+    fn touch(&mut self, key: &(ObjId, String)) -> Option<&AnyValue> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|(v, stamp)| {
+            *stamp = tick;
+            &*v
+        })
+    }
+
+    fn insert_bounded(&mut self, key: (ObjId, String), value: AnyValue, capacity: usize) {
+        if capacity == 0 {
+            return;
+        }
+        if self.map.len() >= capacity && !self.map.contains_key(&key) {
+            // Evict the least-recently-used entry (min stamp). A linear scan
+            // is fine at the capacities this aspect targets: eviction runs
+            // only on an over-capacity *miss*, which just paid a `proceed`.
+            if let Some(oldest) =
+                self.map.iter().min_by_key(|(_, (_, stamp))| *stamp).map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.insert(key, (value, tick));
+    }
+}
+
+/// [`object_cache_aspect`] with a bounded capacity (LRU eviction) and a
+/// **single-flight** miss path: when several threads miss the same
+/// `(target, key)` at once, exactly one proceeds while the rest wait for its
+/// result — the point of a cache in front of an expensive (possibly remote)
+/// call is precisely *not* to issue it N times. If the leader's call fails,
+/// waiters retry (one becomes the next leader); errors are never cached.
+pub fn object_cache_aspect_bounded(
+    name: impl Into<String>,
+    pointcut: Pointcut,
+    policy: CachePolicy,
+    capacity: usize,
+) -> (Aspect, CacheStats) {
     let stats = CacheStats::default();
     let stats_inner = stats.clone();
-    let cache: Arc<Mutex<HashMap<(ObjId, String), AnyValue>>> =
-        Arc::new(Mutex::new(HashMap::new()));
+    let cache = Arc::new(Mutex::new(CacheStore { map: HashMap::new(), tick: 0 }));
+    type InflightMap = HashMap<(ObjId, String), Arc<crate::tuning::Flight>>;
+    let inflight: Arc<Mutex<InflightMap>> = Arc::new(Mutex::new(HashMap::new()));
     let aspect = Aspect::named(name)
         .precedence(precedence::OPTIMISATION)
         .around(pointcut, move |inv: &mut Invocation| {
             let target = inv.target_required()?;
             let key = (policy.key)(inv.args()?)?;
-            if let Some(hit) = cache.lock().get(&(target, key.clone())) {
-                stats_inner.inner.lock().0 += 1;
-                return (policy.clone_ret)(hit);
+            let key = (target, key);
+            loop {
+                if let Some(hit) = cache.lock().touch(&key) {
+                    stats_inner.inner.lock().0 += 1;
+                    return (policy.clone_ret)(hit);
+                }
+                // Miss: elect a leader for this key.
+                let flight = {
+                    let mut inflight = inflight.lock();
+                    match inflight.get(&key) {
+                        Some(f) => Some(f.clone()),
+                        None => {
+                            inflight.insert(key.clone(), Arc::new(crate::tuning::Flight::new()));
+                            None
+                        }
+                    }
+                };
+                let Some(flight) = flight else {
+                    // Leader: proceed with no locks held, then publish the
+                    // entry *before* releasing the flight so woken waiters
+                    // find it on their re-check.
+                    let result = inv.proceed().and_then(|ret| {
+                        let copy = (policy.clone_ret)(&ret)?;
+                        Ok((ret, copy))
+                    });
+                    let ret = match result {
+                        Ok((ret, copy)) => {
+                            cache.lock().insert_bounded(key.clone(), copy, capacity);
+                            stats_inner.inner.lock().1 += 1;
+                            Ok(ret)
+                        }
+                        // Failure: nothing is cached; releasing the flight
+                        // lets a waiter retry as the next leader.
+                        Err(e) => Err(e),
+                    };
+                    let f = inflight.lock().remove(&key);
+                    if let Some(f) = f {
+                        f.complete();
+                    }
+                    return ret;
+                };
+                // Follower: wait for the leader, then re-check the cache (a
+                // failed leader leaves it empty, and the loop elects anew).
+                flight.wait();
             }
-            let ret = inv.proceed()?;
-            stats_inner.inner.lock().1 += 1;
-            let copy = (policy.clone_ret)(&ret)?;
-            cache.lock().insert((target, key), copy);
-            Ok(ret)
         })
         .build();
     (aspect, stats)
@@ -338,6 +428,80 @@ mod tests {
         // A different argument misses.
         assert_eq!(e.work(vec![9]).unwrap(), vec![10]);
         assert_eq!(stats.misses(), 2);
+    }
+
+    static SLOW_EXECUTIONS: AtomicU64 = AtomicU64::new(0);
+
+    struct Slow;
+
+    weavepar_weave::weaveable! {
+        class Slow as SlowProxy {
+            fn new() -> Self { Slow }
+            fn work(&mut self, x: u64) -> u64 {
+                SLOW_EXECUTIONS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                std::thread::sleep(std::time::Duration::from_millis(40));
+                x * 2
+            }
+        }
+    }
+
+    #[test]
+    fn racing_misses_are_single_flight() {
+        let weaver = Weaver::new();
+        let (aspect, stats) = object_cache_aspect_bounded(
+            "Cache",
+            Pointcut::call("Slow.work"),
+            CachePolicy::unary::<u64, u64>(),
+            16,
+        );
+        weaver.plug(aspect);
+        let s = SlowProxy::construct(&weaver).unwrap();
+        let target = s.id();
+        let before = SLOW_EXECUTIONS.load(Ordering::Relaxed);
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let weaver = weaver.clone();
+                std::thread::spawn(move || {
+                    let ret = weaver
+                        .invoke_call(target, "Slow", "work", weavepar_weave::args![21u64])
+                        .unwrap();
+                    *ret.downcast::<u64>().unwrap()
+                })
+            })
+            .collect();
+        for t in threads {
+            assert_eq!(t.join().unwrap(), 42);
+        }
+        assert_eq!(
+            SLOW_EXECUTIONS.load(Ordering::Relaxed) - before,
+            1,
+            "racing misses on one key must collapse to a single proceed"
+        );
+        assert_eq!(stats.misses(), 1);
+        assert_eq!(stats.hits(), 3, "the three waiters are answered from the cache");
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        let weaver = Weaver::new();
+        let (aspect, stats) = object_cache_aspect_bounded(
+            "Cache",
+            Pointcut::call("Expensive.work"),
+            CachePolicy::unary::<Vec<u64>, Vec<u64>>(),
+            2,
+        );
+        weaver.plug(aspect);
+        let e = ExpensiveProxy::construct(&weaver).unwrap();
+        let before = executions();
+        e.work(vec![1]).unwrap(); // miss: {1}
+        e.work(vec![2]).unwrap(); // miss: {1, 2}
+        e.work(vec![1]).unwrap(); // hit, refreshes 1
+        e.work(vec![3]).unwrap(); // miss: evicts LRU {2} -> {1, 3}
+        assert_eq!(e.work(vec![1]).unwrap(), vec![2], "recently used survives");
+        assert_eq!(stats.hits(), 2);
+        e.work(vec![2]).unwrap(); // miss again: 2 was the evictee
+        assert_eq!(stats.misses(), 4);
+        assert_eq!(executions() - before, 4);
     }
 
     #[test]

@@ -1,0 +1,739 @@
+//! Adaptive grain-size autotuning as a pluggable optimisation aspect.
+//!
+//! The paper's experiments (§6) fix each skeleton's granularity — packs per
+//! farm call, batch sizes, packing thresholds — by hand, per machine. This
+//! module closes that loop at run time: skeletons and aspects register
+//! **tunables** (live `AtomicU32` cells such as a farm's pack count, the
+//! executor's batch grain, the message packer's flush thresholds, or the
+//! fabric's reply backend), completed calls report **observations** into
+//! lock-free sharded accumulators, and a feedback **controller** adjusts one
+//! tunable at a time toward the throughput gradient.
+//!
+//! The controller is a seeded coordinate-descent hill climber with
+//! hysteresis: every epoch (a fixed number of observations) it scores the
+//! workload as completions per unit of service time, compares against the
+//! previous epoch, and either keeps climbing the active coordinate, or
+//! reverts the probe, flips direction and rotates to the next coordinate.
+//! All decisions are a pure function of `(seed, observation sequence)` —
+//! epochs are triggered by observation *count*, never wall-clock — so a
+//! trajectory replays exactly under a fixed seed.
+//!
+//! In keeping with the paper's methodology the whole mechanism is exposed as
+//! a plain aspect, [`autotune_aspect`], at `OPTIMISATION` precedence: plug
+//! it to start adapting, unplug it to stop. **Unplug semantics** (documented
+//! choice): tunables keep their last adapted values — the tuned
+//! configuration is the artefact the controller produced — and
+//! [`Autotuner::reset_all`] restores every registered cell to its default.
+//! The optional background controller thread holds only a [`Weak`] reference
+//! and stops via [`Autotuner::stop`] or when the tuner is dropped, so no
+//! thread outlives the tuner.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use weavepar_weave::aspect::precedence;
+use weavepar_weave::prelude::*;
+
+/// How a tunable moves between values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// Additive steps: `v ± k` (k ≥ 1).
+    Add(u32),
+    /// Geometric steps: `v * k` / `v / k` (k ≥ 2) — the natural scale for
+    /// pack counts and batch sizes, where interesting values span decades.
+    Mul(u32),
+}
+
+impl Step {
+    fn up(self, v: u32) -> u32 {
+        match self {
+            Step::Add(k) => v.saturating_add(k.max(1)),
+            Step::Mul(k) => v.max(1).saturating_mul(k.max(2)),
+        }
+    }
+
+    fn down(self, v: u32) -> u32 {
+        match self {
+            Step::Add(k) => v.saturating_sub(k.max(1)),
+            Step::Mul(k) => v / k.max(2),
+        }
+    }
+}
+
+/// One adjustable parameter: a named, range-clamped `AtomicU32` cell.
+///
+/// The cell can be owned by the tunable or **bound** to one that already
+/// exists elsewhere — the message packer's `max_calls` cell, the pool's
+/// batch-grain cell, the fabric's reply-backend selector — so the consumer
+/// keeps reading its own atomic and never learns a tuner exists.
+#[derive(Clone)]
+pub struct Tunable {
+    name: &'static str,
+    cell: Arc<AtomicU32>,
+    default: u32,
+    min: u32,
+    max: u32,
+    step: Step,
+}
+
+impl Tunable {
+    /// A tunable owning a fresh cell initialised to `default`.
+    pub fn new(name: &'static str, default: u32, min: u32, max: u32, step: Step) -> Self {
+        Self::bound(name, Arc::new(AtomicU32::new(default)), default, min, max, step)
+    }
+
+    /// A tunable driving an existing cell (the cell is set to `default`).
+    pub fn bound(
+        name: &'static str,
+        cell: Arc<AtomicU32>,
+        default: u32,
+        min: u32,
+        max: u32,
+        step: Step,
+    ) -> Self {
+        let (min, max) = (min.min(max), max.max(min));
+        let default = default.clamp(min, max);
+        cell.store(default, Ordering::Relaxed);
+        Tunable { name, cell, default, min, max, step }
+    }
+
+    /// The tunable's name (diagnostics and trajectories).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The live cell, for handing to the consuming subsystem.
+    pub fn cell(&self) -> Arc<AtomicU32> {
+        self.cell.clone()
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u32 {
+        self.cell.load(Ordering::Relaxed)
+    }
+
+    /// Set (clamped to the tunable's range).
+    pub fn set(&self, v: u32) {
+        self.cell.store(v.clamp(self.min, self.max), Ordering::Relaxed);
+    }
+
+    /// Restore the default value.
+    pub fn reset(&self) {
+        self.cell.store(self.default, Ordering::Relaxed);
+    }
+
+    /// The default value.
+    pub fn default_value(&self) -> u32 {
+        self.default
+    }
+
+    fn moved(&self, v: u32, dir: i8) -> u32 {
+        let next = if dir > 0 { self.step.up(v) } else { self.step.down(v) };
+        next.clamp(self.min, self.max)
+    }
+}
+
+impl std::fmt::Debug for Tunable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Tunable({}={} in {}..={}, {:?})",
+            self.name,
+            self.get(),
+            self.min,
+            self.max,
+            self.step
+        )
+    }
+}
+
+/// Controller configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TuneConfig {
+    /// Observations per controller epoch (decision cadence).
+    pub epoch_calls: u32,
+    /// Seed for the initial probe directions; the whole trajectory is a pure
+    /// function of `(seed, observations)`.
+    pub seed: u64,
+    /// Relative improvement a probe must show to be accepted (e.g. `0.05` =
+    /// 5%). The guard against chasing measurement noise.
+    pub hysteresis: f64,
+    /// Epochs to discard after each move before judging it, letting queues
+    /// drain into the new regime.
+    pub settle: u32,
+    /// Epochs to sit at the incumbent configuration after a rejected probe
+    /// before probing again. Larger values spend more of the workload at
+    /// the best-known configuration (tighter steady-state medians) at the
+    /// cost of slower re-adaptation when the workload shifts.
+    pub dwell: u32,
+}
+
+impl Default for TuneConfig {
+    fn default() -> Self {
+        TuneConfig { epoch_calls: 64, seed: 42, hysteresis: 0.05, settle: 0, dwell: 1 }
+    }
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const SHARDS: usize = 8;
+
+/// One observation accumulator shard: plain `fetch_add` counters, no locks
+/// on the completion path.
+#[derive(Default)]
+struct Shard {
+    count: AtomicU64,
+    service_ns: AtomicU64,
+    queue: AtomicU64,
+    bytes: AtomicU64,
+}
+
+fn shard_index() -> usize {
+    use std::cell::Cell;
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static MINE: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    MINE.with(|m| {
+        let mut idx = m.get();
+        if idx == usize::MAX {
+            idx = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+            m.set(idx);
+        }
+        idx
+    })
+}
+
+/// Totals drained at one epoch boundary.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EpochStats {
+    /// Completions observed this epoch.
+    pub count: u64,
+    /// Summed service time, nanoseconds.
+    pub service_ns: u64,
+    /// Summed reported queue depths.
+    pub queue: u64,
+    /// Summed reported payload bytes.
+    pub bytes: u64,
+    /// Throughput proxy the controller scored: completions per service-µs.
+    pub score: f64,
+}
+
+/// Hill-climb phase bookkeeping, all under one mutex the observation hot
+/// path only ever `try_lock`s.
+struct CtlState {
+    dirs: Vec<i8>,
+    coord: usize,
+    baseline: Option<f64>,
+    pre_move: Option<(usize, u32)>,
+    settle_left: u32,
+    idle_left: u32,
+    rng: u64,
+    last_epoch: EpochStats,
+    trajectory: Vec<(&'static str, u32)>,
+}
+
+const TRAJECTORY_CAP: usize = 4096;
+
+/// The feedback controller: registered tunables + sharded observation
+/// accumulators + the seeded hill climber.
+pub struct Autotuner {
+    config: TuneConfig,
+    shards: [Shard; SHARDS],
+    pending: AtomicU64,
+    epochs: AtomicU64,
+    tunables: Mutex<Vec<Tunable>>,
+    state: Mutex<CtlState>,
+    stop: Arc<AtomicBool>,
+    thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Autotuner {
+    /// A controller with no tunables yet (register them with
+    /// [`Autotuner::register`]).
+    pub fn new(config: TuneConfig) -> Arc<Self> {
+        Arc::new(Autotuner {
+            config,
+            shards: Default::default(),
+            pending: AtomicU64::new(0),
+            epochs: AtomicU64::new(0),
+            tunables: Mutex::new(Vec::new()),
+            state: Mutex::new(CtlState {
+                dirs: Vec::new(),
+                coord: 0,
+                baseline: None,
+                pre_move: None,
+                settle_left: 0,
+                idle_left: 0,
+                rng: config.seed,
+                last_epoch: EpochStats::default(),
+                trajectory: Vec::new(),
+            }),
+            stop: Arc::new(AtomicBool::new(false)),
+            thread: Mutex::new(None),
+        })
+    }
+
+    /// Register a tunable; its initial probe direction comes from the seed.
+    /// Returns the tunable back for convenient chaining.
+    pub fn register(&self, tunable: Tunable) -> Tunable {
+        let mut st = self.state.lock();
+        let dir = if splitmix(&mut st.rng) & 1 == 0 { 1 } else { -1 };
+        st.dirs.push(dir);
+        self.tunables.lock().push(tunable.clone());
+        tunable
+    }
+
+    /// Report one completed call: its service time plus optional queue-depth
+    /// and payload-byte context. Lock-free except at an epoch boundary,
+    /// where one caller (never more) takes the controller mutex.
+    pub fn observe(&self, service: Duration, queue_depth: u64, bytes: u64) {
+        let shard = &self.shards[shard_index()];
+        shard.count.fetch_add(1, Ordering::Relaxed);
+        let ns = u64::try_from(service.as_nanos()).unwrap_or(u64::MAX);
+        shard.service_ns.fetch_add(ns, Ordering::Relaxed);
+        shard.queue.fetch_add(queue_depth, Ordering::Relaxed);
+        shard.bytes.fetch_add(bytes, Ordering::Relaxed);
+        if self.pending.fetch_add(1, Ordering::Relaxed) + 1 >= u64::from(self.config.epoch_calls) {
+            self.maybe_tick();
+        }
+    }
+
+    fn maybe_tick(&self) {
+        // try_lock: if another thread is mid-decision, this boundary is its.
+        if let Some(mut st) = self.state.try_lock() {
+            if self.pending.load(Ordering::Relaxed) >= u64::from(self.config.epoch_calls) {
+                self.pending.store(0, Ordering::Relaxed);
+                self.tick_locked(&mut st);
+            }
+        }
+    }
+
+    /// Force an epoch decision now if any observations are pending — what
+    /// the background controller thread calls on its period, and what tests
+    /// call to drive the climber deterministically.
+    pub fn force_tick(&self) {
+        let mut st = self.state.lock();
+        if self.pending.swap(0, Ordering::Relaxed) > 0 {
+            self.tick_locked(&mut st);
+        }
+    }
+
+    fn tick_locked(&self, st: &mut CtlState) {
+        let mut totals = EpochStats::default();
+        for shard in &self.shards {
+            totals.count += shard.count.swap(0, Ordering::Relaxed);
+            totals.service_ns += shard.service_ns.swap(0, Ordering::Relaxed);
+            totals.queue += shard.queue.swap(0, Ordering::Relaxed);
+            totals.bytes += shard.bytes.swap(0, Ordering::Relaxed);
+        }
+        if totals.count == 0 {
+            return;
+        }
+        // Completions per service-microsecond: invariant to epoch length,
+        // monotone in throughput for a fixed offered load.
+        totals.score = totals.count as f64 * 1e3 / totals.service_ns.max(1) as f64;
+        st.last_epoch = totals;
+        self.epochs.fetch_add(1, Ordering::Relaxed);
+        if st.settle_left > 0 {
+            st.settle_left -= 1;
+            return;
+        }
+        let tunables = self.tunables.lock();
+        if tunables.is_empty() {
+            return;
+        }
+        let score = totals.score;
+        match st.pre_move {
+            None => {
+                // Incumbent epoch: refresh the reference score. Blending
+                // lets the reference drift with a shifting workload instead
+                // of pinning to one lucky epoch.
+                st.baseline = Some(match st.baseline {
+                    None => score,
+                    Some(base) => 0.5 * base + 0.5 * score,
+                });
+                if st.idle_left > 0 {
+                    st.idle_left -= 1;
+                    return;
+                }
+                self.apply_move(st, &tunables);
+            }
+            Some((c, prev)) => {
+                let base = st.baseline.unwrap_or(score);
+                if score > base * (1.0 + self.config.hysteresis) {
+                    // Probe won: keep the move and keep climbing the same
+                    // coordinate in the same direction, immediately.
+                    st.baseline = Some(score);
+                    st.pre_move = None;
+                    self.apply_move(st, &tunables);
+                } else {
+                    // Probe lost: revert it, flip the direction, rotate to
+                    // the next coordinate, and dwell at the incumbent so
+                    // steady state spends most epochs at the best-known
+                    // configuration.
+                    tunables[c].set(prev);
+                    Self::record(st, tunables[c].name(), prev);
+                    st.dirs[c] = -st.dirs[c];
+                    st.coord = (st.coord + 1) % tunables.len();
+                    st.pre_move = None;
+                    st.idle_left = self.config.dwell;
+                }
+            }
+        }
+    }
+
+    fn apply_move(&self, st: &mut CtlState, tunables: &[Tunable]) {
+        let c = st.coord;
+        let t = &tunables[c];
+        let cur = t.get();
+        let mut next = t.moved(cur, st.dirs[c]);
+        if next == cur {
+            // Pinned at a bound: flip and try the other way once.
+            st.dirs[c] = -st.dirs[c];
+            next = t.moved(cur, st.dirs[c]);
+        }
+        if next == cur {
+            // Frozen coordinate (min == max): skip it this epoch.
+            st.coord = (st.coord + 1) % tunables.len();
+            st.pre_move = None;
+            return;
+        }
+        st.pre_move = Some((c, cur));
+        t.set(next);
+        Self::record(st, t.name(), next);
+        st.settle_left = self.config.settle;
+    }
+
+    fn record(st: &mut CtlState, name: &'static str, value: u32) {
+        if st.trajectory.len() < TRAJECTORY_CAP {
+            st.trajectory.push((name, value));
+        }
+    }
+
+    /// Every value the controller has applied, in order (capped; used by the
+    /// determinism tests and diagnostics).
+    pub fn trajectory(&self) -> Vec<(&'static str, u32)> {
+        self.state.lock().trajectory.clone()
+    }
+
+    /// Decisions taken so far.
+    pub fn epochs(&self) -> u64 {
+        self.epochs.load(Ordering::Relaxed)
+    }
+
+    /// The totals and score of the most recent epoch.
+    pub fn last_epoch(&self) -> EpochStats {
+        self.state.lock().last_epoch
+    }
+
+    /// Snapshot of the registered tunables.
+    pub fn tunables(&self) -> Vec<Tunable> {
+        self.tunables.lock().clone()
+    }
+
+    /// Restore every registered tunable to its default value.
+    pub fn reset_all(&self) {
+        let mut st = self.state.lock();
+        st.baseline = None;
+        st.pre_move = None;
+        st.settle_left = 0;
+        st.idle_left = 0;
+        for t in self.tunables.lock().iter() {
+            t.reset();
+        }
+    }
+
+    /// Start the background controller: every `period` it forces an epoch
+    /// decision if observations are pending. Idempotent while running. The
+    /// thread holds only a [`Weak`] reference, so dropping the tuner (or
+    /// calling [`Autotuner::stop`]) ends it.
+    pub fn start(self: &Arc<Self>, period: Duration) {
+        let mut slot = self.thread.lock();
+        if slot.is_some() {
+            return;
+        }
+        self.stop.store(false, Ordering::Relaxed);
+        let stop = self.stop.clone();
+        let weak: Weak<Autotuner> = Arc::downgrade(self);
+        let tick = period.min(Duration::from_millis(20)).max(Duration::from_millis(1));
+        *slot = Some(
+            std::thread::Builder::new()
+                .name("weavepar-autotune".into())
+                .spawn(move || {
+                    let mut since = Duration::ZERO;
+                    loop {
+                        std::thread::sleep(tick);
+                        if stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        since += tick;
+                        if since >= period {
+                            since = Duration::ZERO;
+                            match weak.upgrade() {
+                                Some(tuner) => tuner.force_tick(),
+                                None => return,
+                            }
+                        }
+                    }
+                })
+                .expect("spawn autotune controller"),
+        );
+    }
+
+    /// Stop and join the background controller, if running.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.thread.lock().take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// True while the background controller thread is alive.
+    pub fn is_running(&self) -> bool {
+        self.thread.lock().is_some()
+    }
+}
+
+impl Drop for Autotuner {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.thread.get_mut().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Autotuner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Autotuner(epochs={}, tunables={:?})",
+            self.epochs(),
+            self.tunables
+                .lock()
+                .iter()
+                .map(|t| format!("{}={}", t.name(), t.get()))
+                .collect::<Vec<_>>()
+        )
+    }
+}
+
+/// The self-tuning optimisation aspect: matched calls are timed around
+/// `proceed` and reported to the controller. Plug it over the same pointcut
+/// the skeleton splits (the farmed method, the executor-backed call) and the
+/// controller adapts every registered tunable; unplug it and observation
+/// stops, leaving the tunables at their last adapted values (call
+/// [`Autotuner::reset_all`] to restore defaults).
+pub fn autotune_aspect(
+    name: impl Into<String>,
+    pointcut: Pointcut,
+    tuner: Arc<Autotuner>,
+) -> Aspect {
+    autotune_aspect_at(name, pointcut, tuner, precedence::OPTIMISATION)
+}
+
+/// [`autotune_aspect`] at an explicit precedence. The default OPTIMISATION
+/// slot sits *inside* the partition layer; when the tunable being driven is
+/// the partition grain itself, plug the observer *outside* it (a precedence
+/// below [`precedence::PARTITION`]) so each observation covers the whole
+/// split/dispatch/combine the grain controls.
+pub fn autotune_aspect_at(
+    name: impl Into<String>,
+    pointcut: Pointcut,
+    tuner: Arc<Autotuner>,
+    precedence: i32,
+) -> Aspect {
+    Aspect::named(name)
+        .precedence(precedence)
+        .around(pointcut, move |inv: &mut Invocation| {
+            let start = std::time::Instant::now();
+            let ret = inv.proceed()?;
+            tuner.observe(start.elapsed(), 0, 0);
+            Ok(ret)
+        })
+        .build()
+}
+
+/// The mutex+condvar pair is here so `optimisation.rs`'s single-flight cache
+/// and any future in-crate waiters share one vetted implementation.
+pub(crate) struct Flight {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Flight {
+    pub(crate) fn new() -> Self {
+        Flight { done: Mutex::new(false), cv: Condvar::new() }
+    }
+
+    pub(crate) fn complete(&self) {
+        *self.done.lock() = true;
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn wait(&self) {
+        let mut done = self.done.lock();
+        while !*done {
+            self.cv.wait(&mut done);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive a tuner with a synthetic workload whose per-call service time
+    /// is a function of the tunable's current value, one epoch per step.
+    fn drive(
+        tuner: &Arc<Autotuner>,
+        tunable: &Tunable,
+        epochs: usize,
+        cost_ns: impl Fn(u32) -> u64,
+    ) {
+        for _ in 0..epochs {
+            let v = tunable.get();
+            for _ in 0..tuner.config.epoch_calls {
+                tuner.observe(Duration::from_nanos(cost_ns(v)), 0, 0);
+            }
+            tuner.force_tick();
+        }
+    }
+
+    /// U-shaped cost: too-fine grain pays per-pack overhead, too-coarse
+    /// grain starves workers. Minimum near `v = 32`.
+    fn u_cost(v: u32) -> u64 {
+        1_000_000 / u64::from(v.max(1)) + 1_000 * u64::from(v)
+    }
+
+    fn packs_tunable() -> Tunable {
+        Tunable::new("packs", 1, 1, 64, Step::Mul(2))
+    }
+
+    #[test]
+    fn same_seed_same_trajectory() {
+        let run = |seed: u64| {
+            let tuner = Autotuner::new(TuneConfig { epoch_calls: 8, seed, ..Default::default() });
+            let t = tuner.register(packs_tunable());
+            let q = tuner.register(Tunable::new("grain", 4, 1, 256, Step::Mul(2)));
+            drive(&tuner, &t, 24, |v| u_cost(v) + u64::from(q.get()) * 100);
+            (tuner.trajectory(), t.get(), q.get())
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a, b, "identical seed + observations must replay identically");
+        let c = run(8);
+        // A different seed may legally coincide, but the controller must
+        // still have *decided* something both times.
+        assert!(!c.0.is_empty() && !a.0.is_empty());
+    }
+
+    #[test]
+    fn stationary_workload_oscillates_within_one_step() {
+        let tuner = Autotuner::new(TuneConfig { epoch_calls: 8, seed: 3, ..Default::default() });
+        let t = tuner.register(Tunable::new("packs", 16, 1, 256, Step::Mul(2)));
+        // Constant score: no probe is ever accepted, so the climber must
+        // keep reverting — the value may only ever be the default or one
+        // probe step away from it.
+        drive(&tuner, &t, 64, |_| 50_000);
+        for (_, v) in tuner.trajectory() {
+            assert!((8..=32).contains(&v), "oscillation exceeded ±1 step: {v}");
+        }
+        assert!((8..=32).contains(&t.get()));
+    }
+
+    #[test]
+    fn climbs_a_u_shaped_cost_toward_the_optimum() {
+        let seed = std::env::var("TUNE_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42u64);
+        let tuner = Autotuner::new(TuneConfig { epoch_calls: 8, seed, ..Default::default() });
+        let t = tuner.register(packs_tunable());
+        drive(&tuner, &t, 40, u_cost);
+        let v = t.get();
+        // Optimum of u_cost is ~31.6; Mul(2) grid point 32, accept within
+        // one step either side.
+        assert!(
+            (16..=64).contains(&v),
+            "TUNE_SEED={seed}: expected convergence near 32, got {v} \
+             (trajectory: {:?})",
+            tuner.trajectory()
+        );
+        assert!(tuner.epochs() >= 40);
+    }
+
+    #[test]
+    fn bound_cell_is_driven_and_reset() {
+        let cell = Arc::new(AtomicU32::new(99));
+        let tuner = Autotuner::new(TuneConfig { epoch_calls: 4, ..Default::default() });
+        let t = tuner.register(Tunable::bound("flush", cell.clone(), 8, 1, 64, Step::Add(4)));
+        assert_eq!(cell.load(Ordering::Relaxed), 8, "binding installs the default");
+        drive(&tuner, &t, 10, |v| 10_000 + u64::from(v));
+        tuner.reset_all();
+        assert_eq!(cell.load(Ordering::Relaxed), 8, "reset_all restores the default");
+    }
+
+    #[test]
+    fn plug_unplug_mid_run_leaves_sane_values() {
+        struct Crunch;
+        weavepar_weave::weaveable! {
+            class Crunch as CrunchProxy {
+                fn new() -> Self { Crunch }
+                fn go(&mut self, x: u64) -> u64 { x + 1 }
+            }
+        }
+
+        let tuner = Autotuner::new(TuneConfig { epoch_calls: 4, ..Default::default() });
+        let t = tuner.register(Tunable::new("packs", 8, 1, 64, Step::Mul(2)));
+        tuner.start(Duration::from_millis(2));
+        assert!(tuner.is_running());
+
+        let weaver = Weaver::new();
+        let plugged =
+            weaver.plug(autotune_aspect("Autotune", Pointcut::call("Crunch.go"), tuner.clone()));
+        let c = CrunchProxy::construct(&weaver).unwrap();
+        for i in 0..200 {
+            assert_eq!(c.go(i).unwrap(), i + 1);
+        }
+        // Unplug mid-run: calls keep working, the tunable holds a sane
+        // in-range value, and stopping the controller joins its thread.
+        assert!(weaver.unplug(&plugged));
+        for i in 0..50 {
+            assert_eq!(c.go(i).unwrap(), i + 1);
+        }
+        let v = t.get();
+        assert!((1..=64).contains(&v), "tunable out of range after unplug: {v}");
+        tuner.stop();
+        assert!(!tuner.is_running());
+        tuner.reset_all();
+        assert_eq!(t.get(), 8, "reset after unplug restores the default");
+    }
+
+    #[test]
+    fn dropping_the_tuner_ends_the_controller_thread() {
+        let tuner = Autotuner::new(TuneConfig::default());
+        tuner.register(Tunable::new("x", 1, 1, 8, Step::Add(1)));
+        tuner.start(Duration::from_millis(1));
+        drop(tuner); // Drop joins: returning at all is the assertion.
+    }
+
+    #[test]
+    fn step_math_clamps_at_bounds() {
+        let t = Tunable::new("t", 4, 2, 16, Step::Mul(2));
+        assert_eq!(t.moved(16, 1), 16, "up clamps at max");
+        assert_eq!(t.moved(2, -1), 2, "down clamps at min");
+        assert_eq!(t.moved(4, 1), 8);
+        assert_eq!(t.moved(4, -1), 2);
+        let a = Tunable::new("a", 5, 0, 10, Step::Add(3));
+        assert_eq!(a.moved(9, 1), 10);
+        assert_eq!(a.moved(1, -1), 0);
+    }
+}

@@ -33,7 +33,7 @@
 //! thread flushes, or on an explicit [`MessagePacker::flush`].
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -288,8 +288,11 @@ pub struct MessagePacker {
     /// racing the unplug ship immediately instead of parking in a buffer
     /// nobody will flush again.
     closed: Arc<AtomicBool>,
-    max_calls: u32,
-    max_age: Duration,
+    /// Flush thresholds, held in shared cells so a tuning controller can
+    /// adjust them between flushes; each `buffer` reads them with one
+    /// relaxed load apiece.
+    max_calls: Arc<AtomicU32>,
+    max_age_ms: Arc<AtomicU32>,
 }
 
 impl MessagePacker {
@@ -298,9 +301,21 @@ impl MessagePacker {
             fabric,
             pending: Arc::new(Mutex::new(HashMap::new())),
             closed: Arc::new(AtomicBool::new(false)),
-            max_calls: max_calls.max(1),
-            max_age,
+            max_calls: Arc::new(AtomicU32::new(max_calls.max(1))),
+            max_age_ms: Arc::new(AtomicU32::new(
+                max_age.as_millis().min(u128::from(u32::MAX)) as u32
+            )),
         }
+    }
+
+    /// The pack-size threshold cell (calls per frame), for tuner binding.
+    pub fn max_calls_cell(&self) -> Arc<AtomicU32> {
+        self.max_calls.clone()
+    }
+
+    /// The flush-age threshold cell (milliseconds), for tuner binding.
+    pub fn max_age_ms_cell(&self) -> Arc<AtomicU32> {
+        self.max_age_ms.clone()
     }
 
     /// Append one call bound for `node`; ships the pack when the count or
@@ -334,7 +349,9 @@ impl MessagePacker {
                 }
             }
             entry.frame.push(obj, method, self.fabric.marshal(), args)?;
-            if entry.frame.count() >= self.max_calls || entry.born.elapsed() >= self.max_age {
+            let max_calls = self.max_calls.load(Ordering::Relaxed).max(1);
+            let max_age = Duration::from_millis(u64::from(self.max_age_ms.load(Ordering::Relaxed)));
+            if entry.frame.count() >= max_calls || entry.born.elapsed() >= max_age {
                 pending.remove(&node)
             } else {
                 None

@@ -13,7 +13,7 @@
 //! [`InProcFabric::call_batch`] packs many oneway calls to one node into a
 //! single [`Request::CallPack`] frame — one submit, one wakeup.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -43,6 +43,29 @@ pub struct RemoteRef {
     pub class: ClassId,
 }
 
+/// Which rendezvous a replied [`InProcFabric::call_id`] parks on. The
+/// encoding is a `u32` so the choice can be bound to a tuning cell and
+/// flipped at runtime by a feedback controller (or by hand).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum ReplyBackend {
+    /// Pooled park/unpark [`crate::pool::ReplySlot`] (the default).
+    Slot = 0,
+    /// A fresh `bounded(1)` channel per call.
+    Channel = 1,
+}
+
+impl ReplyBackend {
+    /// Decode a tuning-cell value; anything non-zero selects the channel.
+    pub fn from_u32(v: u32) -> Self {
+        if v == 0 {
+            ReplyBackend::Slot
+        } else {
+            ReplyBackend::Channel
+        }
+    }
+}
+
 /// N in-process nodes, a shared marshalling registry and a name server.
 pub struct InProcFabric {
     nodes: Vec<NodeRuntime>,
@@ -57,6 +80,10 @@ pub struct InProcFabric {
     faulty: AtomicBool,
     /// Dedup-key generator for at-most-once call delivery.
     seq: AtomicU64,
+    /// Reply rendezvous selector for replied calls (see [`ReplyBackend`]).
+    /// An `Arc` so a tuner can hold the cell and adjust it while calls are
+    /// in flight; each call reads it once with a relaxed load.
+    reply_backend: Arc<AtomicU32>,
     /// Reply senders of channel-backed calls whose request was injected as
     /// lost. Holding them keeps the caller parked until its own deadline —
     /// a dropped datagram is *silent* on both reply backends — instead of a
@@ -81,8 +108,24 @@ impl InProcFabric {
             faults: RwLock::new(None),
             faulty: AtomicBool::new(false),
             seq: AtomicU64::new(1),
+            reply_backend: Arc::new(AtomicU32::new(ReplyBackend::Slot as u32)),
             lost_replies: Mutex::new(Vec::new()),
         })
+    }
+
+    /// The reply rendezvous currently used by replied [`InProcFabric::call_id`]s.
+    pub fn reply_backend(&self) -> ReplyBackend {
+        ReplyBackend::from_u32(self.reply_backend.load(Ordering::Relaxed))
+    }
+
+    /// Select the reply rendezvous for subsequent replied calls.
+    pub fn set_reply_backend(&self, backend: ReplyBackend) {
+        self.reply_backend.store(backend as u32, Ordering::Relaxed);
+    }
+
+    /// The raw backend cell, for binding to a tuning controller.
+    pub fn reply_backend_cell(&self) -> Arc<AtomicU32> {
+        self.reply_backend.clone()
     }
 
     /// Number of nodes.
@@ -339,6 +382,24 @@ impl InProcFabric {
         // node's dedup window stays untouched.
         let seq = self.faulty.load(Ordering::Relaxed).then(|| self.next_seq());
         if want_reply {
+            if self.reply_backend() == ReplyBackend::Channel {
+                let (tx, rx) = bounded(1);
+                self.route(
+                    reference.node,
+                    RequestClass::Call,
+                    Request::Call {
+                        obj: reference.obj,
+                        method,
+                        args,
+                        reply: Some(ReplySink::Channel(tx)),
+                        seq,
+                    },
+                )?;
+                let bytes = rx.recv().map_err(|_| {
+                    WeaveError::remote(format!("node {} dropped the call reply", reference.node))
+                })??;
+                return Ok(Some(bytes));
+            }
             let (ticket, reply) = self.replies.checkout();
             self.route(
                 reference.node,

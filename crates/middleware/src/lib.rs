@@ -50,7 +50,7 @@ pub use aspects::{
     message_packing_aspect, mpp_distribution_aspect, mpp_distribution_aspect_with_policy,
     rmi_distribution_aspect, rmi_distribution_aspect_with_policy, MessagePacker, Policy,
 };
-pub use fabric::{InProcFabric, RemoteRef};
+pub use fabric::{InProcFabric, RemoteRef, ReplyBackend};
 pub use faults::{FaultAction, FaultPlan, FaultRule, FaultStats, FaultStatsSnapshot, RequestClass};
 pub use migration::{introduce_migration, migrate_object, remove_migration, MigrationCapability};
 pub use nameserver::NameServer;

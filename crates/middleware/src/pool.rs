@@ -30,6 +30,24 @@ const SHARDS: usize = 8;
 /// doesn't pin its high-water allocation forever.
 const PER_SHARD: usize = 32;
 
+/// Per-thread shard affinity, assigned round-robin on first use so the hot
+/// path is a plain TLS read — no thread-id hashing per call. Shared by every
+/// sharded pool in this module: a thread always hits the same shard index.
+fn shard_index() -> usize {
+    static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+    }
+    SHARD.with(|s| {
+        let mut idx = s.get();
+        if idx == usize::MAX {
+            idx = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+            s.set(idx);
+        }
+        idx
+    })
+}
+
 /// Sharded pool of reusable [`BytesMut`] frames.
 pub struct BufPool {
     shards: [Mutex<Vec<BytesMut>>; SHARDS],
@@ -52,21 +70,7 @@ impl BufPool {
     }
 
     fn shard(&self) -> &Mutex<Vec<BytesMut>> {
-        // Per-thread shard affinity, assigned round-robin on first use so
-        // the hot path is a plain TLS read — no thread-id hashing per call.
-        static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
-        thread_local! {
-            static SHARD: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
-        }
-        let idx = SHARD.with(|s| {
-            let mut idx = s.get();
-            if idx == usize::MAX {
-                idx = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
-                s.set(idx);
-            }
-            idx
-        });
-        &self.shards[idx]
+        &self.shards[shard_index()]
     }
 
     /// A cleared frame, reusing a pooled allocation when one is available.
@@ -117,8 +121,15 @@ impl ReplySlot {
     }
 
     fn fill(&self, result: WeaveResult<Bytes>) {
-        let mut mailbox = self.mailbox.lock();
-        *mailbox = Some(result);
+        {
+            let mut mailbox = self.mailbox.lock();
+            *mailbox = Some(result);
+        }
+        // Notify with the mailbox lock *released*: waking the parked caller
+        // while still holding the lock sends it straight into a futex
+        // contention on the mutex it needs next (glibc condvars no longer
+        // wait-morph), which cost the slot path its lead over `bounded(1)`
+        // channels in BENCH_remote.json.
         self.ready.notify_one();
     }
 
@@ -183,12 +194,17 @@ impl Drop for SlotReply {
 /// pool via [`ReplyPool::finish`].
 pub struct SlotTicket {
     slot: Arc<ReplySlot>,
+    /// Set when a wait actually emptied the mailbox. `finish` consults this
+    /// instead of re-locking the mailbox to check that the slot is clean.
+    consumed: std::cell::Cell<bool>,
 }
 
 impl SlotTicket {
     /// Block until the reply arrives.
     pub fn wait(&self) -> WeaveResult<Bytes> {
-        self.slot.wait()
+        let result = self.slot.wait();
+        self.consumed.set(true);
+        result
     }
 
     /// Block until the reply arrives or `deadline` passes. On
@@ -196,17 +212,25 @@ impl SlotTicket {
     /// [`ReplyPool::finish`]ed: the serving side may still fill the slot
     /// later, and recycling it would leak a stale reply into the next call.
     pub fn wait_deadline(&self, deadline: Option<Instant>, waited_ms: u64) -> WeaveResult<Bytes> {
-        match deadline {
+        let result = match deadline {
             Some(d) => self.slot.wait_until(d, waited_ms),
             None => self.slot.wait(),
+        };
+        // A timeout leaves the mailbox unconsumed; every other outcome —
+        // payload or drop-guard error — took the message out of it.
+        if !matches!(result, Err(WeaveError::Timeout { .. })) {
+            self.consumed.set(true);
         }
+        result
     }
 }
 
-/// Pool of reply slots. `checkout` hands out a (ticket, reply) pair backed by
-/// a recycled slot when one is free.
+/// Pool of reply slots, sharded like [`BufPool`] so concurrent client
+/// threads check slots in and out without fighting over one free-list lock.
+/// `checkout` hands out a (ticket, reply) pair backed by a recycled slot
+/// when one is free.
 pub struct ReplyPool {
-    free: Mutex<Vec<Arc<ReplySlot>>>,
+    free: [Mutex<Vec<Arc<ReplySlot>>>; SHARDS],
 }
 
 impl Default for ReplyPool {
@@ -218,23 +242,28 @@ impl Default for ReplyPool {
 impl ReplyPool {
     /// An empty pool.
     pub fn new() -> Self {
-        ReplyPool { free: Mutex::new(Vec::new()) }
+        ReplyPool { free: std::array::from_fn(|_| Mutex::new(Vec::new())) }
     }
 
     /// Check out a slot: the caller keeps the [`SlotTicket`], the request
     /// carries the [`SlotReply`].
     pub fn checkout(&self) -> (SlotTicket, SlotReply) {
-        let slot = self.free.lock().pop().unwrap_or_else(ReplySlot::new);
+        let slot = self.free[shard_index()].lock().pop().unwrap_or_else(ReplySlot::new);
         debug_assert!(slot.mailbox.lock().is_none(), "recycled slot must be empty");
-        (SlotTicket { slot: slot.clone() }, SlotReply { slot, sent: false })
+        (
+            SlotTicket { slot: slot.clone(), consumed: std::cell::Cell::new(false) },
+            SlotReply { slot, sent: false },
+        )
     }
 
     /// Return a slot after its reply has been taken. Slots whose serving half
     /// may still be live (caller gave up early) must NOT be finished — just
-    /// drop the ticket and the slot is garbage-collected with it.
+    /// drop the ticket and the slot is garbage-collected with it. A ticket
+    /// that never consumed a reply is dropped here for the same reason, so
+    /// `finish` costs one sharded lock and zero mailbox locks.
     pub fn finish(&self, ticket: SlotTicket) {
-        if ticket.slot.mailbox.lock().is_none() {
-            let mut free = self.free.lock();
+        if ticket.consumed.get() {
+            let mut free = self.free[shard_index()].lock();
             if free.len() < PER_SHARD {
                 free.push(ticket.slot);
             }
@@ -243,7 +272,7 @@ impl ReplyPool {
 
     /// Slots currently parked in the pool (for tests).
     pub fn pooled(&self) -> usize {
-        self.free.lock().len()
+        self.free.iter().map(|s| s.lock().len()).sum()
     }
 }
 

@@ -79,6 +79,91 @@ impl std::fmt::Debug for Protocol {
     }
 }
 
+/// Grain hints: how a tuning controller reaches into an application's split
+/// logic without changing the [`Protocol`] surface.
+///
+/// The pack/cutoff/fusion granularity lives inside app-supplied closures
+/// (`split`, `should_divide`), which capture their grain by value. Rather
+/// than threading a handle through every closure signature, the tuned
+/// skeleton aspects publish the current hint in a thread-local around the
+/// closure call, and grain-aware closures read it back through
+/// [`hints::packs_or`] / [`hints::cutoff_or`] / [`hints::fusion_or`],
+/// falling back to their captured default when no tuner is plugged. The
+/// hint is scoped by an RAII guard, so nested skeletons (a farm splitting
+/// inside a divide-and-conquer) never see each other's values.
+pub mod hints {
+    use std::cell::Cell;
+
+    thread_local! {
+        static PACKS: Cell<u32> = const { Cell::new(0) };
+        static CUTOFF: Cell<u32> = const { Cell::new(0) };
+        static FUSION: Cell<u32> = const { Cell::new(0) };
+    }
+
+    /// RAII restore of one hint cell.
+    pub struct HintGuard {
+        cell: &'static std::thread::LocalKey<Cell<u32>>,
+        prev: u32,
+    }
+
+    impl Drop for HintGuard {
+        fn drop(&mut self) {
+            let prev = self.prev;
+            self.cell.with(|c| c.set(prev));
+        }
+    }
+
+    fn set(cell: &'static std::thread::LocalKey<Cell<u32>>, value: u32) -> HintGuard {
+        let prev = cell.with(|c| c.replace(value));
+        HintGuard { cell, prev }
+    }
+
+    /// Publish a pack-count hint for the duration of the guard (0 = unset).
+    pub fn set_packs(value: u32) -> HintGuard {
+        set(&PACKS, value)
+    }
+
+    /// Publish a sequential-cutoff hint for the duration of the guard.
+    pub fn set_cutoff(value: u32) -> HintGuard {
+        set(&CUTOFF, value)
+    }
+
+    /// Publish a pipeline stage-fusion hint for the duration of the guard.
+    pub fn set_fusion(value: u32) -> HintGuard {
+        set(&FUSION, value)
+    }
+
+    /// The tuned pack count, or `default` when no tuner published one.
+    pub fn packs_or(default: usize) -> usize {
+        let v = PACKS.with(|c| c.get());
+        if v == 0 {
+            default
+        } else {
+            v as usize
+        }
+    }
+
+    /// The tuned sequential cutoff, or `default` when none is published.
+    pub fn cutoff_or(default: usize) -> usize {
+        let v = CUTOFF.with(|c| c.get());
+        if v == 0 {
+            default
+        } else {
+            v as usize
+        }
+    }
+
+    /// The tuned stage-fusion factor, or `default` when none is published.
+    pub fn fusion_or(default: usize) -> usize {
+        let v = FUSION.with(|c| c.get());
+        if v == 0 {
+            default
+        } else {
+            v as usize
+        }
+    }
+}
+
 /// Inter-type field linking a pipeline stage to its successor
 /// (the paper's `next` HashMap in Figure 8).
 pub const NEXT_FIELD: &str = "pipeline.next";

@@ -13,13 +13,14 @@
 //! through the weaver — and the concurrency/distribution aspects apply at
 //! every level.
 
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 use weavepar_concurrency::{resolve_any, BatchScope};
 use weavepar_weave::aspect::precedence;
 use weavepar_weave::prelude::*;
 
-use crate::common::{MapArgsFn, PredicateFn, SplitFn};
+use crate::common::{hints, MapArgsFn, PredicateFn, SplitFn};
 
 /// Configuration of a concrete divide-and-conquer computation.
 #[derive(Clone)]
@@ -51,12 +52,27 @@ impl std::fmt::Debug for DivideConquerConfig {
 
 /// Build the divide-and-conquer aspect for `config`.
 pub fn divide_conquer_aspect(name: impl Into<String>, config: DivideConquerConfig) -> Aspect {
+    divide_conquer_aspect_tuned(name, config, None)
+}
+
+/// [`divide_conquer_aspect`] with a live sequential-cutoff hint: the cell's
+/// value is published through [`hints::set_cutoff`](crate::common::hints)
+/// around `should_divide` and `divide`, so a cutoff-aware predicate (reading
+/// [`hints::cutoff_or`](crate::common::hints::cutoff_or)) lets a tuner move
+/// the depth at which recursion falls back to the sequential solve.
+pub fn divide_conquer_aspect_tuned(
+    name: impl Into<String>,
+    config: DivideConquerConfig,
+    cutoff_hint: Option<Arc<AtomicU32>>,
+) -> Aspect {
     let cfg = config.clone();
     Aspect::named(name)
         .precedence(precedence::PARTITION)
         // Applies to every call site — core and aspect alike — so the
         // recursion unfolds until `should_divide` says stop.
         .around(Pointcut::call_sig(config.class, config.method), move |inv: &mut Invocation| {
+            let _hint =
+                cutoff_hint.as_ref().map(|cell| hints::set_cutoff(cell.load(Ordering::Relaxed)));
             if !(cfg.should_divide)(inv.args()?)? {
                 return inv.proceed();
             }

@@ -8,6 +8,9 @@
 //! worker threads, and is meant to be plugged **without** a separate
 //! concurrency aspect.
 
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
 use crossbeam::channel::unbounded;
 
 use weavepar_concurrency::resolve_any;
@@ -15,13 +18,24 @@ use weavepar_weave::aspect::precedence;
 use weavepar_weave::context::CurrentContext;
 use weavepar_weave::prelude::*;
 
-use crate::common::{Protocol, WORKERS_FIELD};
+use crate::common::{hints, Protocol, WORKERS_FIELD};
 
 /// Configuration of a concrete dynamic farm (see [`Protocol`]).
 pub type DynamicFarmConfig = Protocol;
 
 /// Build the dynamic-farm aspect (partition *and* concurrency, merged).
 pub fn dynamic_farm_aspect(name: impl Into<String>, protocol: DynamicFarmConfig) -> Aspect {
+    dynamic_farm_aspect_tuned(name, protocol, None)
+}
+
+/// [`dynamic_farm_aspect`] with a live pack-size hint, published through
+/// [`hints::set_packs`](crate::common::hints) around each split exactly like
+/// the static farm's tuned variant.
+pub fn dynamic_farm_aspect_tuned(
+    name: impl Into<String>,
+    protocol: DynamicFarmConfig,
+    packs_hint: Option<Arc<AtomicU32>>,
+) -> Aspect {
     let dup = protocol.clone();
     let drive = protocol.clone();
 
@@ -50,6 +64,11 @@ pub fn dynamic_farm_aspect(name: impl Into<String>, protocol: DynamicFarmConfig)
                     .intertype()
                     .get_field::<Vec<ObjId>>(target, WORKERS_FIELD)
                     .unwrap_or_else(|| vec![target]);
+                // The hint guard covers the whole advice, so orphan
+                // regeneration below splits with the same grain the original
+                // dispatch used even if the tuner moves mid-call.
+                let _hint =
+                    packs_hint.as_ref().map(|cell| hints::set_packs(cell.load(Ordering::Relaxed)));
                 let packs = (drive.split)(inv.args()?)?;
                 let total = packs.len();
 
@@ -115,18 +134,30 @@ pub fn dynamic_farm_aspect(name: impl Into<String>, protocol: DynamicFarmConfig)
                 if let Some(e) = first_error {
                     return Err(e);
                 }
+                // Packs are consumed by dispatch, so orphans must be rebuilt
+                // from the original arguments. One full re-split (shared by
+                // every orphan) replaces the old split-per-attempt; only a
+                // retry of the *same* pack, whose cached slot is already
+                // taken, pays for another split.
+                let mut regen: Option<Vec<Option<Args>>> = None;
                 for k in orphans {
-                    // Regenerate the orphaned pack from the original
-                    // arguments (packs are consumed by dispatch) and try the
-                    // workers in turn; only node loss moves to the next one.
                     let mut recovered = None;
                     let mut last = None;
                     for offset in 0..workers.len() {
                         let alt = workers[(k + offset) % workers.len()];
-                        let pack =
-                            (drive.split)(inv.args()?)?.into_iter().nth(k).ok_or_else(|| {
-                                WeaveError::app("dynamic farm cannot regenerate a lost pack")
-                            })?;
+                        let cached =
+                            regen.get_or_insert_with(Vec::new).get_mut(k).and_then(Option::take);
+                        let pack = match cached {
+                            Some(pack) => pack,
+                            None => {
+                                let fresh: Vec<Option<Args>> =
+                                    (drive.split)(inv.args()?)?.into_iter().map(Some).collect();
+                                let slot = regen.insert(fresh).get_mut(k).and_then(Option::take);
+                                slot.ok_or_else(|| {
+                                    WeaveError::app("dynamic farm cannot regenerate a lost pack")
+                                })?
+                            }
+                        };
                         match weaver
                             .invoke_call(alt, drive.class, drive.method, pack)
                             .and_then(resolve_any)

@@ -12,11 +12,14 @@
 //! directly, since both blocks are private to the partition module — a
 //! deviation recorded in DESIGN.md.
 
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
 use weavepar_concurrency::{resolve_any, BatchScope};
 use weavepar_weave::aspect::precedence;
 use weavepar_weave::prelude::*;
 
-use crate::common::{Protocol, WORKERS_FIELD};
+use crate::common::{hints, Protocol, WORKERS_FIELD};
 
 /// Configuration of a concrete farm (see [`Protocol`]). `worker_args`
 /// typically broadcasts the original constructor arguments.
@@ -24,6 +27,20 @@ pub type FarmConfig = Protocol;
 
 /// Build the farm partition aspect for `protocol`.
 pub fn farm_aspect(name: impl Into<String>, protocol: FarmConfig) -> Aspect {
+    farm_aspect_tuned(name, protocol, None)
+}
+
+/// [`farm_aspect`] with a live pack-size hint: before each split the aspect
+/// publishes `packs_hint`'s current value through
+/// [`hints::set_packs`](crate::common::hints), so grain-aware `split`
+/// closures (ones reading [`hints::packs_or`](crate::common::hints::packs_or))
+/// follow the tuner while the farm runs. `None` behaves exactly like
+/// [`farm_aspect`].
+pub fn farm_aspect_tuned(
+    name: impl Into<String>,
+    protocol: FarmConfig,
+    packs_hint: Option<Arc<AtomicU32>>,
+) -> Aspect {
     let dup = protocol.clone();
     let route = protocol.clone();
 
@@ -52,6 +69,8 @@ pub fn farm_aspect(name: impl Into<String>, protocol: FarmConfig) -> Aspect {
                     .intertype()
                     .get_field::<Vec<ObjId>>(target, WORKERS_FIELD)
                     .unwrap_or_else(|| vec![target]);
+                let _hint =
+                    packs_hint.as_ref().map(|cell| hints::set_packs(cell.load(Ordering::Relaxed)));
                 let packs = (route.split)(inv.args()?)?;
                 let mut pending = Vec::with_capacity(packs.len());
                 // With a concurrency aspect plugged, every invoke below ends
@@ -65,6 +84,10 @@ pub fn farm_aspect(name: impl Into<String>, protocol: FarmConfig) -> Aspect {
                 }
                 scope.flush();
                 let mut results = Vec::with_capacity(pending.len());
+                // Packs regenerated for orphan re-dispatch, shared across
+                // orphans so one wave of losses costs one extra split, not
+                // one per pack per attempt.
+                let mut regen: Option<Vec<Option<Args>>> = None;
                 for (k, ret) in pending {
                     match ret.and_then(resolve_any) {
                         Ok(v) => results.push(v),
@@ -79,6 +102,7 @@ pub fn farm_aspect(name: impl Into<String>, protocol: FarmConfig) -> Aspect {
                                 &workers,
                                 k,
                                 inv.args()?,
+                                &mut regen,
                                 err,
                             )?);
                         }
@@ -92,25 +116,43 @@ pub fn farm_aspect(name: impl Into<String>, protocol: FarmConfig) -> Aspect {
 }
 
 /// Re-dispatch pack `k`, lost to a dead node, on the other workers in
-/// round-robin order starting after the one that failed. Each attempt
-/// regenerates the pack from the original call arguments (argument packs are
-/// consumed by dispatch). Returns the last node-loss error when every worker
-/// is unreachable; non-loss errors abort immediately.
+/// round-robin order starting after the one that failed. Argument packs are
+/// consumed by dispatch, so a retry needs a fresh pack; `regen` caches one
+/// whole regenerated split per orphan wave (filled lazily, packs taken as
+/// orphans claim them) so the common one-attempt recovery re-splits the
+/// original arguments once in total instead of once per orphaned pack.
+/// Returns the last node-loss error when every worker is unreachable;
+/// non-loss errors abort immediately.
 fn redispatch_pack(
     weaver: &Weaver,
     route: &Protocol,
     workers: &[ObjId],
     k: usize,
     original: &Args,
+    regen: &mut Option<Vec<Option<Args>>>,
     err: WeaveError,
 ) -> WeaveResult<AnyValue> {
     let mut last = err;
     for offset in 1..workers.len() {
         let alt = workers[(k + offset) % workers.len()];
-        let pack = (route.split)(original)?
-            .into_iter()
-            .nth(k)
-            .ok_or_else(|| WeaveError::app("farm cannot regenerate a lost pack"))?;
+        let cached = match regen {
+            Some(packs) => packs.get_mut(k).and_then(Option::take),
+            None => {
+                let packs: Vec<Option<Args>> =
+                    (route.split)(original)?.into_iter().map(Some).collect();
+                *regen = Some(packs);
+                regen.as_mut().expect("just filled").get_mut(k).and_then(Option::take)
+            }
+        };
+        let pack = match cached {
+            Some(pack) => pack,
+            // A second attempt for the same pack: the cached copy was
+            // consumed by the failed dispatch, regenerate just this one.
+            None => (route.split)(original)?
+                .into_iter()
+                .nth(k)
+                .ok_or_else(|| WeaveError::app("farm cannot regenerate a lost pack"))?,
+        };
         match weaver.invoke_call(alt, route.class, route.method, pack).and_then(resolve_any) {
             Ok(v) => return Ok(v),
             Err(e) if e.is_node_loss() => last = e,

@@ -91,10 +91,13 @@ pub fn heartbeat_aspect(name: impl Into<String>, config: HeartbeatConfig) -> Asp
                     .get_field::<Vec<ObjId>>(target, WORKERS_FIELD)
                     .unwrap_or_else(|| vec![target]);
                 let iterations = (drive.iterations)(inv.args()?)?;
+                // One exchange buffer reused across iterations — the step
+                // phase runs every heartbeat, so a fresh Vec per iteration
+                // is avoidable hot-path allocation.
+                let mut pending = Vec::with_capacity(workers.len());
                 for iteration in 0..iterations {
                     (drive.exchange)(&weaver, &workers, iteration)?;
                     // Step phase: issue to all workers, then barrier.
-                    let mut pending = Vec::with_capacity(workers.len());
                     for &worker in &workers {
                         let args = (drive.step_args)(iteration)?;
                         pending.push(weaver.invoke_call(
@@ -104,7 +107,7 @@ pub fn heartbeat_aspect(name: impl Into<String>, config: HeartbeatConfig) -> Asp
                             args,
                         )?);
                     }
-                    for ret in pending {
+                    for ret in pending.drain(..) {
                         resolve_any(ret)?;
                     }
                 }

@@ -40,11 +40,12 @@ pub mod pipeline;
 pub mod supervisor;
 
 pub use common::{
-    CollectFn, ExchangeFn, IterationsFn, MapArgsFn, PredicateFn, Protocol, RankedArgsFn, SplitFn,
+    hints, CollectFn, ExchangeFn, IterationsFn, MapArgsFn, PredicateFn, Protocol, RankedArgsFn,
+    SplitFn,
 };
-pub use divide_conquer::{divide_conquer_aspect, DivideConquerConfig};
-pub use dynamic_farm::{dynamic_farm_aspect, DynamicFarmConfig};
-pub use farm::{farm_aspect, FarmConfig};
+pub use divide_conquer::{divide_conquer_aspect, divide_conquer_aspect_tuned, DivideConquerConfig};
+pub use dynamic_farm::{dynamic_farm_aspect, dynamic_farm_aspect_tuned, DynamicFarmConfig};
+pub use farm::{farm_aspect, farm_aspect_tuned, FarmConfig};
 pub use heartbeat::{heartbeat_aspect, HeartbeatConfig};
-pub use pipeline::{pipeline_aspect, PipelineConfig};
+pub use pipeline::{pipeline_aspect, pipeline_aspect_tuned, PipelineConfig};
 pub use supervisor::{supervisor_aspect, SupervisorStats};

@@ -18,17 +18,34 @@
 //! hop returns a future and packs stream through the stages concurrently —
 //! the paper's Figure 11.
 
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
 use weavepar_concurrency::resolve_any;
 use weavepar_weave::aspect::precedence;
 use weavepar_weave::prelude::*;
 
-use crate::common::{Protocol, NEXT_FIELD};
+use crate::common::{hints, Protocol, NEXT_FIELD};
 
 /// Configuration of a concrete pipeline (see [`Protocol`]).
 pub type PipelineConfig = Protocol;
 
 /// Build the pipeline partition aspect for `protocol`.
 pub fn pipeline_aspect(name: impl Into<String>, protocol: PipelineConfig) -> Aspect {
+    pipeline_aspect_tuned(name, protocol, None)
+}
+
+/// [`pipeline_aspect`] with a live stage-fusion hint: the cell's value is
+/// published through [`hints::set_fusion`](crate::common::hints) around each
+/// split, so a fusion-aware `split` closure (reading
+/// [`hints::fusion_or`](crate::common::hints::fusion_or)) can coarsen its
+/// packs — fewer, larger packs amortise the per-hop forwarding cost when a
+/// tuner observes the stages are under-loaded.
+pub fn pipeline_aspect_tuned(
+    name: impl Into<String>,
+    protocol: PipelineConfig,
+    fusion_hint: Option<Arc<AtomicU32>>,
+) -> Aspect {
     let dup = protocol.clone();
     let split = protocol.clone();
     let fwd = protocol.clone();
@@ -58,7 +75,12 @@ pub fn pipeline_aspect(name: impl Into<String>, protocol: PipelineConfig) -> Asp
             move |inv: &mut Invocation| {
                 let weaver = inv.weaver().clone();
                 let target = inv.target_required()?;
-                let packs = (split.split)(inv.args()?)?;
+                let packs = {
+                    let _hint = fusion_hint
+                        .as_ref()
+                        .map(|cell| hints::set_fusion(cell.load(Ordering::Relaxed)));
+                    (split.split)(inv.args()?)?
+                };
                 // Issue every pack call (aspect provenance: matched by the
                 // forward advice and by concurrency/distribution, not by this
                 // split again), then resolve and combine.
