@@ -55,4 +55,10 @@ WEAVEPAR_BENCH_QUICK=1 cargo bench -p weavepar-bench --bench remote_throughput
 echo "==> autotune_throughput smoke (WEAVEPAR_BENCH_QUICK=1, pinned TUNE_SEED)"
 WEAVEPAR_BENCH_QUICK=1 cargo bench -p weavepar-bench --bench autotune_throughput
 
+echo "==> weaving_overhead smoke (WEAVEPAR_BENCH_QUICK=1)"
+WEAVEPAR_BENCH_QUICK=1 cargo bench -p weavepar-bench --bench weaving_overhead
+
+echo "==> joinpoint_values smoke (WEAVEPAR_BENCH_QUICK=1)"
+WEAVEPAR_BENCH_QUICK=1 cargo bench -p weavepar-bench --bench joinpoint_values
+
 echo "CI OK"

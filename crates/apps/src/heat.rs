@@ -15,8 +15,12 @@ use weavepar::weave::value::downcast_ret;
 use weavepar::{args, ret, weaveable};
 
 /// A rod segment with explicit halo cells at both ends.
+///
+/// `next` is a persistent scratch buffer: each `step` writes into it and
+/// swaps, so the steady-state iteration loop allocates nothing.
 pub struct Rod {
     cells: Vec<f64>,
+    next: Vec<f64>,
     left_halo: f64,
     right_halo: f64,
 }
@@ -31,7 +35,12 @@ impl Rod {
 weaveable! {
     class Rod as RodProxy {
         fn new(len: u64, initial: f64, left: f64, right: f64) -> Self {
-            Rod { cells: vec![initial; len as usize], left_halo: left, right_halo: right }
+            Rod {
+                cells: vec![initial; len as usize],
+                next: vec![initial; len as usize],
+                left_halo: left,
+                right_halo: right,
+            }
         }
 
         fn set_halos(&mut self, left: f64, right: f64) {
@@ -47,13 +56,12 @@ weaveable! {
 
         fn step(&mut self) {
             let n = self.cells.len();
-            let mut next = self.cells.clone();
-            for (i, cell) in next.iter_mut().enumerate() {
+            for (i, cell) in self.next.iter_mut().enumerate() {
                 let left = if i == 0 { self.left_halo } else { self.cells[i - 1] };
                 let right = if i + 1 == n { self.right_halo } else { self.cells[i + 1] };
                 *cell = (left + right) / 2.0;
             }
-            self.cells = next;
+            std::mem::swap(&mut self.cells, &mut self.next);
         }
 
         fn snapshot(&mut self) -> Vec<f64> {

@@ -16,11 +16,17 @@ use weavepar::{args, ret, weaveable};
 
 /// A horizontal slab of the grid with halo rows above and below.
 /// Side boundaries are fixed at 0.
+///
+/// Halo rows are `Arc<[f64]>` so the per-iteration exchange shares one
+/// allocation between the publishing slab and both neighbours instead of
+/// cloning each row per receiver; `next` is a persistent scratch buffer so
+/// `step` swaps instead of allocating.
 pub struct Slab {
     width: u64,
     cells: Vec<f64>, // rows × width, row-major
-    top_halo: Vec<f64>,
-    bottom_halo: Vec<f64>,
+    next: Vec<f64>,
+    top_halo: Arc<[f64]>,
+    bottom_halo: Arc<[f64]>,
 }
 
 impl Slab {
@@ -39,12 +45,13 @@ weaveable! {
             Slab {
                 width,
                 cells: vec![initial; (width * height) as usize],
-                top_halo: vec![top; width as usize],
-                bottom_halo: vec![bottom; width as usize],
+                next: vec![initial; (width * height) as usize],
+                top_halo: vec![top; width as usize].into(),
+                bottom_halo: vec![bottom; width as usize].into(),
             }
         }
 
-        fn set_halo_rows(&mut self, top: Vec<f64>, bottom: Vec<f64>) {
+        fn set_halo_rows(&mut self, top: Arc<[f64]>, bottom: Arc<[f64]>) {
             if top.len() == self.top_halo.len() {
                 self.top_halo = top;
             }
@@ -53,13 +60,15 @@ weaveable! {
             }
         }
 
-        fn edge_rows(&mut self) -> (Vec<f64>, Vec<f64>) {
+        fn edge_rows(&mut self) -> (Arc<[f64]>, Arc<[f64]>) {
             let w = self.width as usize;
             let rows = self.rows();
             if rows == 0 {
                 return (self.top_halo.clone(), self.bottom_halo.clone());
             }
-            (self.cells[..w].to_vec(), self.cells[(rows - 1) * w..].to_vec())
+            // One shared allocation per edge row; both neighbours keep an
+            // Arc handle instead of their own copy.
+            (self.cells[..w].into(), self.cells[(rows - 1) * w..].into())
         }
 
         fn step(&mut self) {
@@ -68,7 +77,6 @@ weaveable! {
             if w == 0 || rows == 0 {
                 return;
             }
-            let mut next = self.cells.clone();
             for r in 0..rows {
                 for c in 0..w {
                     let up = if r == 0 { self.top_halo[c] } else { self.cells[(r - 1) * w + c] };
@@ -76,10 +84,10 @@ weaveable! {
                         if r + 1 == rows { self.bottom_halo[c] } else { self.cells[(r + 1) * w + c] };
                     let left = if c == 0 { 0.0 } else { self.cells[r * w + c - 1] };
                     let right = if c + 1 == w { 0.0 } else { self.cells[r * w + c + 1] };
-                    next[r * w + c] = (up + down + left + right) / 4.0;
+                    self.next[r * w + c] = (up + down + left + right) / 4.0;
                 }
             }
-            self.cells = next;
+            std::mem::swap(&mut self.cells, &mut self.next);
         }
 
         fn snapshot(&mut self) -> Vec<f64> {
@@ -137,18 +145,20 @@ pub fn heat2d_config(workers: usize) -> HeartbeatConfig {
             let mut edges = Vec::with_capacity(workers.len());
             for &w in workers {
                 let raw = weaver.invoke_call(w, "Slab", "edge_rows", args![])?;
-                edges.push(downcast_ret::<(Vec<f64>, Vec<f64>)>(resolve_any(raw)?)?);
+                edges.push(downcast_ret::<(Arc<[f64]>, Arc<[f64]>)>(resolve_any(raw)?)?);
             }
+            let empty: Arc<[f64]> = Arc::from(&[][..]);
             for (i, &w) in workers.iter().enumerate() {
+                // Cloning an Arc shares the published row; no data copies.
                 let top = if i == 0 {
-                    Vec::new() // keep the fixed boundary halo
+                    empty.clone() // keep the fixed boundary halo
                 } else {
                     edges[i - 1].1.clone()
                 };
                 let bottom =
-                    if i + 1 == workers.len() { Vec::new() } else { edges[i + 1].0.clone() };
+                    if i + 1 == workers.len() { empty.clone() } else { edges[i + 1].0.clone() };
                 if !top.is_empty() || !bottom.is_empty() {
-                    // Empty vectors are ignored by set_halo_rows (length
+                    // Empty rows are ignored by set_halo_rows (length
                     // mismatch), preserving fixed outer halos.
                     let raw = weaver.invoke_call(w, "Slab", "set_halo_rows", args![top, bottom])?;
                     resolve_any(raw)?;
@@ -210,14 +220,14 @@ mod tests {
     fn edge_rows_and_halos() {
         let mut s = Slab::new(3, 2, 1.0, 9.0, 9.0);
         let (top, bottom) = s.edge_rows();
-        assert_eq!(top, vec![1.0; 3]);
-        assert_eq!(bottom, vec![1.0; 3]);
-        s.set_halo_rows(vec![2.0; 3], vec![4.0; 3]);
+        assert_eq!(&top[..], &[1.0; 3]);
+        assert_eq!(&bottom[..], &[1.0; 3]);
+        s.set_halo_rows(vec![2.0; 3].into(), vec![4.0; 3].into());
         s.step();
         // Middle cell of top row: (2 + 1 + 1 + 1)/4 = 1.25.
         assert_eq!(s.snapshot()[1], 1.25);
         // Mismatched halo length is ignored.
-        s.set_halo_rows(vec![0.0; 2], vec![]);
+        s.set_halo_rows(vec![0.0; 2].into(), Vec::new().into());
         let snap_before = s.snapshot();
         s.step();
         assert_ne!(s.snapshot(), snap_before); // still stepping with old halos

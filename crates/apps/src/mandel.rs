@@ -12,6 +12,7 @@ use weavepar::concurrency::resolve_any;
 use weavepar::prelude::*;
 use weavepar::skeletons::{dynamic_farm_aspect, farm_aspect, Protocol};
 use weavepar::weave::value::downcast_ret;
+use weavepar::weave::Pack;
 use weavepar::{args, ret, weaveable};
 
 /// Escape-iteration count for one point (the classic inner loop).
@@ -42,16 +43,16 @@ weaveable! {
 
         /// Render the given rows; returns `rows.len() * width` iteration
         /// counts in row-major order.
-        fn render_rows(&mut self, rows: Vec<u64>) -> Vec<u64> {
+        fn render_rows(&mut self, rows: Pack) -> Pack {
             let mut out = Vec::with_capacity(rows.len() * self.width as usize);
-            for row in rows {
+            for row in rows.as_slice().iter().copied() {
                 let cy = -1.25 + 2.5 * (row as f64) / (self.height.max(1) as f64);
                 for col in 0..self.width {
                     let cx = -2.0 + 2.75 * (col as f64) / (self.width.max(1) as f64);
                     out.push(escape_count(cx, cy, self.max_iter));
                 }
             }
-            out
+            Pack::from_vec(out)
         }
     }
 }
@@ -59,7 +60,7 @@ weaveable! {
 /// Render the whole image sequentially (reference implementation).
 pub fn render_sequential(width: u64, height: u64, max_iter: u64) -> Vec<u64> {
     let mut m = Mandelbrot::new(width, height, max_iter);
-    m.render_rows((0..height).collect())
+    m.render_rows((0..height).collect::<Pack>()).to_vec()
 }
 
 /// The farm protocol for the renderer: `workers` broadcast-constructed
@@ -74,20 +75,21 @@ pub fn mandel_protocol(workers: usize, packs: usize) -> Protocol {
             Ok(args![*orig.get::<u64>(0)?, *orig.get::<u64>(1)?, *orig.get::<u64>(2)?])
         }),
         split: Arc::new(move |a: &Args| {
-            let rows = a.get::<Vec<u64>>(0)?;
+            let rows = a.get::<Pack>(0)?;
             if rows.is_empty() {
                 return Ok(Vec::new());
             }
             let chunk = rows.len().div_ceil(packs.max(1)).max(1);
-            Ok(rows.chunks(chunk).map(|c| args![c.to_vec()]).collect())
+            // Copy-on-write split: row blocks alias the row list's allocation.
+            Ok(rows.split_chunks(chunk).into_iter().map(|p| args![p]).collect())
         }),
-        reforward: Arc::new(|v: AnyValue| Ok(Args::from_values(vec![v]))),
+        reforward: Arc::new(|v: AnyValue| Ok(Args::from_value(v))),
         combine: Arc::new(|vs: Vec<AnyValue>| {
-            let mut all: Vec<u64> = Vec::new();
+            let mut parts = Vec::with_capacity(vs.len());
             for v in vs {
-                all.extend(downcast_ret::<Vec<u64>>(v)?);
+                parts.push(downcast_ret::<Pack>(v)?);
             }
-            Ok(ret!(all))
+            Ok(ret!(Pack::concat(&parts)))
         }),
     }
 }
@@ -118,12 +120,12 @@ pub fn render_farmed(
         None
     };
     let m = MandelbrotProxy::construct(stack.weaver(), width, height, max_iter)?;
-    let raw = m.handle().call("render_rows", args![(0..height).collect::<Vec<u64>>()])?;
-    let image: Vec<u64> = downcast_ret(resolve_any(raw)?)?;
+    let raw = m.handle().call("render_rows", args![(0..height).collect::<Pack>()])?;
+    let image: Pack = downcast_ret(resolve_any(raw)?)?;
     if let Some(executor) = executor {
         executor.wait_idle();
     }
-    Ok(image)
+    Ok(image.to_vec())
 }
 
 /// Render with the dynamic farm (demand-driven row blocks).
@@ -140,8 +142,8 @@ pub fn render_dynamic(
         dynamic_farm_aspect("Partition.dynamic-farm", mandel_protocol(workers, packs)),
     );
     let m = MandelbrotProxy::construct(stack.weaver(), width, height, max_iter)?;
-    let image = m.render_rows((0..height).collect())?;
-    Ok(image)
+    let image = m.render_rows((0..height).collect::<Pack>())?;
+    Ok(image.to_vec())
 }
 
 #[cfg(test)]

@@ -16,6 +16,7 @@
 //! reading under which the paper's by-value RMI variant computes correct
 //! results.
 
+use weavepar::weave::Pack;
 use weavepar::weaveable;
 
 /// Integer square root (largest `r` with `r*r <= n`).
@@ -90,10 +91,14 @@ weaveable! {
             PrimeFilter { primes }
         }
 
-        fn filter(&mut self, nums: Vec<u64>) -> Vec<u64> {
+        fn filter(&mut self, nums: Pack) -> Pack {
             // Remove every multiple of one of our primes; a number equal to
-            // the prime itself is of course kept.
-            nums.into_iter()
+            // the prime itself is of course kept. The input pack is a shared
+            // view (splits alias one allocation); survivors go to a fresh
+            // pack, since the length shrinks.
+            nums.as_slice()
+                .iter()
+                .copied()
                 .filter(|n| self.primes.iter().all(|p| n % p != 0 || n == p))
                 .collect()
         }
@@ -108,9 +113,9 @@ pub fn sequential_sieve(max: u64) -> Vec<u64> {
         return Vec::new();
     }
     let mut filter = PrimeFilter::new(2, isqrt(max));
-    let survivors = filter.filter(candidates(max));
+    let survivors = filter.filter(Pack::from_vec(candidates(max)));
     let mut primes = vec![2];
-    primes.extend(survivors);
+    primes.extend_from_slice(survivors.as_slice());
     primes
 }
 
@@ -151,10 +156,10 @@ mod tests {
     fn filter_removes_multiples_keeps_primes() {
         let mut f = PrimeFilter::new(2, 5);
         assert_eq!(f.primes(), &[2, 3, 5]);
-        let out = f.filter(vec![3, 5, 7, 9, 15, 25, 49, 121]);
+        let out = f.filter(Pack::from_slice(&[3, 5, 7, 9, 15, 25, 49, 121]));
         // 3 and 5 equal a divisor: kept. 9=3·3, 15, 25 removed. 49, 121
         // survive (7 and 11 are outside this filter's range).
-        assert_eq!(out, vec![3, 5, 7, 49, 121]);
+        assert_eq!(out.to_vec(), vec![3, 5, 7, 49, 121]);
     }
 
     #[test]
@@ -162,7 +167,7 @@ mod tests {
         let mut f = PrimeFilter::new(5, 11);
         assert_eq!(f.primes(), &[5, 7, 11]);
         // 9 survives: 3 is not among this filter's divisors.
-        assert_eq!(f.filter(vec![9, 25, 35, 13]), vec![9, 13]);
+        assert_eq!(f.filter(Pack::from_slice(&[9, 25, 35, 13])).to_vec(), vec![9, 13]);
     }
 
     #[test]
@@ -220,12 +225,12 @@ mod proptests {
         #[test]
         fn filter_idempotent(max in 10u64..500) {
             let mut f = PrimeFilter::new(2, isqrt(max));
-            let once = f.filter(candidates(max));
+            let once = f.filter(Pack::from_vec(candidates(max)));
             let twice = f.filter(once.clone());
             prop_assert_eq!(once.clone(), twice);
-            let mut sorted = once.clone();
+            let mut sorted = once.to_vec();
             sorted.sort_unstable();
-            prop_assert_eq!(once, sorted);
+            prop_assert_eq!(once.to_vec(), sorted);
         }
 
         /// Splitting the divisor range across two filters composes to the
@@ -238,7 +243,7 @@ mod proptests {
             let mut whole = PrimeFilter::new(2, sqrt);
             let mut lo = PrimeFilter::new(2, cut);
             let mut hi = PrimeFilter::new(cut + 1, sqrt);
-            let cands = candidates(max);
+            let cands = Pack::from_vec(candidates(max));
             let expect = whole.filter(cands.clone());
             let composed = hi.filter(lo.filter(cands));
             prop_assert_eq!(expect, composed);

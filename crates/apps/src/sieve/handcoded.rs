@@ -10,7 +10,7 @@ use crossbeam::channel::unbounded;
 
 use weavepar::args;
 use weavepar::distribution::{InProcFabric, MarshalRegistry, RemoteRef};
-use weavepar::weave::{WeaveError, WeaveResult};
+use weavepar::weave::{Pack, WeaveError, WeaveResult};
 
 use super::core::{candidates, isqrt, PrimeFilter};
 use super::variants::stage_ranges;
@@ -18,7 +18,7 @@ use super::variants::stage_ranges;
 fn marshal() -> MarshalRegistry {
     let m = MarshalRegistry::new();
     m.register::<(u64, u64), ()>("PrimeFilter", "new");
-    m.register::<(Vec<u64>,), Vec<u64>>("PrimeFilter", "filter");
+    m.register::<(Pack,), Pack>("PrimeFilter", "filter");
     m
 }
 
@@ -58,7 +58,7 @@ pub fn run_handcoded_rmi(
         return Ok(vec![2]);
     }
     let chunk = cands.len().div_ceil(packs.max(1)).max(1);
-    let (tx, rx) = unbounded::<(usize, WeaveResult<Vec<u64>>)>();
+    let (tx, rx) = unbounded::<(usize, WeaveResult<Pack>)>();
     let mut spawned = 0usize;
     std::thread::scope(|scope| {
         for (index, pack) in cands.chunks(chunk).enumerate() {
@@ -66,7 +66,7 @@ pub fn run_handcoded_rmi(
             let tx = tx.clone();
             let fabric = fabric.clone();
             let stages = stages.clone();
-            let pack = pack.to_vec();
+            let pack = Pack::from_slice(pack);
             scope.spawn(move || {
                 let result = (|| {
                     let mut data = pack;
@@ -78,7 +78,7 @@ pub fn run_handcoded_rmi(
                             .ok_or_else(|| WeaveError::remote("missing reply"))?;
                         let ret = fabric.marshal().decode_ret("PrimeFilter", "filter", &reply)?;
                         data = *ret
-                            .downcast::<Vec<u64>>()
+                            .downcast::<Pack>()
                             .map_err(|_| WeaveError::remote("bad filter reply type"))?;
                     }
                     Ok(data)
@@ -89,13 +89,13 @@ pub fn run_handcoded_rmi(
     });
     drop(tx);
 
-    let mut slots: Vec<Option<Vec<u64>>> = vec![None; spawned];
+    let mut slots: Vec<Option<Pack>> = vec![None; spawned];
     for (index, result) in rx {
         slots[index] = Some(result?);
     }
     let mut primes = vec![2];
     for slot in slots {
-        primes.extend(slot.ok_or_else(|| WeaveError::remote("lost a pack"))?);
+        primes.extend_from_slice(slot.ok_or_else(|| WeaveError::remote("lost a pack"))?.as_slice());
     }
     Ok(primes)
 }

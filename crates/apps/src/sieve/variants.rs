@@ -164,20 +164,22 @@ fn sieve_protocol(strategy: PartitionStrategy, filters: usize, packs: usize) -> 
         workers: filters,
         worker_args,
         split: Arc::new(move |a: &Args| {
-            let nums = a.get::<Vec<u64>>(0)?;
+            let nums = a.get::<Pack>(0)?;
             if nums.is_empty() {
                 return Ok(Vec::new());
             }
             let chunk = nums.len().div_ceil(packs.max(1)).max(1);
-            Ok(nums.chunks(chunk).map(|c| args![c.to_vec()]).collect())
+            // Copy-on-write split: every pack aliases the candidate list's
+            // single allocation.
+            Ok(nums.split_chunks(chunk).into_iter().map(|p| args![p]).collect())
         }),
-        reforward: Arc::new(|v: AnyValue| Ok(Args::from_values(vec![v]))),
+        reforward: Arc::new(|v: AnyValue| Ok(Args::from_value(v))),
         combine: Arc::new(|vs: Vec<AnyValue>| {
-            let mut all: Vec<u64> = Vec::new();
+            let mut parts = Vec::with_capacity(vs.len());
             for v in vs {
-                all.extend(downcast_ret::<Vec<u64>>(v)?);
+                parts.push(downcast_ret::<Pack>(v)?);
             }
-            Ok(ret!(all))
+            Ok(ret!(Pack::concat(&parts)))
         }),
     }
 }
@@ -186,7 +188,7 @@ fn sieve_protocol(strategy: PartitionStrategy, filters: usize, packs: usize) -> 
 fn sieve_marshal() -> MarshalRegistry {
     let m = MarshalRegistry::new();
     m.register::<(u64, u64), ()>("PrimeFilter", "new");
-    m.register::<(Vec<u64>,), Vec<u64>>("PrimeFilter", "filter");
+    m.register::<(Pack,), Pack>("PrimeFilter", "filter");
     // State codec: lets the migration capability move filters between nodes.
     m.register_state::<PrimeFilter, Vec<u64>, _, _>(
         |f| f.primes().to_vec(),
@@ -286,13 +288,13 @@ pub fn run_sieve(run: &SieveRun, max: u64) -> WeaveResult<Vec<u64>> {
     }
     let weaver = run.stack.weaver();
     let filter = PrimeFilterProxy::construct(weaver, 2, isqrt(max))?;
-    let raw = filter.handle().call("filter", args![candidates(max)])?;
-    let survivors: Vec<u64> = downcast_ret(resolve_any(raw)?)?;
+    let raw = filter.handle().call("filter", args![Pack::from_vec(candidates(max))])?;
+    let survivors: Pack = downcast_ret(resolve_any(raw)?)?;
     if let Some(executor) = &run.executor {
         executor.wait_idle();
     }
     let mut primes = vec![2];
-    primes.extend(survivors);
+    primes.extend_from_slice(survivors.as_slice());
     Ok(primes)
 }
 
@@ -339,7 +341,7 @@ mod tests {
         assert!(ranges.iter().skip(4).all(|r| *r == (3, 2)));
         // An empty-range filter passes everything through.
         let mut f = PrimeFilter::new(3, 2);
-        assert_eq!(f.filter(vec![4, 6, 8]), vec![4, 6, 8]);
+        assert_eq!(f.filter(Pack::from_slice(&[4, 6, 8])).to_vec(), vec![4, 6, 8]);
     }
 
     #[test]

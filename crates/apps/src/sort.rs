@@ -11,10 +11,17 @@ use weavepar::concurrency::resolve_any;
 use weavepar::prelude::*;
 use weavepar::skeletons::{divide_conquer_aspect, DivideConquerConfig};
 use weavepar::weave::value::downcast_ret;
+use weavepar::weave::Pack;
 use weavepar::{args, ret, weaveable};
 
 /// Merge two sorted vectors.
 pub fn merge(a: Vec<u64>, b: Vec<u64>) -> Vec<u64> {
+    merge_slices(&a, &b)
+}
+
+/// Merge two sorted slices (the pack-level merge: reads both inputs in
+/// place, allocating only the output).
+pub fn merge_slices(a: &[u64], b: &[u64]) -> Vec<u64> {
     let mut out = Vec::with_capacity(a.len() + b.len());
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
@@ -38,18 +45,17 @@ weaveable! {
     class Sorter as SorterProxy {
         fn new() -> Self { Sorter }
 
-        /// Plain sequential merge sort.
-        fn sort(&mut self, xs: Vec<u64>) -> Vec<u64> {
+        /// Plain sequential merge sort. The halves are copy-on-write views
+        /// of the input pack, so dividing never copies the data.
+        fn sort(&mut self, xs: Pack) -> Pack {
             if xs.len() <= 1 {
                 return xs;
             }
-            let mid = xs.len() / 2;
-            let right = xs[mid..].to_vec();
-            let left = xs[..mid].to_vec();
+            let (left, right) = xs.split_at(xs.len() / 2);
             let mut s = Sorter;
             let left = s.sort(left);
             let right = s.sort(right);
-            merge(left, right)
+            Pack::from_vec(merge_slices(left.as_slice(), right.as_slice()))
         }
     }
 }
@@ -60,19 +66,23 @@ pub fn sort_dc_config(threshold: usize) -> DivideConquerConfig {
     DivideConquerConfig {
         class: "Sorter",
         method: "sort",
-        should_divide: Arc::new(move |a: &Args| Ok(a.get::<Vec<u64>>(0)?.len() > threshold.max(1))),
+        should_divide: Arc::new(move |a: &Args| Ok(a.get::<Pack>(0)?.len() > threshold.max(1))),
         divide: Arc::new(|a: &Args| {
-            let xs = a.get::<Vec<u64>>(0)?;
-            let mid = xs.len() / 2;
-            Ok(vec![args![xs[..mid].to_vec()], args![xs[mid..].to_vec()]])
+            let xs = a.get::<Pack>(0)?;
+            // Copy-on-write divide: both halves alias the input allocation.
+            let (left, right) = xs.split_at(xs.len() / 2);
+            Ok(vec![args![left], args![right]])
         }),
         worker_args: Arc::new(|_sub| Ok(args![])),
         combine: Arc::new(|vs: Vec<AnyValue>| {
-            let mut sorted: Vec<Vec<u64>> = Vec::with_capacity(vs.len());
+            let mut sorted: Vec<Pack> = Vec::with_capacity(vs.len());
             for v in vs {
-                sorted.push(downcast_ret::<Vec<u64>>(v)?);
+                sorted.push(downcast_ret::<Pack>(v)?);
             }
-            let combined = sorted.into_iter().reduce(merge).unwrap_or_default();
+            let combined = sorted
+                .into_iter()
+                .reduce(|a, b| Pack::from_vec(merge_slices(a.as_slice(), b.as_slice())))
+                .unwrap_or_else(|| Pack::from_vec(Vec::new()));
             Ok(ret!(combined))
         }),
     }
@@ -104,12 +114,12 @@ pub fn sort_divide_conquer(
         None
     };
     let sorter = SorterProxy::construct(stack.weaver())?;
-    let raw = sorter.handle().call("sort", args![xs])?;
-    let sorted: Vec<u64> = downcast_ret(resolve_any(raw)?)?;
+    let raw = sorter.handle().call("sort", args![Pack::from_vec(xs)])?;
+    let sorted: Pack = downcast_ret(resolve_any(raw)?)?;
     if let Some(executor) = executor {
         executor.wait_idle();
     }
-    Ok(sorted)
+    Ok(sorted.to_vec())
 }
 
 #[cfg(test)]
@@ -142,8 +152,8 @@ mod tests {
     fn sequential_core_sorts() {
         let mut s = Sorter::new();
         let xs = pseudo_random(500, 7);
-        assert_eq!(s.sort(xs.clone()), reference(xs));
-        assert_eq!(s.sort(vec![]), Vec::<u64>::new());
+        assert_eq!(s.sort(Pack::from_slice(&xs)).to_vec(), reference(xs));
+        assert_eq!(s.sort(Pack::from_vec(vec![])).to_vec(), Vec::<u64>::new());
     }
 
     #[test]

@@ -43,7 +43,7 @@ fn bench_match_cache(c: &mut Criterion) {
             let weaver = weaver_with_aspects(6);
             weaver.set_match_cache(enabled);
             let proxy = PrimeFilterProxy::construct(&weaver, 2, 10).unwrap();
-            b.iter(|| black_box(proxy.filter(black_box(vec![11, 13])).unwrap()));
+            b.iter(|| black_box(proxy.filter(black_box(Pack::from_slice(&[11, 13]))).unwrap()));
         });
     }
     group.finish();
@@ -112,7 +112,7 @@ fn bench_executor(c: &mut Criterion) {
     use weavepar_apps::sieve::PrimeFilter;
 
     let sqrt = isqrt(MAX);
-    let packs: Vec<Vec<u64>> = candidates(MAX).chunks(8_000).map(|c| c.to_vec()).collect();
+    let packs: Vec<Pack> = Pack::from_vec(candidates(MAX)).split_chunks(8_000);
 
     let mut group = c.benchmark_group("executor");
     group.sample_size(10);
@@ -145,7 +145,7 @@ fn bench_executor(c: &mut Criterion) {
                     .collect();
                 let mut survivors = 0usize;
                 for ret in pending {
-                    let v = resolve_any(ret).unwrap().downcast::<Vec<u64>>().unwrap();
+                    let v = resolve_any(ret).unwrap().downcast::<Pack>().unwrap();
                     survivors += v.len();
                 }
                 executor.wait_idle();
@@ -158,7 +158,7 @@ fn bench_executor(c: &mut Criterion) {
 
 fn bench_object_cache(c: &mut Criterion) {
     let sqrt = isqrt(MAX);
-    let pack: Vec<u64> = candidates(MAX).into_iter().take(10_000).collect();
+    let pack: Pack = candidates(MAX).into_iter().take(10_000).collect();
 
     let mut group = c.benchmark_group("object_cache");
     group.sample_size(20);
@@ -169,7 +169,7 @@ fn bench_object_cache(c: &mut Criterion) {
                 let (aspect, _stats) = object_cache_aspect(
                     "Cache",
                     Pointcut::call("PrimeFilter.filter"),
-                    CachePolicy::unary::<Vec<u64>, Vec<u64>>(),
+                    CachePolicy::unary::<Pack, Pack>(),
                 );
                 weaver.plug(aspect);
             }
@@ -192,7 +192,9 @@ fn bench_monitor(c: &mut Criterion) {
                 weaver.plug(synchronized_aspect("Sync", Pointcut::call("PrimeFilter.filter")));
             }
             let proxy = PrimeFilterProxy::construct(&weaver, 2, 100).unwrap();
-            b.iter(|| black_box(proxy.filter(black_box(vec![101, 103, 105])).unwrap()));
+            b.iter(|| {
+                black_box(proxy.filter(black_box(Pack::from_slice(&[101, 103, 105]))).unwrap())
+            });
         });
     }
     group.finish();

@@ -126,7 +126,7 @@ pub fn normalize_costs(trace: &mut TraceGraph, method: &str, target_total: Durat
 /// (the normalisation target for captured traces).
 pub fn measure_filter_work(max: u64) -> Duration {
     let mut filter = PrimeFilter::new(2, isqrt(max));
-    let cands = candidates(max);
+    let cands = Pack::from_vec(candidates(max));
     let (_, elapsed) = time(|| filter.filter(cands));
     elapsed
 }
@@ -153,7 +153,7 @@ pub fn capture_modelled(config: SieveConfig, max: u64) -> WeaveResult<TraceGraph
             return Some(Duration::from_millis(1));
         }
         if sig.method == "filter" {
-            let n = args.get::<Vec<u64>>(0).map(|v| v.len()).unwrap_or(0);
+            let n = args.get::<Pack>(0).map(|p| p.len()).unwrap_or(0);
             return Some(Duration::from_micros(n as u64));
         }
         None
@@ -172,7 +172,8 @@ pub fn capture_modelled(config: SieveConfig, max: u64) -> WeaveResult<TraceGraph
 /// Java"). Median of `runs` measurements.
 pub fn measure_weaving_inflation(max: u64, runs: usize) -> f64 {
     let sqrt = isqrt(max);
-    let pack: Vec<u64> = candidates(max).into_iter().take(100_000).collect();
+    // Pack clones share one allocation, so cloning per run is free.
+    let pack: Pack = candidates(max).into_iter().take(100_000).collect();
     let mut ratios = Vec::with_capacity(runs);
     for _ in 0..runs.max(1) {
         // Direct sequential call.

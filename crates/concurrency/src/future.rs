@@ -326,19 +326,19 @@ mod tests {
     fn resolve_any_deadline_times_out_and_resolves() {
         // Pending future: the deadline expires with a typed Timeout.
         let f = FutureAny::new();
-        let ret: AnyValue = Box::new(f.clone());
+        let ret: AnyValue = AnyValue::new(f.clone());
         let err = resolve_any_deadline(ret, Some(Duration::from_millis(15))).unwrap_err();
         assert!(matches!(err, WeaveError::Timeout { .. }));
         // Fulfilled chain: resolves like resolve_any, deadline untouched.
         let inner = FutureAny::new();
-        inner.fulfill(Ok(Box::new(9u32)));
+        inner.fulfill(Ok(AnyValue::new(9u32)));
         let outer = FutureAny::new();
-        outer.fulfill(Ok(Box::new(inner)));
-        let ret: AnyValue = Box::new(outer);
+        outer.fulfill(Ok(AnyValue::new(inner)));
+        let ret: AnyValue = AnyValue::new(outer);
         let v = resolve_any_deadline(ret, Some(Duration::from_secs(5))).unwrap();
         assert_eq!(*v.downcast::<u32>().unwrap(), 9);
         // None deadline degrades to plain resolve_any.
-        let plain: AnyValue = Box::new(3u32);
+        let plain: AnyValue = AnyValue::new(3u32);
         assert_eq!(*resolve_any_deadline(plain, None).unwrap().downcast::<u32>().unwrap(), 3);
     }
 
@@ -351,7 +351,7 @@ mod tests {
 
     #[test]
     fn future_ret_now_path() {
-        let ret: AnyValue = Box::new(7u32);
+        let ret: AnyValue = AnyValue::new(7u32);
         let v = future_ret::<u32>(ret).unwrap();
         assert!(v.is_ready());
         assert_eq!(v.take().unwrap(), 7);
@@ -360,24 +360,24 @@ mod tests {
     #[test]
     fn future_ret_later_path() {
         let fut = FutureAny::new();
-        let ret: AnyValue = Box::new(fut.clone());
+        let ret: AnyValue = AnyValue::new(fut.clone());
         let v = future_ret::<u32>(ret).unwrap();
         assert!(!v.is_ready());
-        fut.fulfill(Ok(Box::new(11u32)));
+        fut.fulfill(Ok(AnyValue::new(11u32)));
         assert_eq!(v.take().unwrap(), 11);
     }
 
     #[test]
     fn resolve_any_unwraps_chains() {
         // value -> future(value) -> future(future(value))
-        let plain: AnyValue = Box::new(5u32);
+        let plain: AnyValue = AnyValue::new(5u32);
         assert_eq!(*resolve_any(plain).unwrap().downcast::<u32>().unwrap(), 5);
 
         let inner = FutureAny::new();
-        inner.fulfill(Ok(Box::new(6u32)));
+        inner.fulfill(Ok(AnyValue::new(6u32)));
         let outer = FutureAny::new();
-        outer.fulfill(Ok(Box::new(inner)));
-        let ret: AnyValue = Box::new(outer);
+        outer.fulfill(Ok(AnyValue::new(inner)));
+        let ret: AnyValue = AnyValue::new(outer);
         assert_eq!(*resolve_any(ret).unwrap().downcast::<u32>().unwrap(), 6);
     }
 
@@ -385,13 +385,13 @@ mod tests {
     fn resolve_any_propagates_errors() {
         let f = FutureAny::new();
         f.fulfill(Err(WeaveError::app("downstream failed")));
-        let ret: AnyValue = Box::new(f);
+        let ret: AnyValue = AnyValue::new(f);
         assert!(matches!(resolve_any(ret), Err(WeaveError::App(_))));
     }
 
     #[test]
     fn future_ret_type_mismatch() {
-        let ret: AnyValue = Box::new("string".to_string());
+        let ret: AnyValue = AnyValue::new("string".to_string());
         assert!(future_ret::<u32>(ret).is_err());
     }
 

@@ -74,7 +74,7 @@ impl CachePolicy {
                     expected: std::any::type_name::<R>(),
                     context: "cache clone".into(),
                 })?;
-                Ok(Box::new(typed.clone()) as AnyValue)
+                Ok(AnyValue::new(typed.clone()))
             }),
         }
     }

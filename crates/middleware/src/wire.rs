@@ -155,6 +155,31 @@ impl<T: Wire> Wire for Vec<T> {
     }
 }
 
+/// Same wire format as `Vec<u64>`, so a `Pack`-taking method is wire-
+/// compatible with its `Vec<u64>` predecessor. Encoding reads straight from
+/// the pack's shared range (no intermediate copy); decoding materialises a
+/// fresh, unshared pack.
+impl Wire for weavepar_weave::Pack {
+    fn encode(&self, buf: &mut BytesMut) {
+        let items = self.as_slice();
+        buf.put_u32_le(items.len() as u32);
+        for v in items {
+            buf.put_u64_le(*v);
+        }
+    }
+    fn decode(buf: &mut Bytes) -> WeaveResult<Self> {
+        let len = u32::decode(buf)? as usize;
+        if buf.remaining() < len * 8 {
+            return Err(short("Pack"));
+        }
+        let mut items = Vec::with_capacity(len);
+        for _ in 0..len {
+            items.push(buf.get_u64_le());
+        }
+        Ok(weavepar_weave::Pack::from_vec(items))
+    }
+}
+
 impl<T: Wire> Wire for Option<T> {
     fn encode(&self, buf: &mut BytesMut) {
         match self {
@@ -262,42 +287,10 @@ impl_wire_args! {
     (A @ 0, B @ 1, C @ 2, D @ 3);
 }
 
-/// Dense handle for a registered class, handed out by
-/// [`MarshalRegistry::intern_class`]. Indexes an append-only table; `Copy`
-/// and 4 bytes on the wire.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct ClassId(u32);
-
-impl ClassId {
-    /// The raw table index (wire representation).
-    pub fn raw(self) -> u32 {
-        self.0
-    }
-
-    /// Rebuild from a raw index (wire decode; validated at use).
-    pub fn from_raw(raw: u32) -> Self {
-        ClassId(raw)
-    }
-}
-
-/// Dense handle for a registered `(class, method)` pair, handed out by
-/// [`MarshalRegistry::register`]. The hot-path key: an array index instead
-/// of a string-hashed map lookup under a lock.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct MethodId(u32);
-
-impl MethodId {
-    /// The raw table index (wire representation — `CallPack` entries carry
-    /// this).
-    pub fn raw(self) -> u32 {
-        self.0
-    }
-
-    /// Rebuild from a raw index (wire decode; validated at use).
-    pub fn from_raw(raw: u32) -> Self {
-        MethodId(raw)
-    }
-}
+// `ClassId`/`MethodId` are defined in the weave value layer so they can ride
+// inline in a `Value` (no box per id); re-exported here at their historical
+// home. `intern_class`/`register` hand them out exactly as before.
+pub use weavepar_weave::{ClassId, MethodId};
 
 /// Lock-free-on-read, append-only slot table: readers index published slots
 /// with two atomic loads; writers serialise on a mutex and publish via a
@@ -441,7 +434,7 @@ impl MarshalRegistry {
             return id;
         }
         let name: Arc<str> = Arc::from(class);
-        let id = ClassId(self.inner.classes.push(ClassEntry {
+        let id = ClassId::from_raw(self.inner.classes.push(ClassEntry {
             name: name.clone(),
             methods: RwLock::new(HashMap::new()),
             state: RwLock::new(None),
@@ -463,15 +456,15 @@ impl MarshalRegistry {
     fn class_entry(&self, class: ClassId) -> WeaveResult<&ClassEntry> {
         self.inner
             .classes
-            .get(class.0)
-            .ok_or_else(|| WeaveError::remote(format!("unknown class id {}", class.0)))
+            .get(class.raw())
+            .ok_or_else(|| WeaveError::remote(format!("unknown class id {}", class.raw())))
     }
 
     pub(crate) fn method_entry(&self, method: MethodId) -> WeaveResult<&MethodEntry> {
         self.inner
             .methods
-            .get(method.0)
-            .ok_or_else(|| WeaveError::remote(format!("unknown method id {}", method.0)))
+            .get(method.raw())
+            .ok_or_else(|| WeaveError::remote(format!("unknown method id {}", method.raw())))
     }
 
     /// Register marshalling for `class.method` with argument tuple `A` and
@@ -497,11 +490,11 @@ impl MarshalRegistry {
             }),
             decode_ret: Box::new(|bytes| {
                 let v: R = R::decode(bytes)?;
-                Ok(Box::new(v) as AnyValue)
+                Ok(AnyValue::new(v))
             }),
         };
         let method_name: Arc<str> = Arc::from(method);
-        let id = MethodId(self.inner.methods.push(MethodEntry {
+        let id = MethodId::from_raw(self.inner.methods.push(MethodEntry {
             class: class_id,
             class_name: entry.name.clone(),
             method_name: method_name.clone(),
@@ -514,7 +507,7 @@ impl MarshalRegistry {
     /// The id of `class.method`, if registered.
     pub fn try_method_id(&self, class: &str, method: &str) -> Option<MethodId> {
         let class_id = self.class_id(class)?;
-        let entry = self.inner.classes.get(class_id.0)?;
+        let entry = self.inner.classes.get(class_id.raw())?;
         entry.methods.read().get(method).copied()
     }
 
@@ -629,7 +622,7 @@ impl MarshalRegistry {
 
     fn state_codec(&self, class: &str) -> WeaveResult<StateCodec> {
         self.class_id(class)
-            .and_then(|id| self.inner.classes.get(id.0))
+            .and_then(|id| self.inner.classes.get(id.raw()))
             .and_then(|entry| entry.state.read().clone())
             .ok_or_else(|| WeaveError::remote(format!("no state codec registered for `{class}`")))
     }
@@ -961,7 +954,7 @@ mod tests {
         let back = reg.decode_args("PrimeFilter", "filter", &bytes).unwrap();
         assert_eq!(*back.get::<Vec<u64>>(0).unwrap(), vec![9, 15, 21]);
 
-        let ret: AnyValue = Box::new(vec![9u64]);
+        let ret: AnyValue = AnyValue::new(vec![9u64]);
         let rb = reg.encode_ret("PrimeFilter", "filter", &ret).unwrap();
         let rv = reg.decode_ret("PrimeFilter", "filter", &rb).unwrap();
         assert_eq!(*rv.downcast::<Vec<u64>>().unwrap(), vec![9]);
@@ -1013,7 +1006,7 @@ mod tests {
     fn registry_ret_type_mismatch() {
         let reg = MarshalRegistry::new();
         reg.register::<(), u64>("C", "m");
-        let ret: AnyValue = Box::new("not a u64".to_string());
+        let ret: AnyValue = AnyValue::new("not a u64".to_string());
         assert!(reg.encode_ret("C", "m", &ret).is_err());
     }
 

@@ -84,21 +84,35 @@ pub fn depth() -> usize {
 
 /// RAII guard that restores the previous provenance when dropped.
 pub struct ProvenanceGuard {
-    _priv: (),
+    pushed: bool,
 }
 
 impl Drop for ProvenanceGuard {
     fn drop(&mut self) {
-        STACK.with(|s| {
-            s.borrow_mut().pop();
-        });
+        if self.pushed {
+            STACK.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
     }
 }
 
 /// Push a provenance frame for the duration of the returned guard.
+///
+/// Pushing `Core` while the current provenance is already `Core` (including
+/// onto the empty stack, whose default is `Core`) is elided: `current()`
+/// cannot observe the difference, and base-method dispatch pushes exactly
+/// this frame on every unwoven call.
 pub fn push(p: Provenance) -> ProvenanceGuard {
-    STACK.with(|s| s.borrow_mut().push(p));
-    ProvenanceGuard { _priv: () }
+    STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        if p == Provenance::Core && s.last().is_none_or(|&top| top == Provenance::Core) {
+            ProvenanceGuard { pushed: false }
+        } else {
+            s.push(p);
+            ProvenanceGuard { pushed: true }
+        }
+    })
 }
 
 /// Snapshot of the per-thread weaving context, used by

@@ -116,7 +116,7 @@ impl IntertypeStore {
 
     /// Attach (or overwrite) a named field on an object.
     pub fn set_field<T: Send + 'static>(&self, obj: ObjId, key: &'static str, value: T) {
-        self.fields.lock().insert((obj, key), Box::new(value));
+        self.fields.lock().insert((obj, key), crate::value::Value::new(value));
     }
 
     /// Read a copy of a field.

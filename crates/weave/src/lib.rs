@@ -101,7 +101,7 @@ pub use pointcut::Pointcut;
 pub use registry::Weaver;
 pub use signature::{MethodPattern, Signature};
 pub use trace::{CostModel, Recorder, TaskId, TaskRecord, TraceGraph};
-pub use value::{AnyValue, Args, ByteSize};
+pub use value::{AnyValue, Args, ByteSize, ClassId, MethodId, Pack, Value};
 
 /// Commonly used items, for glob import in application and aspect code.
 pub mod prelude {
@@ -115,6 +115,6 @@ pub mod prelude {
     pub use crate::pointcut::Pointcut;
     pub use crate::registry::Weaver;
     pub use crate::signature::{MethodPattern, Signature};
-    pub use crate::value::{AnyValue, Args, ByteSize};
+    pub use crate::value::{AnyValue, Args, ByteSize, Pack, Value};
     pub use crate::{args, ret};
 }

@@ -81,7 +81,7 @@ macro_rules! weaveable {
                             __i += 1;
                         )*
                         let __result = self.$method($($param),*);
-                        return Ok(Box::new(__result) as $crate::value::AnyValue);
+                        return Ok($crate::value::Value::new(__result));
                     }
                 )*
                 Err($crate::error::WeaveError::NoSuchMethod {
@@ -278,7 +278,7 @@ mod tests {
         let ctor = crate::args![1i64, 2i64];
         assert_eq!(Counter::arg_bytes("new", &ctor), 16);
         assert_eq!(Counter::arg_bytes("value", &crate::args![]), 0);
-        let ret: AnyValue = Box::new(42i64);
+        let ret: AnyValue = AnyValue::new(42i64);
         assert_eq!(Counter::ret_bytes("add", &ret), 8);
         assert_eq!(Counter::ret_bytes("bump", &ret), 0);
         assert_eq!(Counter::ret_bytes("unknown", &ret), 0);

@@ -340,8 +340,11 @@ impl Weaver {
         // monitor is then taken without revisiting the map.
         let (info, instance) = self.inner.space.lookup(target)?;
         let in_table = info.methods.contains(&signature.method);
-        let recorder_snap = self.inner.recorder.get();
-        let recorder = recorder_snap.as_ref().as_ref();
+        // One relaxed load skips all recorder bookkeeping when none is
+        // installed — the steady-state dispatch path.
+        let recorder_snap =
+            if self.inner.recorder.is_installed() { Some(self.inner.recorder.get()) } else { None };
+        let recorder = recorder_snap.as_deref().and_then(|r| r.as_ref());
 
         let (task, model_cost) = match recorder {
             Some(rec) => {
@@ -397,8 +400,9 @@ impl Weaver {
         issuer: u64,
     ) -> WeaveResult<ObjId> {
         let signature = Signature::construction(info.class);
-        let recorder_snap = self.inner.recorder.get();
-        let recorder = recorder_snap.as_ref().as_ref();
+        let recorder_snap =
+            if self.inner.recorder.is_installed() { Some(self.inner.recorder.get()) } else { None };
+        let recorder = recorder_snap.as_deref().and_then(|r| r.as_ref());
         let (bytes, model_cost) = match recorder {
             Some(rec) => {
                 ((info.arg_bytes)(Signature::NEW, &args), rec.model_cost(&signature, &args))

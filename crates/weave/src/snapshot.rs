@@ -21,7 +21,7 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
@@ -311,6 +311,7 @@ pub(crate) struct RecorderCell {
     uid: u64,
     current: RwLock<Arc<Option<Recorder>>>,
     generation: AtomicU64,
+    installed: AtomicBool,
 }
 
 impl RecorderCell {
@@ -319,14 +320,25 @@ impl RecorderCell {
             uid: next_uid(),
             current: RwLock::new(Arc::new(None)),
             generation: AtomicU64::new(1),
+            installed: AtomicBool::new(false),
         }
     }
 
     /// Install (or remove) the recorder.
     pub(crate) fn set(&self, recorder: Option<Recorder>) {
         let generation = self.generation.load(Ordering::Relaxed) + 1;
+        self.installed.store(recorder.is_some(), Ordering::Relaxed);
         *self.current.write() = Arc::new(recorder);
         self.generation.store(generation, Ordering::Release);
+    }
+
+    /// Cheap pre-flight check: is any recorder installed at all? The common
+    /// (unrecorded) dispatch path uses this single relaxed load to skip the
+    /// TLS scan and `Arc` traffic of [`RecorderCell::get`] entirely. A call
+    /// racing with installation may miss the first few join points — trace
+    /// recording is inherently racy with in-flight calls.
+    pub(crate) fn is_installed(&self) -> bool {
+        self.installed.load(Ordering::Relaxed)
     }
 
     /// The exact currently installed recorder (administrative read).

@@ -326,21 +326,34 @@ pub fn current_task() -> Option<TaskId> {
 
 /// RAII guard restoring the previous current-task frame.
 pub struct TaskGuard {
-    _priv: (),
+    pushed: bool,
 }
 
 impl Drop for TaskGuard {
     fn drop(&mut self) {
-        CURRENT_TASK.with(|s| {
-            s.borrow_mut().pop();
-        });
+        if self.pushed {
+            CURRENT_TASK.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
     }
 }
 
 /// Push a current-task frame (possibly `None`, masking an outer task).
+///
+/// Pushing `None` onto an empty stack is elided — the empty stack already
+/// reads as "no current task", so the frame would be indistinguishable. This
+/// keeps the unrecorded dispatch path to a single thread-local access.
 pub fn push_task(task: Option<TaskId>) -> TaskGuard {
-    CURRENT_TASK.with(|s| s.borrow_mut().push(task));
-    TaskGuard { _priv: () }
+    CURRENT_TASK.with(|s| {
+        let mut s = s.borrow_mut();
+        if task.is_none() && s.is_empty() {
+            TaskGuard { pushed: false }
+        } else {
+            s.push(task);
+            TaskGuard { pushed: true }
+        }
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,140 @@
+//! Proof of the inline-value fast path: steady-state scalar-argument
+//! dispatch through a plugged aspect chain performs **zero heap
+//! allocations** (PR 9 tentpole acceptance).
+//!
+//! A counting wrapper around the system allocator is installed as the
+//! global allocator for this test binary only. Each test warms the weaver
+//! (first calls populate dispatch tables and advice-chain caches), then
+//! counts allocations across a burst of steady-state calls.
+//!
+//! The tests share one process-global allocator counter, so they serialise
+//! on a mutex: a concurrently running test would otherwise attribute its
+//! allocations to the measuring window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use weavepar::prelude::*;
+use weavepar::weaveable;
+
+/// Counts allocations while `COUNTING` is set; delegates to [`System`].
+struct CountingAlloc;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Serialises the measuring window across tests in this binary.
+static WINDOW: Mutex<()> = Mutex::new(());
+
+/// Count allocations performed by `f` (exclusive window).
+fn count_allocs<T>(f: impl FnOnce() -> T) -> (usize, T) {
+    let _guard = WINDOW.lock().unwrap_or_else(|e| e.into_inner());
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    let out = f();
+    COUNTING.store(false, Ordering::SeqCst);
+    (ALLOCS.load(Ordering::SeqCst), out)
+}
+
+struct Alu;
+
+weaveable! {
+    class Alu as AluProxy {
+        fn new() -> Self { Alu }
+        fn fma(&mut self, a: u64, b: u64, c: u64, d: u64) -> u64 {
+            a.wrapping_mul(b).wrapping_add(c).wrapping_mul(d | 1)
+        }
+        fn poke(&mut self, x: u64) -> u64 { x.wrapping_add(1) }
+    }
+}
+
+fn plugged_proxy(aspects: usize) -> AluProxy {
+    let weaver = Weaver::new();
+    for i in 0..aspects {
+        weaver.plug(
+            Aspect::named(format!("P{i}"))
+                .around(Pointcut::call("Alu.*"), |inv: &mut Invocation| inv.proceed())
+                .build(),
+        );
+    }
+    AluProxy::construct(&weaver).unwrap()
+}
+
+#[test]
+fn steady_state_scalar_dispatch_is_allocation_free() {
+    let proxy = plugged_proxy(3);
+    // Warm-up: the first calls build dispatch tables and advice chains.
+    for i in 0..16 {
+        proxy.fma(i, i + 1, i + 2, i + 3).unwrap();
+        proxy.poke(i).unwrap();
+    }
+    let (allocs, sum) = count_allocs(|| {
+        let mut sum = 0u64;
+        for i in 0..1_000u64 {
+            sum = sum.wrapping_add(proxy.fma(i, 3, 5, 7).unwrap());
+            sum = sum.wrapping_add(proxy.poke(i).unwrap());
+        }
+        sum
+    });
+    assert_ne!(sum, 0, "calls really ran");
+    assert_eq!(allocs, 0, "steady-state scalar dispatch through 3 aspects must not allocate");
+}
+
+#[test]
+fn unwoven_proxy_dispatch_is_allocation_free() {
+    let proxy = plugged_proxy(0);
+    for i in 0..16 {
+        proxy.poke(i).unwrap();
+    }
+    let (allocs, _) = count_allocs(|| {
+        let mut sum = 0u64;
+        for i in 0..1_000u64 {
+            sum = sum.wrapping_add(proxy.poke(i).unwrap());
+        }
+        sum
+    });
+    assert_eq!(allocs, 0, "bare proxy dispatch must not allocate");
+}
+
+#[test]
+fn wrong_type_take_keeps_inline_value_intact() {
+    let mut args = weavepar::args![41u64];
+    // A mistyped take must fail AND leave the argument in place. (The error
+    // itself carries a formatted context string, so the failure path is
+    // allowed to allocate; only the success path below must not.)
+    assert!(args.take::<i64>(0).is_err());
+    assert_eq!(*args.get::<u64>(0).expect("value still present after failed take"), 41);
+
+    // The correctly typed round trip is allocation-free.
+    let (allocs, value) = count_allocs(|| {
+        let taken: u64 = args.take::<u64>(0).expect("correctly typed take succeeds");
+        let ret = AnyValue::new(taken);
+        *ret.downcast_ref::<u64>().expect("inline return")
+    });
+    assert_eq!(value, 41);
+    assert_eq!(allocs, 0, "inline args round trip must not allocate");
+}

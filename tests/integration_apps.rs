@@ -43,7 +43,7 @@ fn cache_optimisation_composes_with_the_farm() {
     let (aspect, stats) = object_cache_aspect(
         "Optimisation.cache",
         Pointcut::call("PrimeFilter.filter"),
-        CachePolicy::unary::<Vec<u64>, Vec<u64>>(),
+        CachePolicy::unary::<Pack, Pack>(),
     );
     run.stack.plug(Concern::Optimisation, aspect);
 
@@ -51,8 +51,9 @@ fn cache_optimisation_composes_with_the_farm() {
     let weaver = run.stack.weaver();
     let proxy = PrimeFilterProxy::construct(weaver, 2, isqrt(max)).unwrap();
     let call = || -> Vec<u64> {
-        let raw = proxy.handle().call("filter", weavepar::args![candidates(max)]).unwrap();
-        downcast_ret::<Vec<u64>>(resolve_any(raw).unwrap()).unwrap()
+        let cands = Pack::from_vec(candidates(max));
+        let raw = proxy.handle().call("filter", weavepar::args![cands]).unwrap();
+        downcast_ret::<Pack>(resolve_any(raw).unwrap()).unwrap().to_vec()
     };
     let first = call();
     let mut primes = vec![2u64];

@@ -10,7 +10,7 @@ use weavepar_apps::sieve::{build_sieve, run_sieve, sequential_sieve, PrimeFilter
 fn sieve_marshal() -> MarshalRegistry {
     let m = MarshalRegistry::new();
     m.register::<(u64, u64), ()>("PrimeFilter", "new");
-    m.register::<(Vec<u64>,), Vec<u64>>("PrimeFilter", "filter");
+    m.register::<(Pack,), Pack>("PrimeFilter", "filter");
     m
 }
 
@@ -104,7 +104,9 @@ fn remote_failure_surfaces_as_remote_error() {
         false,
     ));
     let id = weaver.construct_dyn("PrimeFilter", weavepar::args![2u64, 10u64]).unwrap();
-    let err = weaver.invoke_call_dyn(id, "filter", weavepar::args![vec![4u64]]).unwrap_err();
+    let err = weaver
+        .invoke_call_dyn(id, "filter", weavepar::args![Pack::from_slice(&[4u64])])
+        .unwrap_err();
     assert!(matches!(err, WeaveError::Remote(_)), "got {err:?}");
 }
 
@@ -197,10 +199,11 @@ fn filters_can_migrate_mid_run() {
         .into_iter()
         .find(|s| weaver.intertype().has_field(*s, "remote"))
         .unwrap();
-    let raw =
-        weaver.invoke_call_dyn(stub, "filter", weavepar::args![vec![1999u64, 2000u64]]).unwrap();
-    let out = downcast_ret::<Vec<u64>>(resolve_any(raw).unwrap()).unwrap();
-    assert_eq!(out, vec![1999], "migrated filter still filters correctly");
+    let raw = weaver
+        .invoke_call_dyn(stub, "filter", weavepar::args![Pack::from_slice(&[1999u64, 2000])])
+        .unwrap();
+    let out = downcast_ret::<Pack>(resolve_any(raw).unwrap()).unwrap();
+    assert_eq!(out.to_vec(), vec![1999], "migrated filter still filters correctly");
 }
 
 #[test]
@@ -240,7 +243,9 @@ fn surviving_nodes_keep_serving_after_a_crash() {
                 .is_some_and(|r| r.node != 3)
         })
         .expect("a worker on a live node");
-    let raw = weaver.invoke_call_dyn(live_stub, "filter", weavepar::args![vec![7u64, 8]]).unwrap();
-    let out = downcast_ret::<Vec<u64>>(resolve_any(raw).unwrap()).unwrap();
-    assert_eq!(out, vec![7]);
+    let raw = weaver
+        .invoke_call_dyn(live_stub, "filter", weavepar::args![Pack::from_slice(&[7u64, 8])])
+        .unwrap();
+    let out = downcast_ret::<Pack>(resolve_any(raw).unwrap()).unwrap();
+    assert_eq!(out.to_vec(), vec![7]);
 }

@@ -13,8 +13,8 @@ const MAX: u64 = 3_000;
 fn step0_core_runs_without_any_weaver() {
     // The core functionality is an ordinary sequential type.
     let mut f = PrimeFilter::new(2, 54);
-    let out = f.filter(vec![55, 56, 57, 59]);
-    assert_eq!(out, vec![59]);
+    let out = f.filter(Pack::from_slice(&[55, 56, 57, 59]));
+    assert_eq!(out.to_vec(), vec![59]);
     assert_eq!(sequential_sieve(100).len(), 25);
 }
 
@@ -24,7 +24,7 @@ fn step1_core_through_an_empty_weaver_is_identity() {
     // bare object.
     let weaver = Weaver::new();
     let proxy = PrimeFilterProxy::construct(&weaver, 2, 54).unwrap();
-    assert_eq!(proxy.filter(vec![55, 56, 57, 59]).unwrap(), vec![59]);
+    assert_eq!(proxy.filter(Pack::from_slice(&[55, 56, 57, 59])).unwrap().to_vec(), vec![59]);
     assert_eq!(weaver.space().len(), 1);
 }
 
