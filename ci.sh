@@ -61,4 +61,7 @@ WEAVEPAR_BENCH_QUICK=1 cargo bench -p weavepar-bench --bench weaving_overhead
 echo "==> joinpoint_values smoke (WEAVEPAR_BENCH_QUICK=1)"
 WEAVEPAR_BENCH_QUICK=1 cargo bench -p weavepar-bench --bench joinpoint_values
 
+echo "==> metrics_overhead smoke (WEAVEPAR_BENCH_QUICK=1)"
+WEAVEPAR_BENCH_QUICK=1 cargo bench -p weavepar-bench --bench metrics_overhead
+
 echo "CI OK"

@@ -10,7 +10,6 @@ use std::sync::Arc;
 
 use weavepar::concurrency::resolve_any;
 use weavepar::prelude::*;
-use weavepar::skeletons::{heartbeat_aspect, HeartbeatConfig};
 use weavepar::weave::value::downcast_ret;
 use weavepar::{args, ret, weaveable};
 
@@ -166,10 +165,7 @@ pub fn solve_heartbeat(
     // Never create empty blocks (see the 2-D variant for the rationale).
     let workers = workers.clamp(1, len.max(1) as usize);
     let stack = ConcernStack::new();
-    stack.plug(
-        Concern::Partition,
-        heartbeat_aspect("Partition.heartbeat", heat_heartbeat_config(workers)),
-    );
+    stack.plug(Concern::Partition, heat_heartbeat_config(workers).aspect("Partition.heartbeat"));
     let rod = RodProxy::construct(stack.weaver(), len, initial, left, right)?;
     rod.run(iterations)
 }
@@ -184,10 +180,7 @@ pub fn solve_heartbeat_concurrent(
     workers: usize,
 ) -> WeaveResult<Vec<f64>> {
     let stack = ConcernStack::new();
-    stack.plug(
-        Concern::Partition,
-        heartbeat_aspect("Partition.heartbeat", heat_heartbeat_config(workers)),
-    );
+    stack.plug(Concern::Partition, heat_heartbeat_config(workers).aspect("Partition.heartbeat"));
     let executor = Executor::thread_per_call();
     stack.plug_all(
         Concern::Concurrency,

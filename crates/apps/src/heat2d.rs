@@ -10,7 +10,6 @@ use std::sync::Arc;
 
 use weavepar::concurrency::resolve_any;
 use weavepar::prelude::*;
-use weavepar::skeletons::{heartbeat_aspect, HeartbeatConfig};
 use weavepar::weave::value::downcast_ret;
 use weavepar::{args, ret, weaveable};
 
@@ -191,10 +190,7 @@ pub fn solve2d_heartbeat(
     // rows, which would break the exchange chain.
     let workers = workers.clamp(1, height.max(1) as usize);
     let stack = ConcernStack::new();
-    stack.plug(
-        Concern::Partition,
-        heartbeat_aspect("Partition.heartbeat2d", heat2d_config(workers)),
-    );
+    stack.plug(Concern::Partition, heat2d_config(workers).aspect("Partition.heartbeat2d"));
     let slab = SlabProxy::construct(stack.weaver(), width, height, initial, top, bottom)?;
     slab.run(iterations)
 }

@@ -10,7 +10,6 @@ use std::sync::Arc;
 
 use weavepar::concurrency::resolve_any;
 use weavepar::prelude::*;
-use weavepar::skeletons::{dynamic_farm_aspect, farm_aspect, Protocol};
 use weavepar::weave::value::downcast_ret;
 use weavepar::weave::Pack;
 use weavepar::{args, ret, weaveable};
@@ -104,7 +103,10 @@ pub fn render_farmed(
     concurrent: bool,
 ) -> WeaveResult<Vec<u64>> {
     let stack = ConcernStack::new();
-    stack.plug(Concern::Partition, farm_aspect("Partition.farm", mandel_protocol(workers, packs)));
+    stack.plug(
+        Concern::Partition,
+        FarmConfig::new(mandel_protocol(workers, packs)).aspect("Partition.farm"),
+    );
     let executor = if concurrent {
         let executor = Executor::thread_per_call();
         stack.plug_all(
@@ -139,7 +141,7 @@ pub fn render_dynamic(
     let stack = ConcernStack::new();
     stack.plug(
         Concern::Partition,
-        dynamic_farm_aspect("Partition.dynamic-farm", mandel_protocol(workers, packs)),
+        DynamicFarmConfig::new(mandel_protocol(workers, packs)).aspect("Partition.dynamic-farm"),
     );
     let m = MandelbrotProxy::construct(stack.weaver(), width, height, max_iter)?;
     let image = m.render_rows((0..height).collect::<Pack>())?;

@@ -16,13 +16,8 @@
 use std::sync::Arc;
 
 use weavepar::concurrency::resolve_any;
-use weavepar::distribution::{
-    mpp_distribution_aspect, rmi_distribution_aspect, InProcFabric, MarshalRegistry, Policy,
-};
 use weavepar::prelude::*;
-use weavepar::skeletons::{
-    dynamic_farm_aspect, farm_aspect, pipeline_aspect, Protocol, RankedArgsFn,
-};
+use weavepar::skeletons::RankedArgsFn;
 use weavepar::weave::value::downcast_ret;
 use weavepar::{args, ret};
 
@@ -224,9 +219,11 @@ pub fn build_sieve(config: SieveConfig) -> SieveRun {
     // Partition concern.
     let protocol = sieve_protocol(config.partition, config.filters, config.packs);
     let partition = match config.partition {
-        PartitionStrategy::Pipeline => pipeline_aspect("Partition.pipeline", protocol),
-        PartitionStrategy::Farm => farm_aspect("Partition.farm", protocol),
-        PartitionStrategy::DynamicFarm => dynamic_farm_aspect("Partition.dynamic-farm", protocol),
+        PartitionStrategy::Pipeline => PipelineConfig::new(protocol).aspect("Partition.pipeline"),
+        PartitionStrategy::Farm => FarmConfig::new(protocol).aspect("Partition.farm"),
+        PartitionStrategy::DynamicFarm => {
+            DynamicFarmConfig::new(protocol).aspect("Partition.dynamic-farm")
+        }
     };
     stack.plug(Concern::Partition, partition);
 
@@ -253,21 +250,20 @@ pub fn build_sieve(config: SieveConfig) -> SieveRun {
             let fabric = InProcFabric::new(config.nodes, sieve_marshal());
             fabric.register_class::<PrimeFilter>();
             let aspect = match config.middleware {
-                Middleware::Rmi => rmi_distribution_aspect(
-                    "Distribution.rmi",
+                Middleware::Rmi => RmiConfig::new(
                     "PrimeFilter",
                     Pointcut::call("PrimeFilter.filter"),
                     fabric.clone(),
-                    Policy::round_robin(),
-                ),
-                _ => mpp_distribution_aspect(
-                    "Distribution.mpp",
+                )
+                .placement(Policy::round_robin())
+                .aspect("Distribution.rmi"),
+                _ => MppConfig::new(
                     "PrimeFilter",
                     Pointcut::call("PrimeFilter.filter"),
                     fabric.clone(),
-                    Policy::round_robin(),
-                    false,
-                ),
+                )
+                .placement(Policy::round_robin())
+                .aspect("Distribution.mpp"),
             };
             stack.plug(Concern::Distribution, aspect);
             Some(fabric)

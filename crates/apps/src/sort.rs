@@ -9,7 +9,6 @@ use std::sync::Arc;
 
 use weavepar::concurrency::resolve_any;
 use weavepar::prelude::*;
-use weavepar::skeletons::{divide_conquer_aspect, DivideConquerConfig};
 use weavepar::weave::value::downcast_ret;
 use weavepar::weave::Pack;
 use weavepar::{args, ret, weaveable};
@@ -97,8 +96,7 @@ pub fn sort_divide_conquer(
 ) -> WeaveResult<Vec<u64>> {
     let stack = ConcernStack::new();
     stack.weaver().register_class::<Sorter>();
-    stack
-        .plug(Concern::Partition, divide_conquer_aspect("Partition.dc", sort_dc_config(threshold)));
+    stack.plug(Concern::Partition, sort_dc_config(threshold).aspect("Partition.dc"));
     let executor = if concurrent {
         let executor = Executor::thread_per_call();
         stack.plug_all(

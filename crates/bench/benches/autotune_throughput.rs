@@ -38,7 +38,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use weavepar::prelude::*;
-use weavepar::skeletons::{farm_aspect_tuned, hints, Protocol};
+use weavepar::skeletons::{hints, FarmConfig, Protocol};
 use weavepar::tuning::{autotune_aspect_at, Autotuner, Step, Tunable, TuneConfig};
 use weavepar::{args, weaveable};
 
@@ -151,7 +151,7 @@ struct Rig {
 fn rig() -> Rig {
     let weaver = Weaver::new();
     let cell = Arc::new(AtomicU32::new(DEFAULT_PACKS));
-    weaver.plug(farm_aspect_tuned("Partition", protocol(), Some(cell.clone())));
+    weaver.plug(FarmConfig::new(protocol()).tuned(cell.clone()).aspect("Partition"));
     let executor = Executor::pool(WORKERS, "autotune-bench");
     // Only the farm's dispatch calls run asynchronously; the outer core
     // call stays synchronous so its wall time is the farmed-call latency.

@@ -1,0 +1,174 @@
+//! Observability overhead: what does the metrics layer cost the hot path?
+//!
+//! Run with: `cargo bench -p weavepar-bench --bench metrics_overhead`
+//!
+//! Three-way comparison over the paper's three-aspect pass-through stack
+//! (scalar `fma` dispatch, the same scenario as `joinpoint_values`):
+//!
+//! * `off` — no metrics anywhere: the baseline dispatch cost;
+//! * `installed_idle` — the metrics aspect is plugged (registry allocated,
+//!   counters resolved) but its pointcut matches a *different* method, so
+//!   the benched call only pays the pointcut miss;
+//! * `recording` — the metrics aspect matches every benched call: one
+//!   `Instant::now` pair, a log₂-bucket histogram record and two sharded
+//!   counter bumps per call.
+//!
+//! Acceptance (checked in full mode, recorded in the JSON): installing the
+//! layer without pointing it at the hot path costs ≤ 1.05× the `off`
+//! baseline — observability is pay-for-what-you-watch. The `recording`
+//! ratio is recorded raw (no bound: it pays two clock reads, which dwarf
+//! the atomic bumps). A snapshot-determinism check runs in every mode:
+//! rendering the same registry twice must produce byte-identical text/JSON.
+//! Hand-rolled harness (same contract as the other benches): writes
+//! `BENCH_metrics.json` at the workspace root; with `WEAVEPAR_BENCH_QUICK=1`
+//! it runs a tiny smoke and skips the JSON and the acceptance assertion
+//! (used by ci.sh).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use weavepar::prelude::*;
+use weavepar::weaveable;
+
+struct Knobs {
+    rounds: usize,
+    iters: usize,
+    quick: bool,
+}
+
+impl Knobs {
+    fn from_env() -> Self {
+        if std::env::var("WEAVEPAR_BENCH_QUICK").is_ok_and(|v| v == "1") {
+            Knobs { rounds: 3, iters: 2_000, quick: true }
+        } else {
+            Knobs { rounds: 15, iters: 150_000, quick: false }
+        }
+    }
+}
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    let mid = samples.len() / 2;
+    if samples.len().is_multiple_of(2) {
+        (samples[mid - 1] + samples[mid]) / 2.0
+    } else {
+        samples[mid]
+    }
+}
+
+/// Median ns/op over `rounds` rounds of `iters` ops each (one warmup round).
+fn bench(rounds: usize, iters: usize, mut op: impl FnMut()) -> f64 {
+    for _ in 0..iters {
+        op();
+    }
+    let mut samples = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let start = Instant::now();
+        for _ in 0..iters {
+            op();
+        }
+        samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    median(samples)
+}
+
+struct Alu;
+
+weaveable! {
+    class Alu as AluProxy {
+        fn new() -> Self { Alu }
+        fn fma(&mut self, a: u64, b: u64, c: u64, d: u64) -> u64 {
+            a.wrapping_mul(b).wrapping_add(c).wrapping_mul(d | 1)
+        }
+        fn idle(&mut self, x: u64) -> u64 { x }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Off,
+    InstalledIdle,
+    Recording,
+}
+
+/// Dispatch ns/call through 3 pass-through aspects under one metrics mode.
+/// Returns the registry too so `recording` can be sanity-checked.
+fn cell(knobs: &Knobs, mode: Mode) -> (f64, MetricsRegistry) {
+    let weaver = Weaver::new();
+    let registry = MetricsRegistry::new();
+    match mode {
+        Mode::Off => {}
+        // Installed but watching a method the loop never calls: the benched
+        // path pays only the pointcut miss.
+        Mode::InstalledIdle => {
+            weaver.plug(metrics_aspect("Metrics", Pointcut::call("Alu.idle"), &registry));
+        }
+        Mode::Recording => {
+            weaver.plug(metrics_aspect("Metrics", Pointcut::call("Alu.fma"), &registry));
+        }
+    }
+    for i in 0..3 {
+        weaver.plug(
+            Aspect::named(format!("P{i}"))
+                .around(Pointcut::call("Alu.fma"), |inv: &mut Invocation| inv.proceed())
+                .build(),
+        );
+    }
+    let proxy = AluProxy::construct(&weaver).unwrap();
+    let ns = bench(knobs.rounds, knobs.iters, || {
+        black_box(proxy.fma(black_box(3), black_box(5), black_box(7), black_box(11)).unwrap());
+    });
+    (ns, registry)
+}
+
+fn main() {
+    let _ = std::env::args();
+    let knobs = Knobs::from_env();
+
+    println!("== metrics_overhead (median of {} rounds × {} calls) ==", knobs.rounds, knobs.iters);
+    let (off_ns, _) = cell(&knobs, Mode::Off);
+    let (idle_ns, idle_reg) = cell(&knobs, Mode::InstalledIdle);
+    let (rec_ns, rec_reg) = cell(&knobs, Mode::Recording);
+    let idle_ratio = idle_ns / off_ns.max(1e-9);
+    let rec_ratio = rec_ns / off_ns.max(1e-9);
+    println!("{:>16} {off_ns:>9.1} ns/call", "off");
+    println!("{:>16} {idle_ns:>9.1} ns/call  ({idle_ratio:.3}x off)", "installed_idle");
+    println!("{:>16} {rec_ns:>9.1} ns/call  ({rec_ratio:.3}x off)", "recording");
+
+    // The idle registry never saw the benched method; the recording one saw
+    // every call (warmup + measured rounds).
+    // (The counter exists — it is resolved at aspect build — but stays 0.)
+    assert_eq!(
+        idle_reg.snapshot().counter("Metrics.calls"),
+        Some(0),
+        "idle aspect must not record"
+    );
+    let recorded = rec_reg.snapshot().counter("Metrics.calls").unwrap_or(0);
+    assert_eq!(
+        recorded as usize,
+        knobs.iters * (knobs.rounds + 1),
+        "recording aspect metered every call"
+    );
+
+    // Snapshot determinism: same registry, byte-identical renders.
+    let (s1, s2) = (rec_reg.snapshot(), rec_reg.snapshot());
+    assert_eq!(s1.to_text(), s2.to_text(), "snapshot text render must be deterministic");
+    assert_eq!(s1.to_json(), s2.to_json(), "snapshot json render must be deterministic");
+    println!("snapshot determinism: ok ({} recorded calls)", recorded);
+
+    if knobs.quick {
+        println!("\nquick mode: skipping BENCH_metrics.json and acceptance bounds");
+        return;
+    }
+    assert!(
+        idle_ratio <= 1.05,
+        "installed-idle metrics must cost ≤1.05x the off baseline, got {idle_ratio:.3}x"
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"metrics_overhead\",\n  \"unit\": \"ns_per_call\",\n  \"rounds\": {},\n  \"installed_idle_over_off\": {idle_ratio:.3},\n  \"recording_over_off\": {rec_ratio:.3},\n  \"cells\": [\n    {{\"mode\": \"off\", \"median_ns_per_call\": {off_ns:.1}}},\n    {{\"mode\": \"installed_idle\", \"median_ns_per_call\": {idle_ns:.1}}},\n    {{\"mode\": \"recording\", \"median_ns_per_call\": {rec_ns:.1}}}\n  ]\n}}\n",
+        knobs.rounds
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_metrics.json");
+    std::fs::write(out, json).expect("write BENCH_metrics.json");
+    println!("\nwrote {out}");
+}

@@ -42,6 +42,20 @@ impl SimReport {
         }
         sequential / self.makespan
     }
+
+    /// Export the report's integer totals into `registry` under `prefix`
+    /// (`{prefix}.messages`, `.bytes`, `.tasks`, `.redispatched`), so a
+    /// simulated run and a live run land in the same [`Snapshot`] and can be
+    /// compared line-for-line. Counters accumulate across repeated exports —
+    /// use a fresh registry (or distinct prefixes) per replayed trace.
+    ///
+    /// [`Snapshot`]: weavepar_weave::Snapshot
+    pub fn install_metrics(&self, registry: &weavepar_weave::MetricsRegistry, prefix: &str) {
+        registry.counter(&format!("{prefix}.messages")).add(self.messages as u64);
+        registry.counter(&format!("{prefix}.bytes")).add(self.bytes as u64);
+        registry.counter(&format!("{prefix}.tasks")).add(self.tasks as u64);
+        registry.counter(&format!("{prefix}.redispatched")).add(self.redispatched as u64);
+    }
 }
 
 impl std::fmt::Display for SimReport {
@@ -91,6 +105,17 @@ mod tests {
         let s = report().to_string();
         assert!(s.contains("makespan 2.000s"));
         assert!(s.contains("5 tasks"));
+    }
+
+    #[test]
+    fn install_metrics_exports_totals() {
+        let registry = weavepar_weave::MetricsRegistry::new();
+        report().install_metrics(&registry, "sim");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("sim.messages"), Some(10));
+        assert_eq!(snap.counter("sim.bytes"), Some(1000));
+        assert_eq!(snap.counter("sim.tasks"), Some(5));
+        assert_eq!(snap.counter("sim.redispatched"), Some(0));
     }
 
     #[test]

@@ -101,6 +101,20 @@ impl Executor {
         }
     }
 
+    /// Bind this executor's scheduler counters and queue depth into
+    /// `registry` under `prefix` (see
+    /// [`ThreadPool::install_metrics`](crate::pool::ThreadPool::install_metrics)).
+    /// The thread-per-call executor has no scheduler, so only the
+    /// `{prefix}.in_flight` gauge is bound.
+    pub fn install_metrics(&self, registry: &weavepar_weave::MetricsRegistry, prefix: &str) {
+        match self {
+            Executor::ThreadPerCall(tracker) => {
+                registry.bind_gauge_usize(&format!("{prefix}.in_flight"), tracker.in_flight_cell());
+            }
+            Executor::Pool(pool) => pool.install_metrics(registry, prefix),
+        }
+    }
+
     /// True when `other` is a clone of this executor (same tracker/pool).
     pub fn same_as(&self, other: &Executor) -> bool {
         match (self, other) {

@@ -30,7 +30,7 @@
 //! stealing against the old design (see EXPERIMENTS.md).
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -38,6 +38,8 @@ use std::time::Duration;
 use crossbeam::channel::{unbounded, Sender};
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use parking_lot::{Condvar, Mutex};
+
+use weavepar_weave::metrics::MetricsRegistry;
 
 use crate::tracker::{CompletionTracker, TaskToken};
 
@@ -77,6 +79,19 @@ thread_local! {
     static WORKER_CTX: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
 }
 
+/// Always-on scheduler event counters, cheap relaxed atomics held in `Arc`s
+/// so a metrics registry can bind them by name ([`ThreadPool::install_metrics`])
+/// without the scheduler double-bookkeeping.
+#[derive(Clone, Default)]
+struct PoolStats {
+    /// Task batches stolen from a peer worker's deque.
+    steals: Arc<AtomicU64>,
+    /// Times a worker parked on the condition variable.
+    parks: Arc<AtomicU64>,
+    /// Times a submitter issued a wakeup (notify) toward parked workers.
+    wakeups: Arc<AtomicU64>,
+}
+
 /// Shared state of the work-stealing backend.
 struct StealCore {
     id: usize,
@@ -92,6 +107,7 @@ struct StealCore {
     shutdown: AtomicBool,
     park_lock: Mutex<()>,
     unpark: Condvar,
+    stats: PoolStats,
 }
 
 impl StealCore {
@@ -102,6 +118,7 @@ impl StealCore {
     /// Wake one parked worker if any worker is parked.
     fn wake_one(&self) {
         if self.sleepers.load(Ordering::SeqCst) > 0 {
+            self.stats.wakeups.fetch_add(1, Ordering::Relaxed);
             let _guard = self.park_lock.lock();
             self.unpark.notify_one();
         }
@@ -110,6 +127,7 @@ impl StealCore {
     /// Wake every parked worker (batch submission, shutdown).
     fn wake_all(&self) {
         if self.sleepers.load(Ordering::SeqCst) > 0 {
+            self.stats.wakeups.fetch_add(1, Ordering::Relaxed);
             let _guard = self.park_lock.lock();
             self.unpark.notify_all();
         }
@@ -134,7 +152,10 @@ impl StealCore {
             let victim = (idx + offset) % n;
             loop {
                 match self.stealers[victim].steal_batch_and_pop(&self.locals[idx]) {
-                    Steal::Success(task) => return Some(task),
+                    Steal::Success(task) => {
+                        self.stats.steals.fetch_add(1, Ordering::Relaxed);
+                        return Some(task);
+                    }
                     Steal::Empty => break,
                     Steal::Retry => continue,
                 }
@@ -173,6 +194,7 @@ impl StealCore {
             // The timeout is a pure backstop: a (theoretically impossible,
             // see above) missed wakeup would cost 10 ms of latency, never a
             // hang.
+            self.stats.parks.fetch_add(1, Ordering::Relaxed);
             self.unpark.wait_for(&mut guard, Duration::from_millis(10));
             self.sleepers.fetch_sub(1, Ordering::SeqCst);
         }
@@ -196,6 +218,9 @@ pub struct ThreadPool {
     /// before the whole pack is enqueued. `0` (the default) submits the
     /// batch whole. Held in a shared cell for runtime tuning.
     grain: Arc<AtomicU32>,
+    /// Scheduler event counters (shared with the stealing core; all zero on
+    /// the single-queue backend, which has no stealing or parking).
+    stats: PoolStats,
 }
 
 impl ThreadPool {
@@ -214,6 +239,7 @@ impl ThreadPool {
     /// scheduler.
     pub fn with_scheduler(size: usize, name: &str, scheduler: Scheduler) -> Arc<Self> {
         let size = size.max(1);
+        let stats = PoolStats::default();
         let mut workers = Vec::with_capacity(size);
         let backend = match scheduler {
             Scheduler::SingleQueue => {
@@ -247,6 +273,7 @@ impl ThreadPool {
                     shutdown: AtomicBool::new(false),
                     park_lock: Mutex::new(()),
                     unpark: Condvar::new(),
+                    stats: stats.clone(),
                 });
                 for i in 0..size {
                     let core = core.clone();
@@ -265,6 +292,7 @@ impl ThreadPool {
             tracker: CompletionTracker::new(),
             size,
             grain: Arc::new(AtomicU32::new(0)),
+            stats,
         })
     }
 
@@ -389,6 +417,18 @@ impl ThreadPool {
     /// [`Executor`](crate::executor::Executor)).
     pub fn tracker(&self) -> &CompletionTracker {
         &self.tracker
+    }
+
+    /// Bind this pool's always-on scheduler counters into `registry` under
+    /// `{prefix}.steals` / `{prefix}.parks` / `{prefix}.wakeups`, plus the
+    /// live queue depth as the gauge `{prefix}.in_flight`. The scheduler
+    /// keeps incrementing its own relaxed atomics; installation only names
+    /// the cells, so an uninstalled pool pays nothing extra.
+    pub fn install_metrics(&self, registry: &MetricsRegistry, prefix: &str) {
+        registry.bind_counter(&format!("{prefix}.steals"), self.stats.steals.clone());
+        registry.bind_counter(&format!("{prefix}.parks"), self.stats.parks.clone());
+        registry.bind_counter(&format!("{prefix}.wakeups"), self.stats.wakeups.clone());
+        registry.bind_gauge_usize(&format!("{prefix}.in_flight"), self.tracker.in_flight_cell());
     }
 }
 
@@ -576,6 +616,27 @@ mod tests {
             peak.load(Ordering::SeqCst) >= 2,
             "idle peers must steal from the seeding worker's deque"
         );
+    }
+
+    #[test]
+    fn installed_metrics_expose_scheduler_events() {
+        let pool = ThreadPool::new(4, "metered");
+        let reg = MetricsRegistry::new();
+        pool.install_metrics(&reg, "pool");
+        // Replay the stealing scenario: one externally submitted job fans out
+        // nested spawns, so idle peers must steal (and park/wake around it).
+        let p2 = pool.clone();
+        pool.spawn(move || {
+            for _ in 0..16 {
+                p2.spawn(|| std::thread::sleep(Duration::from_millis(5)));
+            }
+        });
+        pool.wait_idle();
+        let snap = reg.snapshot();
+        assert!(snap.counter("pool.steals").unwrap() >= 1, "peers must steal: {snap:?}");
+        assert!(snap.counter("pool.parks").unwrap() >= 1, "idle workers park");
+        assert!(snap.counter("pool.wakeups").unwrap() >= 1, "submitters wake sleepers");
+        assert_eq!(snap.gauge("pool.in_flight"), Some(0), "idle pool has empty queue");
     }
 
     #[test]

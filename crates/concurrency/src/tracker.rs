@@ -24,7 +24,9 @@ pub struct CompletionTracker {
 }
 
 struct Inner {
-    count: AtomicUsize,
+    /// In its own `Arc` so a metrics registry can bind the live count as a
+    /// queue-depth gauge without the tracker updating anything twice.
+    count: Arc<AtomicUsize>,
     idle_lock: Mutex<()>,
     cv: Condvar,
 }
@@ -52,7 +54,7 @@ impl CompletionTracker {
     pub fn new() -> Self {
         CompletionTracker {
             inner: Arc::new(Inner {
-                count: AtomicUsize::new(0),
+                count: Arc::new(AtomicUsize::new(0)),
                 idle_lock: Mutex::new(()),
                 cv: Condvar::new(),
             }),
@@ -87,6 +89,12 @@ impl CompletionTracker {
     /// Number of tasks currently in flight.
     pub fn in_flight(&self) -> usize {
         self.inner.count.load(Ordering::Acquire)
+    }
+
+    /// The live in-flight count cell, for binding as a queue-depth gauge in
+    /// a metrics registry. Read-only use expected.
+    pub fn in_flight_cell(&self) -> Arc<AtomicUsize> {
+        self.inner.count.clone()
     }
 
     /// Block until no task is in flight.

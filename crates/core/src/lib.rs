@@ -44,9 +44,10 @@
 //! // 2. A concern stack over a weaver.
 //! let stack = ConcernStack::new();
 //!
-//! // 3. Plug a farm partition (4 workers, 8 packs).
+//! // 3. Plug a farm partition (4 workers, 8 packs) — configs are builders:
+//! //    mandatory protocol in `new`, options chained, `.aspect(name)` last.
 //! use std::sync::Arc;
-//! let farm = weavepar::skeletons::farm_aspect("Partition", weavepar::skeletons::Protocol {
+//! let farm = FarmConfig::new(Protocol {
 //!     class: "Squarer",
 //!     method: "compute",
 //!     workers: 4,
@@ -61,7 +62,8 @@
 //!         for v in vs { all.extend(weavepar::weave::value::downcast_ret::<Vec<u64>>(v)?); }
 //!         Ok(weavepar::ret!(all))
 //!     }),
-//! });
+//! })
+//! .aspect("Partition");
 //! stack.plug(Concern::Partition, farm);
 //!
 //! // 4. Core code is oblivious: same call, now farmed out.
@@ -94,11 +96,26 @@ pub use weavepar_weave as weave;
 // they work through the re-export as well.
 pub use weavepar_weave::{args, ret, weaveable};
 
-/// One-stop imports for applications.
+/// One-stop imports for applications: the weave vocabulary, the concern
+/// stack, executors, every skeleton config builder, the distribution
+/// builders, and the observability layer. One `use weavepar::prelude::*;`
+/// covers a whole example.
 pub mod prelude {
+    pub use crate::logging::{logging_aspect, CallLog, CallRecord};
     pub use crate::stack::{Concern, ConcernStack};
+    pub use crate::tuning::{autotune_aspect, Autotuner, Step, Tunable, TuneConfig};
     pub use weavepar_concurrency::{
-        future_concurrency_aspect, future_ret, resolve_any, Executor, FutureOrNow,
+        active_object_aspect, future_concurrency_aspect, future_ret, resolve_any, Executor,
+        FutureOrNow,
+    };
+    pub use weavepar_middleware::{
+        message_packing_aspect, CallPolicy, InProcFabric, MarshalRegistry, MppConfig, NameServer,
+        Policy, ReplyBackend, RmiConfig,
+    };
+    pub use weavepar_skeletons::{
+        hints, DivideConquerConfig, DynamicFarmConfig, FarmConfig, HeartbeatConfig, PipelineConfig,
+        Protocol,
     };
     pub use weavepar_weave::prelude::*;
+    pub use weavepar_weave::{Counter, Gauge, Histogram, Snapshot};
 }

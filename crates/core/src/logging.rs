@@ -14,14 +14,25 @@
 //! which is exactly the "understand the overall parallelism structure"
 //! instrument the paper motivates: plug it under any concern stack, run,
 //! and read off who called what, from where, how often and for how long.
+//!
+//! The log is a **bounded ring**: long-running programs keep the most recent
+//! [`capacity`](CallLog::capacity) records, older ones are dropped (and
+//! counted), and the aggregate timing survives unbounded in a
+//! [`Histogram`] — so leaving the aspect plugged for hours costs a fixed
+//! amount of memory.
 
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
 use weavepar_weave::prelude::*;
-use weavepar_weave::ObjId;
+use weavepar_weave::{Histogram, ObjId};
+
+/// Retained records when none is specified ([`CallLog::new`]).
+pub const DEFAULT_CALL_LOG_CAPACITY: usize = 4096;
 
 /// One logged join point.
 #[derive(Debug, Clone)]
@@ -38,61 +49,127 @@ pub struct CallRecord {
     pub ok: bool,
 }
 
-/// A shared, thread-safe log of [`CallRecord`]s.
-#[derive(Clone, Default)]
+/// A shared, thread-safe, **bounded** log of [`CallRecord`]s.
+///
+/// The detailed records live in a ring of fixed capacity: once full, each
+/// new record evicts the oldest and bumps [`dropped`](CallLog::dropped).
+/// Aggregates ([`total_elapsed`], [`latency`]) are fed by every record ever
+/// logged, dropped or not, via an embedded latency [`Histogram`].
+///
+/// [`total_elapsed`]: CallLog::total_elapsed
+/// [`latency`]: CallLog::latency
+#[derive(Clone)]
 pub struct CallLog {
-    records: Arc<Mutex<Vec<CallRecord>>>,
+    ring: Arc<Mutex<Ring>>,
+    dropped: Arc<AtomicU64>,
+    latency: Histogram,
+}
+
+struct Ring {
+    records: VecDeque<CallRecord>,
+    capacity: usize,
+}
+
+impl Default for CallLog {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl CallLog {
-    /// An empty log.
+    /// An empty log retaining [`DEFAULT_CALL_LOG_CAPACITY`] records.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_capacity(DEFAULT_CALL_LOG_CAPACITY)
     }
 
-    /// Number of records.
+    /// An empty log retaining at most `capacity` records (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        CallLog {
+            ring: Arc::new(Mutex::new(Ring {
+                records: VecDeque::with_capacity(capacity),
+                capacity,
+            })),
+            dropped: Arc::new(AtomicU64::new(0)),
+            latency: Histogram::new(),
+        }
+    }
+
+    /// Maximum number of retained records.
+    pub fn capacity(&self) -> usize {
+        self.ring.lock().capacity
+    }
+
+    /// Append one record, evicting the oldest when the ring is full.
+    pub fn push(&self, record: CallRecord) {
+        self.latency.record(record.elapsed);
+        let mut ring = self.ring.lock();
+        if ring.records.len() == ring.capacity {
+            ring.records.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.records.push_back(record);
+    }
+
+    /// Number of retained records.
     pub fn len(&self) -> usize {
-        self.records.lock().len()
+        self.ring.lock().records.len()
     }
 
-    /// True when nothing was logged.
+    /// True when nothing is retained.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Copy of all records, in completion order.
+    /// Records evicted from the ring since creation (or the last
+    /// [`clear`](CallLog::clear)).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Copy of the retained records, in completion order.
     pub fn records(&self) -> Vec<CallRecord> {
-        self.records.lock().clone()
+        self.ring.lock().records.iter().cloned().collect()
     }
 
-    /// Records for one method name.
+    /// Retained records for one method name.
     pub fn for_method(&self, method: &str) -> Vec<CallRecord> {
-        self.records.lock().iter().filter(|r| r.signature.method == method).cloned().collect()
+        self.ring.lock().records.iter().filter(|r| r.signature.method == method).cloned().collect()
     }
 
-    /// How many calls were issued from core vs from aspect advice — the
-    /// split/forward structure of a partition becomes directly visible.
+    /// How many retained calls were issued from core vs from aspect advice —
+    /// the split/forward structure of a partition becomes directly visible.
     pub fn provenance_split(&self) -> (usize, usize) {
-        let records = self.records.lock();
-        let core = records.iter().filter(|r| r.caller == Provenance::Core).count();
-        (core, records.len() - core)
+        let ring = self.ring.lock();
+        let core = ring.records.iter().filter(|r| r.caller == Provenance::Core).count();
+        (core, ring.records.len() - core)
     }
 
-    /// Total logged wall time.
+    /// Total logged wall time — over **every** record ever pushed, including
+    /// ones the ring has since evicted (read from the latency histogram).
     pub fn total_elapsed(&self) -> Duration {
-        self.records.lock().iter().map(|r| r.elapsed).sum()
+        Duration::from_nanos(self.latency.sum_ns())
     }
 
-    /// Drop all records.
+    /// The latency histogram fed by every pushed record; survives ring
+    /// eviction, so long runs keep full timing distributions.
+    pub fn latency(&self) -> &Histogram {
+        &self.latency
+    }
+
+    /// Drop all records and reset the dropped counter and the histogram.
     pub fn clear(&self) {
-        self.records.lock().clear();
+        self.ring.lock().records.clear();
+        self.dropped.store(0, Ordering::Relaxed);
+        self.latency.reset();
     }
 
-    /// A compact per-signature summary: `(signature, calls, total time)`.
+    /// A compact per-signature summary over the retained records:
+    /// `(signature, calls, total time)`.
     pub fn summary(&self) -> Vec<(String, usize, Duration)> {
-        let records = self.records.lock();
+        let ring = self.ring.lock();
         let mut rows: Vec<(String, usize, Duration)> = Vec::new();
-        for r in records.iter() {
+        for r in ring.records.iter() {
             let key = r.signature.to_string();
             match rows.iter_mut().find(|(k, _, _)| *k == key) {
                 Some((_, n, d)) => {
@@ -108,7 +185,10 @@ impl CallLog {
 
 impl std::fmt::Debug for CallLog {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CallLog").field("records", &self.len()).finish()
+        f.debug_struct("CallLog")
+            .field("records", &self.len())
+            .field("dropped", &self.dropped())
+            .finish()
     }
 }
 
@@ -124,7 +204,7 @@ pub fn logging_aspect(name: impl Into<String>, pointcut: Pointcut, log: CallLog)
             let caller = inv.caller();
             let start = Instant::now();
             let result = inv.proceed();
-            log.records.lock().push(CallRecord {
+            log.push(CallRecord {
                 signature,
                 target,
                 caller,
@@ -228,5 +308,27 @@ mod tests {
         assert!(!records[0].ok);
         log.clear();
         assert!(log.is_empty());
+    }
+
+    #[test]
+    fn ring_bounds_memory_and_counts_drops() {
+        let weaver = Weaver::new();
+        let log = CallLog::with_capacity(2);
+        weaver.plug(logging_aspect("Logging", Pointcut::call("Point.move_x"), log.clone()));
+        let p = PointProxy::construct(&weaver).unwrap();
+        for d in 0..5 {
+            p.move_x(d).unwrap();
+        }
+        // Only the 2 most recent records survive; the 3 evicted ones are
+        // counted, and the histogram still saw all 5.
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.capacity(), 2);
+        assert_eq!(log.dropped(), 3);
+        assert_eq!(log.latency().count(), 5);
+        assert!(log.total_elapsed() > Duration::ZERO);
+        log.clear();
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 0);
+        assert_eq!(log.latency().count(), 0);
     }
 }

@@ -615,7 +615,7 @@ mod tests {
     #[test]
     fn batcher_flush_remote_packs_per_node() {
         use weavepar_middleware::aspects::REMOTE_FIELD;
-        use weavepar_middleware::{mpp_distribution_aspect, Policy, RemoteRef};
+        use weavepar_middleware::{MppConfig, Policy, RemoteRef};
 
         let weaver = Weaver::new();
         let m = weavepar_middleware::MarshalRegistry::new();
@@ -639,14 +639,16 @@ mod tests {
         batcher.plug(&weaver, "Packing");
         // Constructed before distribution is plugged: stays local.
         let local = SinkProxy::construct(&weaver).unwrap();
-        weaver.plug(mpp_distribution_aspect(
-            "DistributionMPP",
-            "Sink",
-            Pointcut::call("Sink.absorb").or(Pointcut::call("Sink.taken")),
-            f.clone(),
-            Policy::round_robin(),
-            true,
-        ));
+        weaver.plug(
+            MppConfig::new(
+                "Sink",
+                Pointcut::call("Sink.absorb").or(Pointcut::call("Sink.taken")),
+                f.clone(),
+            )
+            .placement(Policy::round_robin())
+            .oneway(true)
+            .aspect("DistributionMPP"),
+        );
         let a = SinkProxy::construct(&weaver).unwrap();
         let b = SinkProxy::construct(&weaver).unwrap();
 

@@ -250,7 +250,10 @@ pub struct Autotuner {
     config: TuneConfig,
     shards: [Shard; SHARDS],
     pending: AtomicU64,
-    epochs: AtomicU64,
+    /// In their own `Arc`s so a metrics registry can bind them as live
+    /// counters without the controller updating anything twice.
+    epochs: Arc<AtomicU64>,
+    accepted: Arc<AtomicU64>,
     tunables: Mutex<Vec<Tunable>>,
     state: Mutex<CtlState>,
     stop: Arc<AtomicBool>,
@@ -265,7 +268,8 @@ impl Autotuner {
             config,
             shards: Default::default(),
             pending: AtomicU64::new(0),
-            epochs: AtomicU64::new(0),
+            epochs: Arc::new(AtomicU64::new(0)),
+            accepted: Arc::new(AtomicU64::new(0)),
             tunables: Mutex::new(Vec::new()),
             state: Mutex::new(CtlState {
                 dirs: Vec::new(),
@@ -373,6 +377,7 @@ impl Autotuner {
                 if score > base * (1.0 + self.config.hysteresis) {
                     // Probe won: keep the move and keep climbing the same
                     // coordinate in the same direction, immediately.
+                    self.accepted.fetch_add(1, Ordering::Relaxed);
                     st.baseline = Some(score);
                     st.pre_move = None;
                     self.apply_move(st, &tunables);
@@ -429,6 +434,25 @@ impl Autotuner {
     /// Decisions taken so far.
     pub fn epochs(&self) -> u64 {
         self.epochs.load(Ordering::Relaxed)
+    }
+
+    /// Probe moves the controller has accepted (kept) so far.
+    pub fn moves_accepted(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Bind the controller's live state into `registry` under `prefix`:
+    /// every registered tunable's cell as a `{prefix}.cell.<name>` gauge,
+    /// plus `{prefix}.epochs` and `{prefix}.moves_accepted` counters. The
+    /// registry reads the same atomics the controller drives, so installing
+    /// metrics adds nothing to the observation hot path. Tunables registered
+    /// *after* this call are not bound — install metrics last, or call again.
+    pub fn install_metrics(&self, registry: &weavepar_weave::MetricsRegistry, prefix: &str) {
+        registry.bind_counter(&format!("{prefix}.epochs"), self.epochs.clone());
+        registry.bind_counter(&format!("{prefix}.moves_accepted"), self.accepted.clone());
+        for t in self.tunables.lock().iter() {
+            registry.bind_gauge_u32(&format!("{prefix}.cell.{}", t.name()), t.cell());
+        }
     }
 
     /// The totals and score of the most recent epoch.
@@ -723,6 +747,22 @@ mod tests {
         tuner.register(Tunable::new("x", 1, 1, 8, Step::Add(1)));
         tuner.start(Duration::from_millis(1));
         drop(tuner); // Drop joins: returning at all is the assertion.
+    }
+
+    #[test]
+    fn installed_metrics_track_cells_and_decisions() {
+        let registry = weavepar_weave::MetricsRegistry::new();
+        let tuner = Autotuner::new(TuneConfig { epoch_calls: 8, seed: 42, ..Default::default() });
+        let t = tuner.register(packs_tunable());
+        tuner.install_metrics(&registry, "tune");
+        drive(&tuner, &t, 40, u_cost);
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("tune.cell.packs"), Some(u64::from(t.get())));
+        assert_eq!(snap.counter("tune.epochs"), Some(tuner.epochs()));
+        assert_eq!(snap.counter("tune.moves_accepted"), Some(tuner.moves_accepted()));
+        // Climbing a U-shaped cost from the far edge must accept something.
+        assert!(tuner.moves_accepted() >= 1, "no probe accepted while climbing");
+        assert!(tuner.moves_accepted() <= tuner.epochs());
     }
 
     #[test]

@@ -41,7 +41,7 @@ use parking_lot::{Mutex, RwLock};
 
 use weavepar_weave::aspect::precedence;
 use weavepar_weave::prelude::*;
-use weavepar_weave::Signature;
+use weavepar_weave::{Counter, Histogram, MetricsRegistry, Signature};
 
 use crate::fabric::{InProcFabric, RemoteRef};
 use crate::policy::CallPolicy;
@@ -116,6 +116,14 @@ impl SigCache {
     }
 }
 
+/// Pre-resolved per-aspect metric cells: the redirected-call advice bumps
+/// these directly, never consulting the registry on the hot path.
+struct CallMetrics {
+    calls: Counter,
+    errors: Counter,
+    latency: Histogram,
+}
+
 #[allow(clippy::too_many_arguments)]
 fn distribution_aspect(
     name: String,
@@ -126,7 +134,13 @@ fn distribution_aspect(
     use_nameserver: bool,
     oneway: bool,
     call_policy: Option<CallPolicy>,
+    metrics: Option<MetricsRegistry>,
 ) -> Aspect {
+    let call_metrics = metrics.map(|registry| CallMetrics {
+        calls: registry.counter(&format!("{name}.calls")),
+        errors: registry.counter(&format!("{name}.errors")),
+        latency: registry.histogram(&format!("{name}.latency_ns")),
+    });
     let construct_fabric = fabric.clone();
     let sig_cache = Arc::new(SigCache::default());
     Aspect::named(name)
@@ -169,36 +183,201 @@ fn distribution_aspect(
                 // purely local instance): run locally.
                 return inv.proceed();
             };
-            let method = sig_cache.resolve(fabric.marshal(), inv.signature())?;
-            let mut buf = fabric.buffers().take();
-            fabric.marshal().encode_args_id(method, inv.args()?, &mut buf)?;
-            // With a call policy the invocation gets a deadline on the reply
-            // park and transparent retry of transient failures; without one
-            // it is the original wait-forever fast path.
-            let send = |frame, want_reply| match &call_policy {
-                Some(policy) => {
-                    fabric.call_id_with_policy(remote, method, frame, want_reply, policy)
+            // Only redirected calls are metered: the timer covers marshal,
+            // wire round-trip and decode — the cost distribution added.
+            let timer = call_metrics.as_ref().map(|m| {
+                m.calls.inc();
+                Instant::now()
+            });
+            let result: WeaveResult<_> = (|| {
+                let method = sig_cache.resolve(fabric.marshal(), inv.signature())?;
+                let mut buf = fabric.buffers().take();
+                fabric.marshal().encode_args_id(method, inv.args()?, &mut buf)?;
+                // With a call policy the invocation gets a deadline on the
+                // reply park and transparent retry of transient failures;
+                // without one it is the original wait-forever fast path.
+                let send = |frame, want_reply| match &call_policy {
+                    Some(policy) => {
+                        fabric.call_id_with_policy(remote, method, frame, want_reply, policy)
+                    }
+                    None => fabric.call_id(remote, method, frame, want_reply),
+                };
+                if oneway {
+                    send(buf.freeze(), false)?;
+                    Ok(weavepar_weave::ret!())
+                } else {
+                    let reply = send(buf.freeze(), true)?
+                        .ok_or_else(|| WeaveError::remote("missing reply"))?;
+                    let mut view = reply.clone();
+                    let ret = fabric.marshal().decode_ret_id(method, &mut view);
+                    drop(view);
+                    fabric.buffers().recycle(reply);
+                    ret
                 }
-                None => fabric.call_id(remote, method, frame, want_reply),
-            };
-            if oneway {
-                send(buf.freeze(), false)?;
-                Ok(weavepar_weave::ret!())
-            } else {
-                let reply =
-                    send(buf.freeze(), true)?.ok_or_else(|| WeaveError::remote("missing reply"))?;
-                let mut view = reply.clone();
-                let ret = fabric.marshal().decode_ret_id(method, &mut view);
-                drop(view);
-                fabric.buffers().recycle(reply);
-                ret
+            })();
+            if let (Some(m), Some(start)) = (&call_metrics, timer) {
+                m.latency.record(start.elapsed());
+                if result.is_err() {
+                    m.errors.inc();
+                }
             }
+            result
         })
         .build()
 }
 
-/// The RMI-style distribution aspect (Figure 14): name-server registration
-/// and lookup, synchronous calls with marshalled replies.
+/// Builder for the RMI-style distribution aspect (Figure 14): name-server
+/// registration and lookup, synchronous calls with marshalled replies.
+///
+/// The three constructor arguments are the decisions every deployment makes;
+/// everything optional — placement policy, call policy, metrics — chains:
+///
+/// ```ignore
+/// let aspect = RmiConfig::new("Doubler", Pointcut::call("Doubler.apply"), fabric)
+///     .placement(Policy::round_robin())
+///     .policy(CallPolicy::with_deadline(Duration::from_millis(50)).retries(3))
+///     .metrics(&registry)
+///     .aspect("Distribution");
+/// ```
+#[derive(Clone)]
+pub struct RmiConfig {
+    class: &'static str,
+    call_pointcut: Pointcut,
+    fabric: Arc<InProcFabric>,
+    placement: Policy,
+    call_policy: Option<CallPolicy>,
+    metrics: Option<MetricsRegistry>,
+}
+
+impl RmiConfig {
+    /// Distribute `class`, redirecting calls matched by `call_pointcut` over
+    /// `fabric`. Placement defaults to round-robin; calls wait forever (no
+    /// [`CallPolicy`]) and record no metrics until configured otherwise.
+    pub fn new(class: &'static str, call_pointcut: Pointcut, fabric: Arc<InProcFabric>) -> Self {
+        RmiConfig {
+            class,
+            call_pointcut,
+            fabric,
+            placement: Policy::round_robin(),
+            call_policy: None,
+            metrics: None,
+        }
+    }
+
+    /// Node-selection policy for new instances (default: round-robin).
+    pub fn placement(mut self, policy: Policy) -> Self {
+        self.placement = policy;
+        self
+    }
+
+    /// Give every redirected call a deadline on its reply wait and retry
+    /// transient failures with backoff — the fault-tolerant flavour of
+    /// Figure 14, still one pluggable module.
+    pub fn policy(mut self, call_policy: CallPolicy) -> Self {
+        self.call_policy = Some(call_policy);
+        self
+    }
+
+    /// Record per-call observability into `registry`: `{name}.calls` /
+    /// `{name}.errors` counters and an `{name}.latency_ns` histogram over
+    /// redirected calls (marshal + round-trip + decode).
+    pub fn metrics(mut self, registry: &MetricsRegistry) -> Self {
+        self.metrics = Some(registry.clone());
+        self
+    }
+
+    /// Build the pluggable aspect under `name`.
+    pub fn aspect(self, name: impl Into<String>) -> Aspect {
+        distribution_aspect(
+            name.into(),
+            self.class,
+            self.call_pointcut,
+            self.fabric,
+            self.placement,
+            true,
+            false,
+            self.call_policy,
+            self.metrics,
+        )
+    }
+}
+
+/// Builder for the MPP-style distribution aspect (Figure 15): direct node
+/// addressing, no name server. [`MppConfig::oneway`] sends without replies
+/// (the figure's `comm.send`); the replied default awaits a reply message,
+/// which methods with results require.
+#[derive(Clone)]
+pub struct MppConfig {
+    class: &'static str,
+    call_pointcut: Pointcut,
+    fabric: Arc<InProcFabric>,
+    placement: Policy,
+    oneway: bool,
+    call_policy: Option<CallPolicy>,
+    metrics: Option<MetricsRegistry>,
+}
+
+impl MppConfig {
+    /// Distribute `class` MPP-style over `fabric`. Placement defaults to
+    /// round-robin and calls are replied; chain [`MppConfig::oneway`] for
+    /// send-and-forget semantics.
+    pub fn new(class: &'static str, call_pointcut: Pointcut, fabric: Arc<InProcFabric>) -> Self {
+        MppConfig {
+            class,
+            call_pointcut,
+            fabric,
+            placement: Policy::round_robin(),
+            oneway: false,
+            call_policy: None,
+            metrics: None,
+        }
+    }
+
+    /// Node-selection policy for new instances (default: round-robin).
+    pub fn placement(mut self, policy: Policy) -> Self {
+        self.placement = policy;
+        self
+    }
+
+    /// Send without replies (only apply to methods whose results are
+    /// unused); `false` restores the replied default.
+    pub fn oneway(mut self, oneway: bool) -> Self {
+        self.oneway = oneway;
+        self
+    }
+
+    /// A [`CallPolicy`] on redirected calls (deadline + retry/backoff;
+    /// oneway sends only mint a dedup key).
+    pub fn policy(mut self, call_policy: CallPolicy) -> Self {
+        self.call_policy = Some(call_policy);
+        self
+    }
+
+    /// Record per-call observability into `registry` (see
+    /// [`RmiConfig::metrics`]).
+    pub fn metrics(mut self, registry: &MetricsRegistry) -> Self {
+        self.metrics = Some(registry.clone());
+        self
+    }
+
+    /// Build the pluggable aspect under `name`.
+    pub fn aspect(self, name: impl Into<String>) -> Aspect {
+        distribution_aspect(
+            name.into(),
+            self.class,
+            self.call_pointcut,
+            self.fabric,
+            self.placement,
+            false,
+            self.oneway,
+            self.call_policy,
+            self.metrics,
+        )
+    }
+}
+
+/// The RMI-style distribution aspect (Figure 14).
+#[deprecated(note = "use `RmiConfig::new(class, pointcut, fabric).placement(policy).aspect(name)`")]
 pub fn rmi_distribution_aspect(
     name: impl Into<String>,
     class: &'static str,
@@ -206,13 +385,13 @@ pub fn rmi_distribution_aspect(
     fabric: Arc<InProcFabric>,
     policy: Policy,
 ) -> Aspect {
-    distribution_aspect(name.into(), class, call_pointcut, fabric, policy, true, false, None)
+    RmiConfig::new(class, call_pointcut, fabric).placement(policy).aspect(name)
 }
 
-/// [`rmi_distribution_aspect`] with a [`CallPolicy`]: every redirected call
-/// gets a deadline on its reply wait and retries transient failures with
-/// backoff — the fault-tolerant flavour of Figure 14, still one pluggable
-/// module.
+/// The RMI-style distribution aspect with a [`CallPolicy`].
+#[deprecated(
+    note = "use `RmiConfig::new(class, pointcut, fabric).placement(policy).policy(call_policy).aspect(name)`"
+)]
 pub fn rmi_distribution_aspect_with_policy(
     name: impl Into<String>,
     class: &'static str,
@@ -221,22 +400,13 @@ pub fn rmi_distribution_aspect_with_policy(
     policy: Policy,
     call_policy: CallPolicy,
 ) -> Aspect {
-    distribution_aspect(
-        name.into(),
-        class,
-        call_pointcut,
-        fabric,
-        policy,
-        true,
-        false,
-        Some(call_policy),
-    )
+    RmiConfig::new(class, call_pointcut, fabric).placement(policy).policy(call_policy).aspect(name)
 }
 
-/// The MPP-style distribution aspect (Figure 15): direct node addressing,
-/// no name server. `oneway` sends without replies (the figure's
-/// `comm.send`); with `oneway = false` a reply message is awaited, which
-/// methods with results require.
+/// The MPP-style distribution aspect (Figure 15).
+#[deprecated(
+    note = "use `MppConfig::new(class, pointcut, fabric).placement(policy).oneway(oneway).aspect(name)`"
+)]
 pub fn mpp_distribution_aspect(
     name: impl Into<String>,
     class: &'static str,
@@ -245,11 +415,13 @@ pub fn mpp_distribution_aspect(
     policy: Policy,
     oneway: bool,
 ) -> Aspect {
-    distribution_aspect(name.into(), class, call_pointcut, fabric, policy, false, oneway, None)
+    MppConfig::new(class, call_pointcut, fabric).placement(policy).oneway(oneway).aspect(name)
 }
 
-/// [`mpp_distribution_aspect`] with a [`CallPolicy`] on redirected calls
-/// (deadline + retry/backoff; oneway sends only mint a dedup key).
+/// The MPP-style distribution aspect with a [`CallPolicy`].
+#[deprecated(
+    note = "use `MppConfig::new(class, pointcut, fabric).placement(policy).oneway(oneway).policy(call_policy).aspect(name)`"
+)]
 pub fn mpp_distribution_aspect_with_policy(
     name: impl Into<String>,
     class: &'static str,
@@ -259,16 +431,11 @@ pub fn mpp_distribution_aspect_with_policy(
     oneway: bool,
     call_policy: CallPolicy,
 ) -> Aspect {
-    distribution_aspect(
-        name.into(),
-        class,
-        call_pointcut,
-        fabric,
-        policy,
-        false,
-        oneway,
-        Some(call_policy),
-    )
+    MppConfig::new(class, call_pointcut, fabric)
+        .placement(policy)
+        .oneway(oneway)
+        .policy(call_policy)
+        .aspect(name)
 }
 
 /// One node's pending pack.
@@ -495,13 +662,15 @@ mod tests {
     fn rmi_redirects_calls_to_the_remote_instance() {
         let weaver = Weaver::new();
         let f = fabric(2);
-        weaver.plug(rmi_distribution_aspect(
-            "Distribution",
-            "Doubler",
-            Pointcut::call("Doubler.apply").or(Pointcut::call("Doubler.calls")),
-            f.clone(),
-            Policy::fixed(1),
-        ));
+        weaver.plug(
+            RmiConfig::new(
+                "Doubler",
+                Pointcut::call("Doubler.apply").or(Pointcut::call("Doubler.calls")),
+                f.clone(),
+            )
+            .placement(Policy::fixed(1))
+            .aspect("Distribution"),
+        );
         let d = DoublerProxy::construct(&weaver, 5).unwrap();
         assert_eq!(d.apply(10).unwrap(), 25);
         assert_eq!(d.apply(0).unwrap(), 5);
@@ -518,13 +687,10 @@ mod tests {
     fn rmi_registers_names() {
         let weaver = Weaver::new();
         let f = fabric(2);
-        weaver.plug(rmi_distribution_aspect(
-            "Distribution",
-            "Doubler",
-            Pointcut::call("Doubler.apply"),
-            f.clone(),
-            Policy::round_robin(),
-        ));
+        weaver.plug(
+            RmiConfig::new("Doubler", Pointcut::call("Doubler.apply"), f.clone())
+                .aspect("Distribution"),
+        );
         let _a = DoublerProxy::construct(&weaver, 0).unwrap();
         let _b = DoublerProxy::construct(&weaver, 0).unwrap();
         assert_eq!(f.nameserver().names(), vec!["PS1".to_string(), "PS2".to_string()]);
@@ -535,14 +701,10 @@ mod tests {
     fn mpp_without_nameserver() {
         let weaver = Weaver::new();
         let f = fabric(3);
-        weaver.plug(mpp_distribution_aspect(
-            "DistributionMPP",
-            "Doubler",
-            Pointcut::call("Doubler.apply"),
-            f.clone(),
-            Policy::round_robin(),
-            false,
-        ));
+        weaver.plug(
+            MppConfig::new("Doubler", Pointcut::call("Doubler.apply"), f.clone())
+                .aspect("DistributionMPP"),
+        );
         let d = DoublerProxy::construct(&weaver, 1).unwrap();
         assert_eq!(d.apply(3).unwrap(), 7);
         assert!(f.nameserver().is_empty());
@@ -552,14 +714,12 @@ mod tests {
     fn mpp_oneway_returns_unit_immediately() {
         let weaver = Weaver::new();
         let f = fabric(2);
-        weaver.plug(mpp_distribution_aspect(
-            "DistributionMPP",
-            "Doubler",
-            Pointcut::call("Doubler.apply"),
-            f.clone(),
-            Policy::fixed(0),
-            true,
-        ));
+        weaver.plug(
+            MppConfig::new("Doubler", Pointcut::call("Doubler.apply"), f.clone())
+                .placement(Policy::fixed(0))
+                .oneway(true)
+                .aspect("DistributionMPP"),
+        );
         let d = DoublerProxy::construct(&weaver, 1).unwrap();
         // Typed proxy expects u64 but the oneway advice returns (): use the
         // raw handle, as oneway methods should be unit-returning by design.
@@ -571,13 +731,11 @@ mod tests {
     fn unplugged_distribution_is_fully_local() {
         let weaver = Weaver::new();
         let f = fabric(2);
-        let plugged = weaver.plug(rmi_distribution_aspect(
-            "Distribution",
-            "Doubler",
-            Pointcut::call("Doubler.apply"),
-            f.clone(),
-            Policy::fixed(0),
-        ));
+        let plugged = weaver.plug(
+            RmiConfig::new("Doubler", Pointcut::call("Doubler.apply"), f.clone())
+                .placement(Policy::fixed(0))
+                .aspect("Distribution"),
+        );
         weaver.unplug(&plugged);
         let d = DoublerProxy::construct(&weaver, 5).unwrap();
         assert_eq!(d.apply(10).unwrap(), 25);
@@ -589,13 +747,11 @@ mod tests {
         let weaver = Weaver::new();
         let f = fabric(2);
         let d = DoublerProxy::construct(&weaver, 5).unwrap();
-        weaver.plug(rmi_distribution_aspect(
-            "Distribution",
-            "Doubler",
-            Pointcut::call("Doubler.apply"),
-            f.clone(),
-            Policy::fixed(0),
-        ));
+        weaver.plug(
+            RmiConfig::new("Doubler", Pointcut::call("Doubler.apply"), f.clone())
+                .placement(Policy::fixed(0))
+                .aspect("Distribution"),
+        );
         // No remote field on this object: the call advice falls through.
         assert_eq!(d.apply(1).unwrap(), 7);
         assert_eq!(f.node(0).unwrap().weaver().space().len(), 0);
@@ -605,14 +761,10 @@ mod tests {
     fn round_robin_spreads_instances() {
         let weaver = Weaver::new();
         let f = fabric(3);
-        weaver.plug(mpp_distribution_aspect(
-            "DistributionMPP",
-            "Doubler",
-            Pointcut::call("Doubler.apply"),
-            f.clone(),
-            Policy::round_robin(),
-            false,
-        ));
+        weaver.plug(
+            MppConfig::new("Doubler", Pointcut::call("Doubler.apply"), f.clone())
+                .aspect("DistributionMPP"),
+        );
         for _ in 0..6 {
             DoublerProxy::construct(&weaver, 0).unwrap();
         }
@@ -649,15 +801,43 @@ mod tests {
         let m = MarshalRegistry::new(); // nothing registered
         let f = InProcFabric::new(1, m);
         f.register_class::<Doubler>();
-        weaver.plug(rmi_distribution_aspect(
-            "Distribution",
-            "Doubler",
-            Pointcut::call("Doubler.apply"),
-            f,
-            Policy::fixed(0),
-        ));
+        weaver.plug(
+            RmiConfig::new("Doubler", Pointcut::call("Doubler.apply"), f)
+                .placement(Policy::fixed(0))
+                .aspect("Distribution"),
+        );
         let err = DoublerProxy::construct(&weaver, 1).unwrap_err();
         assert!(matches!(err, WeaveError::Remote(_)));
+    }
+
+    #[test]
+    fn builder_metrics_meter_redirected_calls() {
+        let weaver = Weaver::new();
+        let f = fabric(2);
+        let registry = MetricsRegistry::new();
+        weaver.plug(
+            RmiConfig::new("Doubler", Pointcut::call("Doubler.apply"), f.clone())
+                .placement(Policy::fixed(1))
+                .metrics(&registry)
+                .aspect("Distribution"),
+        );
+        let d = DoublerProxy::construct(&weaver, 5).unwrap();
+        for x in 0..4 {
+            assert_eq!(d.apply(x).unwrap(), x * 2 + 5);
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("Distribution.calls"), Some(4));
+        assert_eq!(snap.counter("Distribution.errors"), Some(0));
+        let latency = snap.histogram("Distribution.latency_ns").unwrap();
+        assert_eq!(latency.count, 4, "every redirected call is timed");
+        assert!(latency.sum_ns > 0);
+
+        // Local objects (constructed before plugging elsewhere) are not
+        // metered: the advice falls through before the timer starts.
+        let weaver2 = Weaver::new();
+        let local = DoublerProxy::construct(&weaver2, 1).unwrap();
+        assert_eq!(local.apply(1).unwrap(), 3);
+        assert_eq!(registry.snapshot().counter("Distribution.calls"), Some(4));
     }
 
     #[test]
@@ -672,14 +852,12 @@ mod tests {
             Duration::from_secs(3600),
         );
         weaver.plug(aspect);
-        weaver.plug(mpp_distribution_aspect(
-            "DistributionMPP",
-            "Doubler",
-            Pointcut::call("Doubler.apply"),
-            f.clone(),
-            Policy::fixed(0),
-            true,
-        ));
+        weaver.plug(
+            MppConfig::new("Doubler", Pointcut::call("Doubler.apply"), f.clone())
+                .placement(Policy::fixed(0))
+                .oneway(true)
+                .aspect("DistributionMPP"),
+        );
         let d = DoublerProxy::construct(&weaver, 0).unwrap();
         let remote = weaver.intertype().get_field::<RemoteRef>(d.id(), REMOTE_FIELD).unwrap();
 
@@ -708,14 +886,12 @@ mod tests {
             Duration::from_millis(10),
         );
         weaver.plug(aspect);
-        weaver.plug(mpp_distribution_aspect(
-            "DistributionMPP",
-            "Doubler",
-            Pointcut::call("Doubler.apply"),
-            f.clone(),
-            Policy::fixed(0),
-            true,
-        ));
+        weaver.plug(
+            MppConfig::new("Doubler", Pointcut::call("Doubler.apply"), f.clone())
+                .placement(Policy::fixed(0))
+                .oneway(true)
+                .aspect("DistributionMPP"),
+        );
         let d = DoublerProxy::construct(&weaver, 0).unwrap();
         let remote = weaver.intertype().get_field::<RemoteRef>(d.id(), REMOTE_FIELD).unwrap();
 
@@ -744,14 +920,12 @@ mod tests {
             Duration::from_secs(3600),
         );
         let plugged = weaver.plug(aspect);
-        weaver.plug(mpp_distribution_aspect(
-            "DistributionMPP",
-            "Doubler",
-            Pointcut::call("Doubler.apply"),
-            f.clone(),
-            Policy::fixed(0),
-            true,
-        ));
+        weaver.plug(
+            MppConfig::new("Doubler", Pointcut::call("Doubler.apply"), f.clone())
+                .placement(Policy::fixed(0))
+                .oneway(true)
+                .aspect("DistributionMPP"),
+        );
         let d = DoublerProxy::construct(&weaver, 0).unwrap();
         let remote = weaver.intertype().get_field::<RemoteRef>(d.id(), REMOTE_FIELD).unwrap();
 
@@ -776,14 +950,12 @@ mod tests {
             Duration::from_secs(3600),
         );
         weaver.plug(aspect);
-        weaver.plug(mpp_distribution_aspect(
-            "DistributionMPP",
-            "Doubler",
-            Pointcut::call("Doubler.apply"),
-            f.clone(),
-            Policy::fixed(0),
-            true,
-        ));
+        weaver.plug(
+            MppConfig::new("Doubler", Pointcut::call("Doubler.apply"), f.clone())
+                .placement(Policy::fixed(0))
+                .oneway(true)
+                .aspect("DistributionMPP"),
+        );
         let d = DoublerProxy::construct(&weaver, 0).unwrap();
         let remote = weaver.intertype().get_field::<RemoteRef>(d.id(), REMOTE_FIELD).unwrap();
 

@@ -21,7 +21,7 @@ use bytes::Bytes;
 use crossbeam::channel::bounded;
 use parking_lot::{Mutex, RwLock};
 
-use weavepar_weave::{Args, ObjId, WeaveError, WeaveResult, Weaveable};
+use weavepar_weave::{Args, MetricsRegistry, ObjId, WeaveError, WeaveResult, Weaveable};
 
 use crate::faults::{FaultAction, FaultPlan, RequestClass};
 use crate::nameserver::NameServer;
@@ -66,6 +66,38 @@ impl ReplyBackend {
     }
 }
 
+/// Always-on fabric event cells. Plain relaxed `fetch_add`s on `Arc`ed
+/// atomics, so a metrics registry can *bind* them by name without the call
+/// paths ever consulting the registry — with no registry installed the cost
+/// is one uncontended atomic per event, same budget as the fault-plan flag.
+#[derive(Default)]
+struct FabricStats {
+    /// Replied calls issued (RMI semantics).
+    calls: Arc<AtomicU64>,
+    /// Oneway calls issued individually (MPP semantics, unpacked).
+    oneway: Arc<AtomicU64>,
+    /// Pack frames shipped (`call_batch` / `submit_pack`).
+    packs: Arc<AtomicU64>,
+    /// Oneway calls carried inside those pack frames.
+    packed_calls: Arc<AtomicU64>,
+    /// Retry attempts taken by policy-governed calls.
+    retries: Arc<AtomicU64>,
+    /// Reply waits that expired against a policy deadline.
+    timeouts: Arc<AtomicU64>,
+    /// Replied calls currently parked on a reply rendezvous (live gauge).
+    in_flight: Arc<AtomicU64>,
+}
+
+/// Decrements the in-flight gauge on drop, so every exit path of a replied
+/// call — reply, route error, timeout, panic — restores the count.
+struct InFlightGuard<'a>(&'a AtomicU64);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 /// N in-process nodes, a shared marshalling registry and a name server.
 pub struct InProcFabric {
     nodes: Vec<NodeRuntime>,
@@ -89,6 +121,9 @@ pub struct InProcFabric {
     /// a dropped datagram is *silent* on both reply backends — instead of a
     /// prompt disconnect. Drained with the plan.
     lost_replies: Mutex<Vec<crossbeam::channel::Sender<WeaveResult<Bytes>>>>,
+    /// Always-on event cells a metrics registry can bind by name (see
+    /// [`InProcFabric::install_metrics`]).
+    stats: FabricStats,
 }
 
 impl InProcFabric {
@@ -110,7 +145,33 @@ impl InProcFabric {
             seq: AtomicU64::new(1),
             reply_backend: Arc::new(AtomicU32::new(ReplyBackend::Slot as u32)),
             lost_replies: Mutex::new(Vec::new()),
+            stats: FabricStats::default(),
         })
+    }
+
+    /// Bind the fabric's live event cells into `registry` under `prefix`:
+    /// `{prefix}.calls` / `.oneway` / `.packs` / `.packed_calls` /
+    /// `.retries` / `.timeouts` counters, an `{prefix}.in_flight` gauge for
+    /// replied calls parked on their rendezvous, and an
+    /// `{prefix}.reply_slots_pooled` gauge for reply-slot pool occupancy.
+    /// The registry reads the same cells the call paths were already
+    /// bumping, so installing metrics adds nothing to the per-call cost.
+    pub fn install_metrics(&self, registry: &MetricsRegistry, prefix: &str) {
+        registry.bind_counter(&format!("{prefix}.calls"), self.stats.calls.clone());
+        registry.bind_counter(&format!("{prefix}.oneway"), self.stats.oneway.clone());
+        registry.bind_counter(&format!("{prefix}.packs"), self.stats.packs.clone());
+        registry.bind_counter(&format!("{prefix}.packed_calls"), self.stats.packed_calls.clone());
+        registry.bind_counter(&format!("{prefix}.retries"), self.stats.retries.clone());
+        registry.bind_counter(&format!("{prefix}.timeouts"), self.stats.timeouts.clone());
+        registry.bind_gauge(&format!("{prefix}.in_flight"), self.stats.in_flight.clone());
+        registry
+            .bind_gauge_usize(&format!("{prefix}.reply_slots_pooled"), self.replies.pooled_cell());
+    }
+
+    /// Register one replied call as in flight; the guard's drop ends it.
+    fn flight(&self) -> InFlightGuard<'_> {
+        self.stats.in_flight.fetch_add(1, Ordering::Relaxed);
+        InFlightGuard(&self.stats.in_flight)
     }
 
     /// The reply rendezvous currently used by replied [`InProcFabric::call_id`]s.
@@ -382,6 +443,8 @@ impl InProcFabric {
         // node's dedup window stays untouched.
         let seq = self.faulty.load(Ordering::Relaxed).then(|| self.next_seq());
         if want_reply {
+            self.stats.calls.fetch_add(1, Ordering::Relaxed);
+            let _flight = self.flight();
             if self.reply_backend() == ReplyBackend::Channel {
                 let (tx, rx) = bounded(1);
                 self.route(
@@ -416,6 +479,7 @@ impl InProcFabric {
             self.replies.finish(ticket);
             Ok(Some(result?))
         } else {
+            self.stats.oneway.fetch_add(1, Ordering::Relaxed);
             self.route(
                 reference.node,
                 RequestClass::Oneway,
@@ -442,6 +506,7 @@ impl InProcFabric {
     ) -> WeaveResult<Option<Bytes>> {
         let seq = self.next_seq();
         if !want_reply {
+            self.stats.oneway.fetch_add(1, Ordering::Relaxed);
             self.route(
                 reference.node,
                 RequestClass::Oneway,
@@ -449,6 +514,8 @@ impl InProcFabric {
             )?;
             return Ok(None);
         }
+        self.stats.calls.fetch_add(1, Ordering::Relaxed);
+        let _flight = self.flight();
         // Jitter stream: policy seed mixed with the call's dedup key, so
         // concurrent calls de-synchronise but a given (seed, call) replays.
         let mut rng = policy.seed ^ seq.wrapping_mul(0x9e3779b97f4a7c15);
@@ -461,6 +528,7 @@ impl InProcFabric {
                         return Err(err);
                     }
                     attempt += 1;
+                    self.stats.retries.fetch_add(1, Ordering::Relaxed);
                     let pause = policy.backoff.delay(attempt, &mut rng);
                     if !pause.is_zero() {
                         std::thread::sleep(pause);
@@ -505,6 +573,7 @@ impl InProcFabric {
             None => ticket.wait(),
         };
         if matches!(result, Err(WeaveError::Timeout { .. })) {
+            self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
             // A late reply may still land in the slot: drop the ticket
             // (abandoning the slot to garbage collection) instead of
             // finishing it back into the pool where the stale reply would
@@ -569,6 +638,7 @@ impl InProcFabric {
     ) -> WeaveResult<Option<Bytes>> {
         let seq = self.next_seq();
         if !want_reply {
+            self.stats.oneway.fetch_add(1, Ordering::Relaxed);
             self.route(
                 reference.node,
                 RequestClass::Oneway,
@@ -576,6 +646,8 @@ impl InProcFabric {
             )?;
             return Ok(None);
         }
+        self.stats.calls.fetch_add(1, Ordering::Relaxed);
+        let _flight = self.flight();
         let mut rng = policy.seed ^ seq.wrapping_mul(0x9e3779b97f4a7c15);
         let mut attempt = 0u32;
         loop {
@@ -597,6 +669,7 @@ impl InProcFabric {
                     Some(after) => match rx.recv_timeout(after) {
                         Ok(reply) => reply,
                         Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                            self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
                             Err(WeaveError::Timeout { waited_ms: after.as_millis() as u64 })
                         }
                         Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
@@ -621,6 +694,7 @@ impl InProcFabric {
                         return Err(err);
                     }
                     attempt += 1;
+                    self.stats.retries.fetch_add(1, Ordering::Relaxed);
                     let pause = policy.backoff.delay(attempt, &mut rng);
                     if !pause.is_zero() {
                         std::thread::sleep(pause);
@@ -647,6 +721,8 @@ impl InProcFabric {
         }
         let count = frame.count() as usize;
         self.route(node, RequestClass::Pack, Request::CallPack { frame: frame.finish() })?;
+        self.stats.packs.fetch_add(1, Ordering::Relaxed);
+        self.stats.packed_calls.fetch_add(count as u64, Ordering::Relaxed);
         Ok(count)
     }
 
@@ -658,6 +734,8 @@ impl InProcFabric {
         }
         let count = frame.count() as usize;
         self.route(node, RequestClass::Pack, Request::CallPack { frame: frame.finish() })?;
+        self.stats.packs.fetch_add(1, Ordering::Relaxed);
+        self.stats.packed_calls.fetch_add(count as u64, Ordering::Relaxed);
         Ok(count)
     }
 
@@ -944,6 +1022,52 @@ mod tests {
         let reply = f.call(r, "shout", args, true).unwrap().unwrap();
         let ret = f.marshal().decode_ret("Echo", "shout", &reply).unwrap();
         assert_eq!(*ret.downcast::<String>().unwrap(), "m:ok");
+    }
+
+    #[test]
+    fn installed_metrics_expose_fabric_traffic() {
+        use crate::faults::{FaultAction, FaultPlan, FaultRule, RequestClass};
+        use crate::policy::{Backoff, CallPolicy};
+        use std::time::Duration;
+
+        let registry = MetricsRegistry::new();
+        let f = fabric();
+        f.install_metrics(&registry, "fabric");
+        let ctor = f.marshal().encode_args("Echo", "new", &args!["n".to_string()]).unwrap();
+        let r = f.construct_on(0, "Echo", ctor).unwrap();
+        let shout = f.marshal().method_id("Echo", "shout").unwrap();
+
+        // Replied, oneway and packed traffic.
+        let args = f.marshal().encode_args("Echo", "shout", &args!["a".to_string()]).unwrap();
+        assert!(f.call_id(r, shout, args, true).unwrap().is_some());
+        let args = f.marshal().encode_args("Echo", "shout", &args!["b".to_string()]).unwrap();
+        assert!(f.call_id(r, shout, args, false).unwrap().is_none());
+        let calls = (0..4).map(|i| (r.obj, shout, args![format!("m{i}")]));
+        assert_eq!(f.call_batch(0, calls).unwrap(), 4);
+
+        // A retried-then-recovered policy call ticks retries.
+        f.install_faults(Arc::new(
+            FaultPlan::seeded(3)
+                .rule(FaultRule::on(RequestClass::Call, FaultAction::Drop).times(1)),
+        ));
+        let policy = CallPolicy::with_deadline(Duration::from_millis(25))
+            .retries(3)
+            .backoff(Backoff { base: Duration::from_millis(1), max: Duration::from_millis(2) })
+            .seed(7);
+        let args = f.marshal().encode_args("Echo", "shout", &args!["c".to_string()]).unwrap();
+        assert!(f.call_id_with_policy(r, shout, args, true, &policy).unwrap().is_some());
+        f.clear_faults();
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("fabric.calls"), Some(2));
+        assert_eq!(snap.counter("fabric.oneway"), Some(1));
+        assert_eq!(snap.counter("fabric.packs"), Some(1));
+        assert_eq!(snap.counter("fabric.packed_calls"), Some(4));
+        assert!(snap.counter("fabric.retries").unwrap() >= 1);
+        assert!(snap.counter("fabric.timeouts").unwrap() >= 1);
+        assert_eq!(snap.gauge("fabric.in_flight"), Some(0), "nothing parked when idle");
+        // The finished replied calls returned their slots to the pool.
+        assert_eq!(snap.gauge("fabric.reply_slots_pooled"), Some(f.replies.pooled() as u64));
     }
 
     #[test]

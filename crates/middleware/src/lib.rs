@@ -19,13 +19,14 @@
 //!   serving construct/call requests from a channel (the MPP receive loop of
 //!   Figure 15);
 //! * [`fabric`] — an [`InProcFabric`] wiring N nodes together in-process;
-//! * [`aspects`] — the pluggable distribution aspects:
-//!   [`aspects::rmi_distribution_aspect`] (name-server lookup + synchronous
-//!   call with reply, Figure 14) and
-//!   [`aspects::mpp_distribution_aspect`] (direct node addressing, Figure 15),
-//!   plus node-selection [`Policy`](aspects::Policy) (round-robin, random,
-//!   fixed — §4.3 "several policies can be implemented in this aspect") and
-//!   the §4.4 communication-packing optimisation
+//! * [`aspects`] — the pluggable distribution aspects, built through
+//!   [`RmiConfig`](aspects::RmiConfig) (name-server lookup + synchronous
+//!   call with reply, Figure 14) and [`MppConfig`](aspects::MppConfig)
+//!   (direct node addressing, Figure 15) — both chain an optional placement
+//!   [`Policy`](aspects::Policy) (round-robin, random, fixed — §4.3 "several
+//!   policies can be implemented in this aspect"), an optional
+//!   [`CallPolicy`] and an optional metrics registry — plus the §4.4
+//!   communication-packing optimisation
 //!   ([`aspects::message_packing_aspect`]);
 //! * [`migration`] — the paper's Figure 2 `migrate` method, introduced by
 //!   static crosscutting and actually moving object state between nodes.
@@ -46,9 +47,11 @@ pub mod wire;
 
 pub use bytes::{Bytes, BytesMut};
 
+pub use aspects::{message_packing_aspect, MessagePacker, MppConfig, Policy, RmiConfig};
+#[allow(deprecated)]
 pub use aspects::{
-    message_packing_aspect, mpp_distribution_aspect, mpp_distribution_aspect_with_policy,
-    rmi_distribution_aspect, rmi_distribution_aspect_with_policy, MessagePacker, Policy,
+    mpp_distribution_aspect, mpp_distribution_aspect_with_policy, rmi_distribution_aspect,
+    rmi_distribution_aspect_with_policy,
 };
 pub use fabric::{InProcFabric, RemoteRef, ReplyBackend};
 pub use faults::{FaultAction, FaultPlan, FaultRule, FaultStats, FaultStatsSnapshot, RequestClass};

@@ -82,7 +82,7 @@ pub fn migrate_object(weaver: &Weaver, obj: ObjId, node: usize) -> WeaveResult<u
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::aspects::{rmi_distribution_aspect, Policy};
+    use crate::aspects::{Policy, RmiConfig};
     use crate::wire::MarshalRegistry;
     use weavepar_weave::prelude::*;
 
@@ -113,13 +113,11 @@ mod tests {
         let weaver = Weaver::new();
         let fabric = InProcFabric::new(3, marshal());
         fabric.register_class::<Counter>();
-        weaver.plug(rmi_distribution_aspect(
-            "Distribution",
-            "Counter",
-            Pointcut::call("Counter.bump"),
-            fabric.clone(),
-            Policy::fixed(0),
-        ));
+        weaver.plug(
+            RmiConfig::new("Counter", Pointcut::call("Counter.bump"), fabric.clone())
+                .placement(Policy::fixed(0))
+                .aspect("Distribution"),
+        );
         let cap = introduce_migration(&weaver, "Counter", fabric.clone());
         assert!(weaver.intertype().has_tag("Counter", "Migratable"));
 
@@ -146,13 +144,11 @@ mod tests {
         // Distribution aspect plugged, but the object was created before it —
         // it is purely local until migrated.
         let c = CounterProxy::construct(&weaver, 5).unwrap();
-        weaver.plug(rmi_distribution_aspect(
-            "Distribution",
-            "Counter",
-            Pointcut::call("Counter.bump"),
-            fabric.clone(),
-            Policy::fixed(0),
-        ));
+        weaver.plug(
+            RmiConfig::new("Counter", Pointcut::call("Counter.bump"), fabric.clone())
+                .placement(Policy::fixed(0))
+                .aspect("Distribution"),
+        );
         introduce_migration(&weaver, "Counter", fabric.clone());
 
         assert_eq!(c.bump().unwrap(), 6, "local execution before migration");
@@ -169,13 +165,11 @@ mod tests {
         let weaver = Weaver::new();
         let fabric = InProcFabric::new(2, marshal());
         fabric.register_class::<Counter>();
-        weaver.plug(rmi_distribution_aspect(
-            "Distribution",
-            "Counter",
-            Pointcut::call("Counter.bump"),
-            fabric.clone(),
-            Policy::fixed(1),
-        ));
+        weaver.plug(
+            RmiConfig::new("Counter", Pointcut::call("Counter.bump"), fabric.clone())
+                .placement(Policy::fixed(1))
+                .aspect("Distribution"),
+        );
         introduce_migration(&weaver, "Counter", fabric.clone());
         let c = CounterProxy::construct(&weaver, 0).unwrap();
         c.bump().unwrap();
@@ -203,13 +197,11 @@ mod tests {
         let weaver = Weaver::new();
         let fabric = InProcFabric::new(3, marshal());
         fabric.register_class::<Counter>();
-        weaver.plug(rmi_distribution_aspect(
-            "Distribution",
-            "Counter",
-            Pointcut::call("Counter.bump"),
-            fabric.clone(),
-            Policy::fixed(1),
-        ));
+        weaver.plug(
+            RmiConfig::new("Counter", Pointcut::call("Counter.bump"), fabric.clone())
+                .placement(Policy::fixed(1))
+                .aspect("Distribution"),
+        );
         introduce_migration(&weaver, "Counter", fabric.clone());
         let c = CounterProxy::construct(&weaver, 40).unwrap();
         c.bump().unwrap();
@@ -232,13 +224,11 @@ mod tests {
         let weaver = Weaver::new();
         let fabric = InProcFabric::new(3, marshal());
         fabric.register_class::<Counter>();
-        weaver.plug(rmi_distribution_aspect(
-            "Distribution",
-            "Counter",
-            Pointcut::call("Counter.bump"),
-            fabric.clone(),
-            Policy::fixed(0),
-        ));
+        weaver.plug(
+            RmiConfig::new("Counter", Pointcut::call("Counter.bump"), fabric.clone())
+                .placement(Policy::fixed(0))
+                .aspect("Distribution"),
+        );
         introduce_migration(&weaver, "Counter", fabric.clone());
         let c = CounterProxy::construct(&weaver, 7).unwrap();
         c.bump().unwrap();

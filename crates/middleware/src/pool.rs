@@ -231,6 +231,10 @@ impl SlotTicket {
 /// when one is free.
 pub struct ReplyPool {
     free: [Mutex<Vec<Arc<ReplySlot>>>; SHARDS],
+    /// Live total of parked slots, maintained on checkout/finish so a
+    /// metrics registry can bind pool occupancy as a gauge without summing
+    /// the shard locks.
+    parked: Arc<AtomicUsize>,
 }
 
 impl Default for ReplyPool {
@@ -242,13 +246,22 @@ impl Default for ReplyPool {
 impl ReplyPool {
     /// An empty pool.
     pub fn new() -> Self {
-        ReplyPool { free: std::array::from_fn(|_| Mutex::new(Vec::new())) }
+        ReplyPool {
+            free: std::array::from_fn(|_| Mutex::new(Vec::new())),
+            parked: Arc::new(AtomicUsize::new(0)),
+        }
     }
 
     /// Check out a slot: the caller keeps the [`SlotTicket`], the request
     /// carries the [`SlotReply`].
     pub fn checkout(&self) -> (SlotTicket, SlotReply) {
-        let slot = self.free[shard_index()].lock().pop().unwrap_or_else(ReplySlot::new);
+        let slot = match self.free[shard_index()].lock().pop() {
+            Some(slot) => {
+                self.parked.fetch_sub(1, Ordering::Relaxed);
+                slot
+            }
+            None => ReplySlot::new(),
+        };
         debug_assert!(slot.mailbox.lock().is_none(), "recycled slot must be empty");
         (
             SlotTicket { slot: slot.clone(), consumed: std::cell::Cell::new(false) },
@@ -266,6 +279,7 @@ impl ReplyPool {
             let mut free = self.free[shard_index()].lock();
             if free.len() < PER_SHARD {
                 free.push(ticket.slot);
+                self.parked.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -273,6 +287,11 @@ impl ReplyPool {
     /// Slots currently parked in the pool (for tests).
     pub fn pooled(&self) -> usize {
         self.free.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// The live parked-slot count cell, for binding as an occupancy gauge.
+    pub fn pooled_cell(&self) -> Arc<AtomicUsize> {
+        self.parked.clone()
     }
 }
 

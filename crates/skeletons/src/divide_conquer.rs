@@ -19,6 +19,7 @@ use std::sync::Arc;
 use weavepar_concurrency::{resolve_any, BatchScope};
 use weavepar_weave::aspect::precedence;
 use weavepar_weave::prelude::*;
+use weavepar_weave::MetricsRegistry;
 
 use crate::common::{hints, MapArgsFn, PredicateFn, SplitFn};
 
@@ -50,54 +51,127 @@ impl std::fmt::Debug for DivideConquerConfig {
     }
 }
 
-/// Build the divide-and-conquer aspect for `config`.
-pub fn divide_conquer_aspect(name: impl Into<String>, config: DivideConquerConfig) -> Aspect {
-    divide_conquer_aspect_tuned(name, config, None)
+impl DivideConquerConfig {
+    /// Follow a live sequential-cutoff hint: the cell's value is published
+    /// through [`hints::set_cutoff`](crate::common::hints) around
+    /// `should_divide` and `divide`, so a cutoff-aware predicate (reading
+    /// [`hints::cutoff_or`](crate::common::hints::cutoff_or)) lets a tuner
+    /// move the depth at which recursion falls back to the sequential solve.
+    pub fn tuned(self, cutoff_hint: Arc<AtomicU32>) -> DivideConquerBuilder {
+        self.builder().tuned(cutoff_hint)
+    }
+
+    /// Meter the recursion into `registry`: `{name}.divides` counts divide
+    /// events, `{name}.sub_calls` counts sub-problems dispatched.
+    pub fn metrics(self, registry: &MetricsRegistry) -> DivideConquerBuilder {
+        self.builder().metrics(registry)
+    }
+
+    /// Build the divide-and-conquer aspect named `name`, untuned and
+    /// unmetered.
+    pub fn aspect(self, name: impl Into<String>) -> Aspect {
+        self.builder().aspect(name)
+    }
+
+    fn builder(self) -> DivideConquerBuilder {
+        DivideConquerBuilder { config: self, cutoff_hint: None, metrics: None }
+    }
 }
 
-/// [`divide_conquer_aspect`] with a live sequential-cutoff hint: the cell's
-/// value is published through [`hints::set_cutoff`](crate::common::hints)
-/// around `should_divide` and `divide`, so a cutoff-aware predicate (reading
-/// [`hints::cutoff_or`](crate::common::hints::cutoff_or)) lets a tuner move
-/// the depth at which recursion falls back to the sequential solve.
+/// Option carrier produced by [`DivideConquerConfig::tuned`] /
+/// [`DivideConquerConfig::metrics`]; finish with
+/// [`aspect`](DivideConquerBuilder::aspect).
+#[derive(Clone)]
+pub struct DivideConquerBuilder {
+    config: DivideConquerConfig,
+    cutoff_hint: Option<Arc<AtomicU32>>,
+    metrics: Option<MetricsRegistry>,
+}
+
+impl DivideConquerBuilder {
+    /// See [`DivideConquerConfig::tuned`].
+    pub fn tuned(mut self, cutoff_hint: Arc<AtomicU32>) -> Self {
+        self.cutoff_hint = Some(cutoff_hint);
+        self
+    }
+
+    /// See [`DivideConquerConfig::metrics`].
+    pub fn metrics(mut self, registry: &MetricsRegistry) -> Self {
+        self.metrics = Some(registry.clone());
+        self
+    }
+
+    /// Build the divide-and-conquer aspect named `name`.
+    pub fn aspect(self, name: impl Into<String>) -> Aspect {
+        let name = name.into();
+        let DivideConquerBuilder { config, cutoff_hint, metrics } = self;
+        // Counters resolved once at build time; the recursion bumps pre-bound
+        // atomics only.
+        let meters = metrics.map(|m| {
+            (m.counter(&format!("{name}.divides")), m.counter(&format!("{name}.sub_calls")))
+        });
+        let cfg = config;
+        Aspect::named(name)
+            .precedence(precedence::PARTITION)
+            // Applies to every call site — core and aspect alike — so the
+            // recursion unfolds until `should_divide` says stop.
+            .around(Pointcut::call_sig(cfg.class, cfg.method), {
+                let cfg = cfg.clone();
+                move |inv: &mut Invocation| {
+                    let _hint = cutoff_hint
+                        .as_ref()
+                        .map(|cell| hints::set_cutoff(cell.load(Ordering::Relaxed)));
+                    if !(cfg.should_divide)(inv.args()?)? {
+                        return inv.proceed();
+                    }
+                    let weaver = inv.weaver().clone();
+                    let subproblems = (cfg.divide)(inv.args()?)?;
+                    if let Some((divides, sub_calls)) = &meters {
+                        divides.inc();
+                        sub_calls.add(subproblems.len() as u64);
+                    }
+                    let mut pending = Vec::with_capacity(subproblems.len());
+                    // One batch submission per divide level. Scopes nest per level
+                    // (recursive sub-calls running on pool workers open their own),
+                    // and each level flushes before blocking on its sub-results.
+                    let scope = BatchScope::enter();
+                    for sub in subproblems {
+                        // Object creation at a *call* join point: a fresh
+                        // aspect-managed worker per sub-problem, constructed through
+                        // the weaver so distribution places it.
+                        let worker = weaver.construct_dyn(cfg.class, (cfg.worker_args)(&sub)?)?;
+                        pending.push(weaver.invoke_call(worker, cfg.class, cfg.method, sub)?);
+                    }
+                    scope.flush();
+                    let mut results = Vec::with_capacity(pending.len());
+                    for ret in pending {
+                        results.push(resolve_any(ret)?);
+                    }
+                    (cfg.combine)(results)
+                }
+            })
+            .build()
+    }
+}
+
+/// Build the divide-and-conquer aspect for `config`.
+#[deprecated(note = "use `config.aspect(name)` (see `DivideConquerConfig`)")]
+pub fn divide_conquer_aspect(name: impl Into<String>, config: DivideConquerConfig) -> Aspect {
+    config.aspect(name)
+}
+
+/// [`DivideConquerConfig::tuned`] in the old free-function shape.
+#[deprecated(note = "use `config.tuned(cell).aspect(name)` (see `DivideConquerConfig`)")]
 pub fn divide_conquer_aspect_tuned(
     name: impl Into<String>,
     config: DivideConquerConfig,
     cutoff_hint: Option<Arc<AtomicU32>>,
 ) -> Aspect {
-    let cfg = config.clone();
-    Aspect::named(name)
-        .precedence(precedence::PARTITION)
-        // Applies to every call site — core and aspect alike — so the
-        // recursion unfolds until `should_divide` says stop.
-        .around(Pointcut::call_sig(config.class, config.method), move |inv: &mut Invocation| {
-            let _hint =
-                cutoff_hint.as_ref().map(|cell| hints::set_cutoff(cell.load(Ordering::Relaxed)));
-            if !(cfg.should_divide)(inv.args()?)? {
-                return inv.proceed();
-            }
-            let weaver = inv.weaver().clone();
-            let subproblems = (cfg.divide)(inv.args()?)?;
-            let mut pending = Vec::with_capacity(subproblems.len());
-            // One batch submission per divide level. Scopes nest per level
-            // (recursive sub-calls running on pool workers open their own),
-            // and each level flushes before blocking on its sub-results.
-            let scope = BatchScope::enter();
-            for sub in subproblems {
-                // Object creation at a *call* join point: a fresh
-                // aspect-managed worker per sub-problem, constructed through
-                // the weaver so distribution places it.
-                let worker = weaver.construct_dyn(cfg.class, (cfg.worker_args)(&sub)?)?;
-                pending.push(weaver.invoke_call(worker, cfg.class, cfg.method, sub)?);
-            }
-            scope.flush();
-            let mut results = Vec::with_capacity(pending.len());
-            for ret in pending {
-                results.push(resolve_any(ret)?);
-            }
-            (cfg.combine)(results)
-        })
-        .build()
+    let builder = config.builder();
+    match cutoff_hint {
+        Some(cell) => builder.tuned(cell).aspect(name),
+        None => builder.aspect(name),
+    }
 }
 
 #[cfg(test)]
@@ -146,7 +220,7 @@ mod tests {
     fn recursion_divides_to_the_threshold() {
         let weaver = Weaver::new();
         weaver.register_class::<Summer>();
-        weaver.plug(divide_conquer_aspect("Partition.dc", config(4)));
+        weaver.plug(config(4).aspect("Partition.dc"));
         let s = SummerProxy::construct(&weaver).unwrap();
         let xs: Vec<u64> = (1..=32).collect();
         assert_eq!(s.solve(xs).unwrap(), 32 * 33 / 2);
@@ -161,7 +235,7 @@ mod tests {
     fn small_problems_solve_directly() {
         let weaver = Weaver::new();
         weaver.register_class::<Summer>();
-        weaver.plug(divide_conquer_aspect("Partition.dc", config(100)));
+        weaver.plug(config(100).aspect("Partition.dc"));
         let s = SummerProxy::construct(&weaver).unwrap();
         assert_eq!(s.solve(vec![1, 2, 3]).unwrap(), 6);
         assert_eq!(weaver.space().ids_of_class("Summer").len(), 1, "no division, no workers");
@@ -171,7 +245,7 @@ mod tests {
     fn concurrent_divide_conquer_matches() {
         let weaver = Weaver::new();
         weaver.register_class::<Summer>();
-        weaver.plug(divide_conquer_aspect("Partition.dc", config(8)));
+        weaver.plug(config(8).aspect("Partition.dc"));
         let executor = Executor::thread_per_call();
         for a in future_concurrency_aspect(
             "Concurrency",
@@ -191,7 +265,7 @@ mod tests {
     #[test]
     fn unplugged_solves_sequentially() {
         let weaver = Weaver::new();
-        let plugged = weaver.plug(divide_conquer_aspect("Partition.dc", config(2)));
+        let plugged = weaver.plug(config(2).aspect("Partition.dc"));
         weaver.unplug(&plugged);
         let s = SummerProxy::construct(&weaver).unwrap();
         assert_eq!(s.solve((0..64).collect()).unwrap(), 63 * 64 / 2);
@@ -202,7 +276,7 @@ mod tests {
     fn empty_input() {
         let weaver = Weaver::new();
         weaver.register_class::<Summer>();
-        weaver.plug(divide_conquer_aspect("Partition.dc", config(4)));
+        weaver.plug(config(4).aspect("Partition.dc"));
         let s = SummerProxy::construct(&weaver).unwrap();
         assert_eq!(s.solve(vec![]).unwrap(), 0);
     }

@@ -17,176 +17,248 @@ use weavepar_concurrency::resolve_any;
 use weavepar_weave::aspect::precedence;
 use weavepar_weave::context::CurrentContext;
 use weavepar_weave::prelude::*;
+use weavepar_weave::{Counter, MetricsRegistry};
 
 use crate::common::{hints, Protocol, WORKERS_FIELD};
 
-/// Configuration of a concrete dynamic farm (see [`Protocol`]).
-pub type DynamicFarmConfig = Protocol;
-
-/// Build the dynamic-farm aspect (partition *and* concurrency, merged).
-pub fn dynamic_farm_aspect(name: impl Into<String>, protocol: DynamicFarmConfig) -> Aspect {
-    dynamic_farm_aspect_tuned(name, protocol, None)
+/// Builder-style configuration of a concrete dynamic farm (see
+/// [`Protocol`]):
+///
+/// ```ignore
+/// weaver.plug(DynamicFarmConfig::new(protocol).tuned(cell).metrics(&reg).aspect("Partition+Concurrency"));
+/// ```
+#[derive(Clone)]
+pub struct DynamicFarmConfig {
+    protocol: Protocol,
+    packs_hint: Option<Arc<AtomicU32>>,
+    metrics: Option<MetricsRegistry>,
 }
 
-/// [`dynamic_farm_aspect`] with a live pack-size hint, published through
-/// [`hints::set_packs`](crate::common::hints) around each split exactly like
-/// the static farm's tuned variant.
+impl DynamicFarmConfig {
+    /// A dynamic farm over `protocol`, untuned and unmetered.
+    pub fn new(protocol: Protocol) -> Self {
+        Self { protocol, packs_hint: None, metrics: None }
+    }
+
+    /// Follow a live pack-count hint, published through
+    /// [`hints::set_packs`](crate::common::hints) around each split exactly
+    /// like the static farm's tuned variant.
+    pub fn tuned(mut self, packs_hint: Arc<AtomicU32>) -> Self {
+        self.packs_hint = Some(packs_hint);
+        self
+    }
+
+    /// Meter the farm into `registry`: `{name}.packs_issued` counts packs
+    /// queued for the pulling workers, `{name}.redispatched` counts packs
+    /// re-offered to surviving workers after a node loss.
+    pub fn metrics(mut self, registry: &MetricsRegistry) -> Self {
+        self.metrics = Some(registry.clone());
+        self
+    }
+
+    /// Build the dynamic-farm aspect (partition *and* concurrency, merged)
+    /// named `name`.
+    pub fn aspect(self, name: impl Into<String>) -> Aspect {
+        let name = name.into();
+        let DynamicFarmConfig { protocol, packs_hint, metrics } = self;
+        // Counters resolved once at build time; the advice bumps pre-bound
+        // atomics only.
+        let meters = metrics.map(|m| FarmMeters {
+            packs: m.counter(&format!("{name}.packs_issued")),
+            redispatched: m.counter(&format!("{name}.redispatched")),
+        });
+        let dup = protocol.clone();
+        let drive = protocol.clone();
+
+        Aspect::named(name)
+            .precedence(precedence::PARTITION)
+            // Object duplication, identical to the static farm.
+            .around(
+                Pointcut::construct(protocol.class).and(Pointcut::within_core()),
+                move |inv: &mut Invocation| {
+                    let weaver = inv.weaver().clone();
+                    let ids = dup.create_workers(&weaver, inv.args()?)?;
+                    let first = *ids.first().ok_or_else(|| {
+                        WeaveError::app("dynamic farm protocol needs at least one worker")
+                    })?;
+                    weaver.intertype().set_field(first, WORKERS_FIELD, ids);
+                    Ok(weavepar_weave::ret!(first))
+                },
+            )
+            // Split + demand-driven execution on per-worker threads.
+            .around(
+                Pointcut::call_sig(protocol.class, protocol.method).and(Pointcut::within_core()),
+                move |inv: &mut Invocation| {
+                    let weaver = inv.weaver().clone();
+                    let target = inv.target_required()?;
+                    let workers = weaver
+                        .intertype()
+                        .get_field::<Vec<ObjId>>(target, WORKERS_FIELD)
+                        .unwrap_or_else(|| vec![target]);
+                    // The hint guard covers the whole advice, so orphan
+                    // regeneration below splits with the same grain the original
+                    // dispatch used even if the tuner moves mid-call.
+                    let _hint = packs_hint
+                        .as_ref()
+                        .map(|cell| hints::set_packs(cell.load(Ordering::Relaxed)));
+                    let packs = (drive.split)(inv.args()?)?;
+                    let total = packs.len();
+                    if let Some(m) = &meters {
+                        m.packs.add(total as u64);
+                    }
+
+                    let (task_tx, task_rx) = unbounded::<(usize, Args)>();
+                    // Seed the whole pack set in one batch send: one queue-lock
+                    // acquisition instead of one per pack.
+                    task_tx.send_batch(packs.into_iter().enumerate()).expect("queue open");
+                    drop(task_tx); // workers stop when the queue drains
+
+                    let (res_tx, res_rx) = unbounded::<(usize, WeaveResult<AnyValue>)>();
+                    let ctx = CurrentContext::capture();
+                    let mut threads = Vec::with_capacity(workers.len());
+                    for &worker in &workers {
+                        let rx = task_rx.clone();
+                        let tx = res_tx.clone();
+                        let weaver = weaver.clone();
+                        let ctx = ctx.clone();
+                        let (class, method) = (drive.class, drive.method);
+                        threads.push(std::thread::spawn(move || {
+                            // Keep aspect provenance (and the trace context) on
+                            // this thread so the farm's own calls do not re-match
+                            // its within-core pointcut.
+                            let _guards = ctx.install();
+                            while let Ok((k, pack)) = rx.recv() {
+                                // Each pack's data comes from the client's queue,
+                                // not from the previous pack this thread happened
+                                // to execute: mask the data-dependency marker so
+                                // traces don't record a spurious node-local edge
+                                // (per-worker serialisation is already captured
+                                // by the object monitor).
+                                let _dep = weavepar_weave::trace::push_data_dep(None);
+                                let result = weaver
+                                    .invoke_call(worker, class, method, pack)
+                                    .and_then(resolve_any);
+                                if tx.send((k, result)).is_err() {
+                                    break;
+                                }
+                            }
+                        }));
+                    }
+                    drop(res_tx);
+
+                    let mut slots: Vec<Option<AnyValue>> = (0..total).map(|_| None).collect();
+                    let mut first_error = None;
+                    let mut orphans: Vec<usize> = Vec::new();
+                    for (k, result) in res_rx {
+                        match result {
+                            Ok(v) => slots[k] = Some(v),
+                            // A pack lost to a dead node is not fatal: a
+                            // demand-driven farm can re-offer it to whichever
+                            // worker still answers once the main wave is done.
+                            Err(e) if e.is_node_loss() => orphans.push(k),
+                            Err(e) => {
+                                if first_error.is_none() {
+                                    first_error = Some(e);
+                                }
+                            }
+                        }
+                    }
+                    for t in threads {
+                        let _ = t.join();
+                    }
+                    if let Some(e) = first_error {
+                        return Err(e);
+                    }
+                    // Packs are consumed by dispatch, so orphans must be rebuilt
+                    // from the original arguments. One full re-split (shared by
+                    // every orphan) replaces the old split-per-attempt; only a
+                    // retry of the *same* pack, whose cached slot is already
+                    // taken, pays for another split.
+                    let mut regen: Option<Vec<Option<Args>>> = None;
+                    for k in orphans {
+                        if let Some(m) = &meters {
+                            m.redispatched.inc();
+                        }
+                        let mut recovered = None;
+                        let mut last = None;
+                        for offset in 0..workers.len() {
+                            let alt = workers[(k + offset) % workers.len()];
+                            let cached = regen
+                                .get_or_insert_with(Vec::new)
+                                .get_mut(k)
+                                .and_then(Option::take);
+                            let pack = match cached {
+                                Some(pack) => pack,
+                                None => {
+                                    let fresh: Vec<Option<Args>> =
+                                        (drive.split)(inv.args()?)?.into_iter().map(Some).collect();
+                                    let slot =
+                                        regen.insert(fresh).get_mut(k).and_then(Option::take);
+                                    slot.ok_or_else(|| {
+                                        WeaveError::app(
+                                            "dynamic farm cannot regenerate a lost pack",
+                                        )
+                                    })?
+                                }
+                            };
+                            match weaver
+                                .invoke_call(alt, drive.class, drive.method, pack)
+                                .and_then(resolve_any)
+                            {
+                                Ok(v) => {
+                                    recovered = Some(v);
+                                    break;
+                                }
+                                Err(e) if e.is_node_loss() => last = Some(e),
+                                Err(e) => return Err(e),
+                            }
+                        }
+                        match recovered {
+                            Some(v) => slots[k] = Some(v),
+                            None => {
+                                return Err(last.unwrap_or_else(|| {
+                                    WeaveError::app("dynamic farm lost a pack")
+                                }))
+                            }
+                        }
+                    }
+                    let results: WeaveResult<Vec<AnyValue>> = slots
+                        .into_iter()
+                        .map(|s| s.ok_or_else(|| WeaveError::app("dynamic farm lost a pack")))
+                        .collect();
+                    (drive.combine)(results?)
+                },
+            )
+            .build()
+    }
+}
+
+/// Pre-resolved dynamic-farm counters (see [`DynamicFarmConfig::metrics`]).
+#[derive(Clone)]
+struct FarmMeters {
+    packs: Counter,
+    redispatched: Counter,
+}
+
+/// Build the dynamic-farm aspect (partition *and* concurrency, merged).
+#[deprecated(note = "use `DynamicFarmConfig::new(protocol).aspect(name)`")]
+pub fn dynamic_farm_aspect(name: impl Into<String>, protocol: Protocol) -> Aspect {
+    DynamicFarmConfig::new(protocol).aspect(name)
+}
+
+/// [`DynamicFarmConfig::new`] + [`tuned`](DynamicFarmConfig::tuned) in the
+/// old free-function shape.
+#[deprecated(note = "use `DynamicFarmConfig::new(protocol).tuned(cell).aspect(name)`")]
 pub fn dynamic_farm_aspect_tuned(
     name: impl Into<String>,
-    protocol: DynamicFarmConfig,
+    protocol: Protocol,
     packs_hint: Option<Arc<AtomicU32>>,
 ) -> Aspect {
-    let dup = protocol.clone();
-    let drive = protocol.clone();
-
-    Aspect::named(name)
-        .precedence(precedence::PARTITION)
-        // Object duplication, identical to the static farm.
-        .around(
-            Pointcut::construct(protocol.class).and(Pointcut::within_core()),
-            move |inv: &mut Invocation| {
-                let weaver = inv.weaver().clone();
-                let ids = dup.create_workers(&weaver, inv.args()?)?;
-                let first = *ids.first().ok_or_else(|| {
-                    WeaveError::app("dynamic farm protocol needs at least one worker")
-                })?;
-                weaver.intertype().set_field(first, WORKERS_FIELD, ids);
-                Ok(weavepar_weave::ret!(first))
-            },
-        )
-        // Split + demand-driven execution on per-worker threads.
-        .around(
-            Pointcut::call_sig(protocol.class, protocol.method).and(Pointcut::within_core()),
-            move |inv: &mut Invocation| {
-                let weaver = inv.weaver().clone();
-                let target = inv.target_required()?;
-                let workers = weaver
-                    .intertype()
-                    .get_field::<Vec<ObjId>>(target, WORKERS_FIELD)
-                    .unwrap_or_else(|| vec![target]);
-                // The hint guard covers the whole advice, so orphan
-                // regeneration below splits with the same grain the original
-                // dispatch used even if the tuner moves mid-call.
-                let _hint =
-                    packs_hint.as_ref().map(|cell| hints::set_packs(cell.load(Ordering::Relaxed)));
-                let packs = (drive.split)(inv.args()?)?;
-                let total = packs.len();
-
-                let (task_tx, task_rx) = unbounded::<(usize, Args)>();
-                // Seed the whole pack set in one batch send: one queue-lock
-                // acquisition instead of one per pack.
-                task_tx.send_batch(packs.into_iter().enumerate()).expect("queue open");
-                drop(task_tx); // workers stop when the queue drains
-
-                let (res_tx, res_rx) = unbounded::<(usize, WeaveResult<AnyValue>)>();
-                let ctx = CurrentContext::capture();
-                let mut threads = Vec::with_capacity(workers.len());
-                for &worker in &workers {
-                    let rx = task_rx.clone();
-                    let tx = res_tx.clone();
-                    let weaver = weaver.clone();
-                    let ctx = ctx.clone();
-                    let (class, method) = (drive.class, drive.method);
-                    threads.push(std::thread::spawn(move || {
-                        // Keep aspect provenance (and the trace context) on
-                        // this thread so the farm's own calls do not re-match
-                        // its within-core pointcut.
-                        let _guards = ctx.install();
-                        while let Ok((k, pack)) = rx.recv() {
-                            // Each pack's data comes from the client's queue,
-                            // not from the previous pack this thread happened
-                            // to execute: mask the data-dependency marker so
-                            // traces don't record a spurious node-local edge
-                            // (per-worker serialisation is already captured
-                            // by the object monitor).
-                            let _dep = weavepar_weave::trace::push_data_dep(None);
-                            let result = weaver
-                                .invoke_call(worker, class, method, pack)
-                                .and_then(resolve_any);
-                            if tx.send((k, result)).is_err() {
-                                break;
-                            }
-                        }
-                    }));
-                }
-                drop(res_tx);
-
-                let mut slots: Vec<Option<AnyValue>> = (0..total).map(|_| None).collect();
-                let mut first_error = None;
-                let mut orphans: Vec<usize> = Vec::new();
-                for (k, result) in res_rx {
-                    match result {
-                        Ok(v) => slots[k] = Some(v),
-                        // A pack lost to a dead node is not fatal: a
-                        // demand-driven farm can re-offer it to whichever
-                        // worker still answers once the main wave is done.
-                        Err(e) if e.is_node_loss() => orphans.push(k),
-                        Err(e) => {
-                            if first_error.is_none() {
-                                first_error = Some(e);
-                            }
-                        }
-                    }
-                }
-                for t in threads {
-                    let _ = t.join();
-                }
-                if let Some(e) = first_error {
-                    return Err(e);
-                }
-                // Packs are consumed by dispatch, so orphans must be rebuilt
-                // from the original arguments. One full re-split (shared by
-                // every orphan) replaces the old split-per-attempt; only a
-                // retry of the *same* pack, whose cached slot is already
-                // taken, pays for another split.
-                let mut regen: Option<Vec<Option<Args>>> = None;
-                for k in orphans {
-                    let mut recovered = None;
-                    let mut last = None;
-                    for offset in 0..workers.len() {
-                        let alt = workers[(k + offset) % workers.len()];
-                        let cached =
-                            regen.get_or_insert_with(Vec::new).get_mut(k).and_then(Option::take);
-                        let pack = match cached {
-                            Some(pack) => pack,
-                            None => {
-                                let fresh: Vec<Option<Args>> =
-                                    (drive.split)(inv.args()?)?.into_iter().map(Some).collect();
-                                let slot = regen.insert(fresh).get_mut(k).and_then(Option::take);
-                                slot.ok_or_else(|| {
-                                    WeaveError::app("dynamic farm cannot regenerate a lost pack")
-                                })?
-                            }
-                        };
-                        match weaver
-                            .invoke_call(alt, drive.class, drive.method, pack)
-                            .and_then(resolve_any)
-                        {
-                            Ok(v) => {
-                                recovered = Some(v);
-                                break;
-                            }
-                            Err(e) if e.is_node_loss() => last = Some(e),
-                            Err(e) => return Err(e),
-                        }
-                    }
-                    match recovered {
-                        Some(v) => slots[k] = Some(v),
-                        None => {
-                            return Err(
-                                last.unwrap_or_else(|| WeaveError::app("dynamic farm lost a pack"))
-                            )
-                        }
-                    }
-                }
-                let results: WeaveResult<Vec<AnyValue>> = slots
-                    .into_iter()
-                    .map(|s| s.ok_or_else(|| WeaveError::app("dynamic farm lost a pack")))
-                    .collect();
-                (drive.combine)(results?)
-            },
-        )
-        .build()
+    let mut cfg = DynamicFarmConfig::new(protocol);
+    if let Some(cell) = packs_hint {
+        cfg = cfg.tuned(cell);
+    }
+    cfg.aspect(name)
 }
 
 #[cfg(test)]
@@ -213,7 +285,7 @@ mod tests {
         }
     }
 
-    fn protocol(workers: usize, packs: usize) -> DynamicFarmConfig {
+    fn protocol(workers: usize, packs: usize) -> Protocol {
         Protocol {
             class: "Uneven",
             method: "crunch",
@@ -238,7 +310,7 @@ mod tests {
     #[test]
     fn dynamic_farm_computes_in_order() {
         let weaver = Weaver::new();
-        weaver.plug(dynamic_farm_aspect("Partition+Concurrency", protocol(3, 9)));
+        weaver.plug(DynamicFarmConfig::new(protocol(3, 9)).aspect("Partition+Concurrency"));
         let w = UnevenProxy::construct(&weaver, 0).unwrap();
         assert_eq!(weaver.space().ids_of_class("Uneven").len(), 3);
         let input: Vec<u64> = (0..18).collect();
@@ -249,7 +321,7 @@ mod tests {
     #[test]
     fn demand_driven_pull_uses_parallel_workers() {
         let weaver = Weaver::new();
-        weaver.plug(dynamic_farm_aspect("Partition+Concurrency", protocol(4, 8)));
+        weaver.plug(DynamicFarmConfig::new(protocol(4, 8)).aspect("Partition+Concurrency"));
         let w = UnevenProxy::construct(&weaver, 0).unwrap();
         // 8 packs, each sleeping ~: with 4 pulling workers wall time is well
         // under the serial sum.
@@ -267,7 +339,7 @@ mod tests {
     #[test]
     fn single_worker_degenerates_to_sequential() {
         let weaver = Weaver::new();
-        weaver.plug(dynamic_farm_aspect("Partition+Concurrency", protocol(1, 4)));
+        weaver.plug(DynamicFarmConfig::new(protocol(1, 4)).aspect("Partition+Concurrency"));
         let w = UnevenProxy::construct(&weaver, 0).unwrap();
         let out = w.crunch(vec![1, 2, 3, 4]).unwrap();
         assert_eq!(out, vec![2, 3, 4, 5]);
@@ -275,21 +347,23 @@ mod tests {
 
     #[test]
     fn dynamic_farm_redispatches_packs_lost_to_a_dead_node() {
-        use weavepar_middleware::{rmi_distribution_aspect, InProcFabric, MarshalRegistry, Policy};
+        use weavepar_middleware::{InProcFabric, MarshalRegistry, RmiConfig};
         let m = MarshalRegistry::new();
         m.register::<(u64,), ()>("Uneven", "new");
         m.register::<(Vec<u64>,), Vec<u64>>("Uneven", "crunch");
         let fabric = InProcFabric::new(2, m);
         fabric.register_class::<Uneven>();
+        let registry = MetricsRegistry::new();
         let weaver = Weaver::new();
-        weaver.plug(dynamic_farm_aspect("Partition+Concurrency", protocol(2, 6)));
-        weaver.plug(rmi_distribution_aspect(
-            "Distribution",
-            "Uneven",
-            Pointcut::call("Uneven.crunch"),
-            fabric.clone(),
-            Policy::round_robin(),
-        ));
+        weaver.plug(
+            DynamicFarmConfig::new(protocol(2, 6))
+                .metrics(&registry)
+                .aspect("Partition+Concurrency"),
+        );
+        weaver.plug(
+            RmiConfig::new("Uneven", Pointcut::call("Uneven.crunch"), fabric.clone())
+                .aspect("Distribution"),
+        );
         let w = UnevenProxy::construct(&weaver, 0).unwrap();
         // One of the two workers' nodes dies: every pack its thread pulls
         // fails with NodeDown, is collected as an orphan, and is re-offered
@@ -298,12 +372,17 @@ mod tests {
         let input: Vec<u64> = (0..12).collect();
         let out = w.crunch(input.clone()).unwrap();
         assert_eq!(out, input.iter().map(|x| x + 1).collect::<Vec<_>>());
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("Partition+Concurrency.packs_issued"), Some(6));
+        // At least the packs the dead worker pulled first came back through
+        // re-dispatch (the exact count depends on the pull race).
+        assert!(snap.counter("Partition+Concurrency.redispatched").unwrap_or(0) >= 1);
     }
 
     #[test]
     fn empty_input_yields_empty_output() {
         let weaver = Weaver::new();
-        weaver.plug(dynamic_farm_aspect("Partition+Concurrency", protocol(2, 4)));
+        weaver.plug(DynamicFarmConfig::new(protocol(2, 4)).aspect("Partition+Concurrency"));
         let w = UnevenProxy::construct(&weaver, 0).unwrap();
         let out = w.crunch(vec![]).unwrap();
         assert!(out.is_empty());

@@ -18,101 +18,168 @@ use std::sync::Arc;
 use weavepar_concurrency::{resolve_any, BatchScope};
 use weavepar_weave::aspect::precedence;
 use weavepar_weave::prelude::*;
+use weavepar_weave::{Counter, MetricsRegistry};
 
 use crate::common::{hints, Protocol, WORKERS_FIELD};
 
-/// Configuration of a concrete farm (see [`Protocol`]). `worker_args`
-/// typically broadcasts the original constructor arguments.
-pub type FarmConfig = Protocol;
-
-/// Build the farm partition aspect for `protocol`.
-pub fn farm_aspect(name: impl Into<String>, protocol: FarmConfig) -> Aspect {
-    farm_aspect_tuned(name, protocol, None)
+/// Builder-style configuration of a concrete farm. The mandatory part is the
+/// [`Protocol`] (whose `worker_args` typically broadcasts the original
+/// constructor arguments); everything optional chains:
+///
+/// ```ignore
+/// weaver.plug(FarmConfig::new(protocol).tuned(cell).metrics(&reg).aspect("Partition"));
+/// ```
+#[derive(Clone)]
+pub struct FarmConfig {
+    protocol: Protocol,
+    packs_hint: Option<Arc<AtomicU32>>,
+    metrics: Option<MetricsRegistry>,
 }
 
-/// [`farm_aspect`] with a live pack-size hint: before each split the aspect
-/// publishes `packs_hint`'s current value through
-/// [`hints::set_packs`](crate::common::hints), so grain-aware `split`
-/// closures (ones reading [`hints::packs_or`](crate::common::hints::packs_or))
-/// follow the tuner while the farm runs. `None` behaves exactly like
-/// [`farm_aspect`].
+impl FarmConfig {
+    /// A farm over `protocol`, untuned and unmetered.
+    pub fn new(protocol: Protocol) -> Self {
+        Self { protocol, packs_hint: None, metrics: None }
+    }
+
+    /// Follow a live pack-count hint: before each split the aspect publishes
+    /// the cell's current value through
+    /// [`hints::set_packs`](crate::common::hints), so grain-aware `split`
+    /// closures (ones reading
+    /// [`hints::packs_or`](crate::common::hints::packs_or)) follow the tuner
+    /// while the farm runs.
+    pub fn tuned(mut self, packs_hint: Arc<AtomicU32>) -> Self {
+        self.packs_hint = Some(packs_hint);
+        self
+    }
+
+    /// Meter the farm into `registry`: `{name}.packs_issued` counts packs
+    /// dispatched by the split advice, `{name}.redispatched` counts packs
+    /// re-offered to surviving workers after a node loss.
+    pub fn metrics(mut self, registry: &MetricsRegistry) -> Self {
+        self.metrics = Some(registry.clone());
+        self
+    }
+
+    /// Build the farm partition aspect named `name`.
+    pub fn aspect(self, name: impl Into<String>) -> Aspect {
+        let name = name.into();
+        let FarmConfig { protocol, packs_hint, metrics } = self;
+        // Counters resolved once at build time: the hot path bumps two
+        // pre-bound atomics, never consulting the registry.
+        let meters = metrics.map(|m| FarmMeters {
+            packs: m.counter(&format!("{name}.packs_issued")),
+            redispatched: m.counter(&format!("{name}.redispatched")),
+        });
+        let dup = protocol.clone();
+        let route = protocol.clone();
+
+        Aspect::named(name)
+            .precedence(precedence::PARTITION)
+            // Object duplication with broadcast construction.
+            .around(
+                Pointcut::construct(protocol.class).and(Pointcut::within_core()),
+                move |inv: &mut Invocation| {
+                    let weaver = inv.weaver().clone();
+                    let ids = dup.create_workers(&weaver, inv.args()?)?;
+                    let first = *ids.first().ok_or_else(|| {
+                        WeaveError::app("farm protocol needs at least one worker")
+                    })?;
+                    weaver.intertype().set_field(first, WORKERS_FIELD, ids);
+                    Ok(weavepar_weave::ret!(first))
+                },
+            )
+            // Split + round-robin routing of packs to workers.
+            .around(
+                Pointcut::call_sig(protocol.class, protocol.method).and(Pointcut::within_core()),
+                move |inv: &mut Invocation| {
+                    let weaver = inv.weaver().clone();
+                    let target = inv.target_required()?;
+                    let workers = weaver
+                        .intertype()
+                        .get_field::<Vec<ObjId>>(target, WORKERS_FIELD)
+                        .unwrap_or_else(|| vec![target]);
+                    let _hint = packs_hint
+                        .as_ref()
+                        .map(|cell| hints::set_packs(cell.load(Ordering::Relaxed)));
+                    let packs = (route.split)(inv.args()?)?;
+                    if let Some(m) = &meters {
+                        m.packs.add(packs.len() as u64);
+                    }
+                    let mut pending = Vec::with_capacity(packs.len());
+                    // With a concurrency aspect plugged, every invoke below ends
+                    // in an executor spawn; the scope coalesces them into one
+                    // batch submission for the whole pack set, flushed before the
+                    // results are awaited.
+                    let scope = BatchScope::enter();
+                    for (k, pack) in packs.into_iter().enumerate() {
+                        let worker = workers[k % workers.len()];
+                        pending
+                            .push((k, weaver.invoke_call(worker, route.class, route.method, pack)));
+                    }
+                    scope.flush();
+                    let mut results = Vec::with_capacity(pending.len());
+                    // Packs regenerated for orphan re-dispatch, shared across
+                    // orphans so one wave of losses costs one extra split, not
+                    // one per pack per attempt.
+                    let mut regen: Option<Vec<Option<Args>>> = None;
+                    for (k, ret) in pending {
+                        match ret.and_then(resolve_any) {
+                            Ok(v) => results.push(v),
+                            Err(err) if err.is_node_loss() => {
+                                // Farm property: any worker can process any pack.
+                                // A pack orphaned by a dead node is regenerated
+                                // from the original arguments and offered to the
+                                // surviving workers.
+                                if let Some(m) = &meters {
+                                    m.redispatched.inc();
+                                }
+                                results.push(redispatch_pack(
+                                    &weaver,
+                                    &route,
+                                    &workers,
+                                    k,
+                                    inv.args()?,
+                                    &mut regen,
+                                    err,
+                                )?);
+                            }
+                            Err(err) => return Err(err),
+                        }
+                    }
+                    (route.combine)(results)
+                },
+            )
+            .build()
+    }
+}
+
+/// Pre-resolved farm counters (see [`FarmConfig::metrics`]).
+#[derive(Clone)]
+struct FarmMeters {
+    packs: Counter,
+    redispatched: Counter,
+}
+
+/// Build the farm partition aspect for `protocol`.
+#[deprecated(note = "use `FarmConfig::new(protocol).aspect(name)`")]
+pub fn farm_aspect(name: impl Into<String>, protocol: Protocol) -> Aspect {
+    FarmConfig::new(protocol).aspect(name)
+}
+
+/// [`FarmConfig::new`] + [`tuned`](FarmConfig::tuned) in the old free-function
+/// shape.
+#[deprecated(note = "use `FarmConfig::new(protocol).tuned(cell).aspect(name)`")]
 pub fn farm_aspect_tuned(
     name: impl Into<String>,
-    protocol: FarmConfig,
+    protocol: Protocol,
     packs_hint: Option<Arc<AtomicU32>>,
 ) -> Aspect {
-    let dup = protocol.clone();
-    let route = protocol.clone();
-
-    Aspect::named(name)
-        .precedence(precedence::PARTITION)
-        // Object duplication with broadcast construction.
-        .around(
-            Pointcut::construct(protocol.class).and(Pointcut::within_core()),
-            move |inv: &mut Invocation| {
-                let weaver = inv.weaver().clone();
-                let ids = dup.create_workers(&weaver, inv.args()?)?;
-                let first = *ids
-                    .first()
-                    .ok_or_else(|| WeaveError::app("farm protocol needs at least one worker"))?;
-                weaver.intertype().set_field(first, WORKERS_FIELD, ids);
-                Ok(weavepar_weave::ret!(first))
-            },
-        )
-        // Split + round-robin routing of packs to workers.
-        .around(
-            Pointcut::call_sig(protocol.class, protocol.method).and(Pointcut::within_core()),
-            move |inv: &mut Invocation| {
-                let weaver = inv.weaver().clone();
-                let target = inv.target_required()?;
-                let workers = weaver
-                    .intertype()
-                    .get_field::<Vec<ObjId>>(target, WORKERS_FIELD)
-                    .unwrap_or_else(|| vec![target]);
-                let _hint =
-                    packs_hint.as_ref().map(|cell| hints::set_packs(cell.load(Ordering::Relaxed)));
-                let packs = (route.split)(inv.args()?)?;
-                let mut pending = Vec::with_capacity(packs.len());
-                // With a concurrency aspect plugged, every invoke below ends
-                // in an executor spawn; the scope coalesces them into one
-                // batch submission for the whole pack set, flushed before the
-                // results are awaited.
-                let scope = BatchScope::enter();
-                for (k, pack) in packs.into_iter().enumerate() {
-                    let worker = workers[k % workers.len()];
-                    pending.push((k, weaver.invoke_call(worker, route.class, route.method, pack)));
-                }
-                scope.flush();
-                let mut results = Vec::with_capacity(pending.len());
-                // Packs regenerated for orphan re-dispatch, shared across
-                // orphans so one wave of losses costs one extra split, not
-                // one per pack per attempt.
-                let mut regen: Option<Vec<Option<Args>>> = None;
-                for (k, ret) in pending {
-                    match ret.and_then(resolve_any) {
-                        Ok(v) => results.push(v),
-                        Err(err) if err.is_node_loss() => {
-                            // Farm property: any worker can process any pack.
-                            // A pack orphaned by a dead node is regenerated
-                            // from the original arguments and offered to the
-                            // surviving workers.
-                            results.push(redispatch_pack(
-                                &weaver,
-                                &route,
-                                &workers,
-                                k,
-                                inv.args()?,
-                                &mut regen,
-                                err,
-                            )?);
-                        }
-                        Err(err) => return Err(err),
-                    }
-                }
-                (route.combine)(results)
-            },
-        )
-        .build()
+    let mut cfg = FarmConfig::new(protocol);
+    if let Some(cell) = packs_hint {
+        cfg = cfg.tuned(cell);
+    }
+    cfg.aspect(name)
 }
 
 /// Re-dispatch pack `k`, lost to a dead node, on the other workers in
@@ -185,7 +252,7 @@ pub(crate) mod tests {
         }
     }
 
-    fn protocol(workers: usize, packs: usize) -> FarmConfig {
+    fn protocol(workers: usize, packs: usize) -> Protocol {
         Protocol {
             class: "Worker",
             method: "compute",
@@ -211,7 +278,7 @@ pub(crate) mod tests {
     #[test]
     fn farm_computes_and_preserves_order() {
         let weaver = Weaver::new();
-        weaver.plug(farm_aspect("Partition", protocol(3, 6)));
+        weaver.plug(FarmConfig::new(protocol(3, 6)).aspect("Partition"));
         let w = WorkerProxy::construct(&weaver, 42).unwrap();
         assert_eq!(weaver.space().ids_of_class("Worker").len(), 3);
         let input: Vec<u64> = (0..24).collect();
@@ -222,7 +289,7 @@ pub(crate) mod tests {
     #[test]
     fn packs_are_spread_round_robin() {
         let weaver = Weaver::new();
-        weaver.plug(farm_aspect("Partition", protocol(3, 6)));
+        weaver.plug(FarmConfig::new(protocol(3, 6)).aspect("Partition"));
         let w = WorkerProxy::construct(&weaver, 0).unwrap();
         w.compute((0..24).collect()).unwrap();
         // 6 packs over 3 workers: 2 each.
@@ -236,7 +303,7 @@ pub(crate) mod tests {
     #[test]
     fn farm_with_concurrency_matches_sequential() {
         let weaver = Weaver::new();
-        weaver.plug(farm_aspect("Partition", protocol(4, 8)));
+        weaver.plug(FarmConfig::new(protocol(4, 8)).aspect("Partition"));
         let executor = Executor::thread_per_call();
         for a in future_concurrency_aspect(
             "Concurrency",
@@ -258,7 +325,7 @@ pub(crate) mod tests {
         // workers field, so packs all route to the original object.
         let weaver = Weaver::new();
         let w = WorkerProxy::construct(&weaver, 0).unwrap();
-        weaver.plug(farm_aspect("Partition", protocol(3, 2)));
+        weaver.plug(FarmConfig::new(protocol(3, 2)).aspect("Partition"));
         let out = w.compute(vec![1, 2, 3, 4]).unwrap();
         assert_eq!(out, vec![2, 4, 6, 8]);
         assert_eq!(w.served().unwrap(), 2, "both packs served by the original");
@@ -269,19 +336,19 @@ pub(crate) mod tests {
         // The paper's headline: exchanging one partition strategy for the
         // other is plugging a different aspect — core code untouched.
         let weaver = Weaver::new();
-        let pipeline = weaver.plug(crate::pipeline::pipeline_aspect(
-            "Partition",
-            crate::pipeline::PipelineConfig {
+        let pipeline = weaver.plug(
+            crate::pipeline::PipelineConfig::new(Protocol {
                 // Pipeline of no-op-ish taggers is unsuitable for Worker, so
                 // use a 1-stage pipeline: semantically same as the farm of 1.
                 workers: 1,
                 ..protocol(1, 2)
-            },
-        ));
+            })
+            .aspect("Partition"),
+        );
         let w = WorkerProxy::construct(&weaver, 0).unwrap();
         assert_eq!(w.compute(vec![3]).unwrap(), vec![6]);
         weaver.unplug(&pipeline);
-        weaver.plug(farm_aspect("Partition", protocol(3, 3)));
+        weaver.plug(FarmConfig::new(protocol(3, 3)).aspect("Partition"));
         let w2 = WorkerProxy::construct(&weaver, 0).unwrap();
         assert_eq!(w2.compute(vec![3]).unwrap(), vec![6]);
     }
@@ -295,18 +362,15 @@ pub(crate) mod tests {
 
     #[test]
     fn farm_redispatches_orphaned_packs_without_a_supervisor() {
-        use weavepar_middleware::{rmi_distribution_aspect, InProcFabric, Policy};
+        use weavepar_middleware::{InProcFabric, RmiConfig};
         let fabric = InProcFabric::new(2, marshal());
         fabric.register_class::<Worker>();
         let weaver = Weaver::new();
-        weaver.plug(farm_aspect("Partition", protocol(2, 4)));
-        weaver.plug(rmi_distribution_aspect(
-            "Distribution",
-            "Worker",
-            Pointcut::call("Worker.compute"),
-            fabric.clone(),
-            Policy::round_robin(),
-        ));
+        weaver.plug(FarmConfig::new(protocol(2, 4)).aspect("Partition"));
+        weaver.plug(
+            RmiConfig::new("Worker", Pointcut::call("Worker.compute"), fabric.clone())
+                .aspect("Distribution"),
+        );
         let w = WorkerProxy::construct(&weaver, 0).unwrap();
         // Two workers on nodes 0 and 1; node 1 dies. Its packs are
         // regenerated and served by the survivor — results identical.
@@ -318,23 +382,44 @@ pub(crate) mod tests {
 
     #[test]
     fn farm_with_every_worker_dead_fails_typed() {
-        use weavepar_middleware::{rmi_distribution_aspect, InProcFabric, Policy};
+        use weavepar_middleware::{InProcFabric, RmiConfig};
         let fabric = InProcFabric::new(2, marshal());
         fabric.register_class::<Worker>();
         let weaver = Weaver::new();
-        weaver.plug(farm_aspect("Partition", protocol(2, 2)));
-        weaver.plug(rmi_distribution_aspect(
-            "Distribution",
-            "Worker",
-            Pointcut::call("Worker.compute"),
-            fabric.clone(),
-            Policy::round_robin(),
-        ));
+        weaver.plug(FarmConfig::new(protocol(2, 2)).aspect("Partition"));
+        weaver.plug(
+            RmiConfig::new("Worker", Pointcut::call("Worker.compute"), fabric.clone())
+                .aspect("Distribution"),
+        );
         let w = WorkerProxy::construct(&weaver, 0).unwrap();
         fabric.kill_node(0).unwrap();
         fabric.kill_node(1).unwrap();
         let err = w.compute(vec![1, 2]).unwrap_err();
         assert!(err.is_node_loss(), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn metered_farm_counts_packs_and_redispatches() {
+        use weavepar_middleware::{InProcFabric, RmiConfig};
+        let registry = MetricsRegistry::new();
+        let fabric = InProcFabric::new(2, marshal());
+        fabric.register_class::<Worker>();
+        let weaver = Weaver::new();
+        weaver.plug(FarmConfig::new(protocol(2, 4)).metrics(&registry).aspect("Partition"));
+        weaver.plug(
+            RmiConfig::new("Worker", Pointcut::call("Worker.compute"), fabric.clone())
+                .aspect("Distribution"),
+        );
+        let w = WorkerProxy::construct(&weaver, 0).unwrap();
+        fabric.kill_node(1).unwrap();
+        let input: Vec<u64> = (0..16).collect();
+        let out = w.compute(input.clone()).unwrap();
+        assert_eq!(out, input.iter().map(|x| x * 2).collect::<Vec<_>>());
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("Partition.packs_issued"), Some(4));
+        // Packs 1 and 3 landed on the dead node and came back through
+        // re-dispatch.
+        assert_eq!(snap.counter("Partition.redispatched"), Some(2));
     }
 }
 
@@ -346,7 +431,7 @@ mod proptests {
     use std::sync::Arc;
     use weavepar_weave::{args, value::downcast_ret};
 
-    fn protocol(workers: usize, packs: usize) -> FarmConfig {
+    fn protocol(workers: usize, packs: usize) -> Protocol {
         Protocol {
             class: "Worker",
             method: "compute",
@@ -384,7 +469,7 @@ mod proptests {
         ) {
             let input: Vec<u64> = input.into_iter().map(u64::from).collect();
             let weaver = Weaver::new();
-            weaver.plug(farm_aspect("Partition", protocol(workers, packs)));
+            weaver.plug(FarmConfig::new(protocol(workers, packs)).aspect("Partition"));
             let w = WorkerProxy::construct(&weaver, 0).unwrap();
             let out = w.compute(input.clone()).unwrap();
             let expect: Vec<u64> = input.iter().map(|x| x * 2).collect();
@@ -400,7 +485,7 @@ mod proptests {
         fn round_robin_covers_all_workers(workers in 1usize..5, multiplier in 1usize..4) {
             let packs = workers * multiplier;
             let weaver = Weaver::new();
-            weaver.plug(farm_aspect("Partition", protocol(workers, packs)));
+            weaver.plug(FarmConfig::new(protocol(workers, packs)).aspect("Partition"));
             let w = WorkerProxy::construct(&weaver, 0).unwrap();
             let input: Vec<u64> = (0..(packs as u64 * 4)).collect();
             w.compute(input).unwrap();

@@ -56,8 +56,25 @@ impl std::fmt::Debug for HeartbeatConfig {
     }
 }
 
+impl HeartbeatConfig {
+    /// Build the heartbeat partition aspect named `name` (the builder-style
+    /// terminal, like the other skeleton configs):
+    ///
+    /// ```ignore
+    /// weaver.plug(HeartbeatConfig { /* ... */ }.aspect("Partition"));
+    /// ```
+    pub fn aspect(self, name: impl Into<String>) -> Aspect {
+        build(name.into(), self)
+    }
+}
+
 /// Build the heartbeat partition aspect for `config`.
+#[deprecated(note = "use `config.aspect(name)` (see `HeartbeatConfig`)")]
 pub fn heartbeat_aspect(name: impl Into<String>, config: HeartbeatConfig) -> Aspect {
+    config.aspect(name)
+}
+
+fn build(name: String, config: HeartbeatConfig) -> Aspect {
     let dup = config.clone();
     let drive = config.clone();
 
@@ -215,7 +232,7 @@ mod tests {
     fn heartbeat_matches_sequential_reference() {
         for workers in [1usize, 2, 4] {
             let weaver = Weaver::new();
-            weaver.plug(heartbeat_aspect("Partition", config(workers)));
+            weaver.plug(config(workers).aspect("Partition"));
             let b = BlockProxy::construct(&weaver, 1.0, 16).unwrap();
             assert_eq!(weaver.space().ids_of_class("Block").len(), workers);
             let got = b.run(10).unwrap();
@@ -227,7 +244,7 @@ mod tests {
     #[test]
     fn heartbeat_with_concurrent_steps_matches() {
         let weaver = Weaver::new();
-        weaver.plug(heartbeat_aspect("Partition", config(4)));
+        weaver.plug(config(4).aspect("Partition"));
         let executor = Executor::thread_per_call();
         // Only the per-iteration steps run asynchronously; the exchange
         // calls stay synchronous (they are matched by their own names).
@@ -246,7 +263,7 @@ mod tests {
     #[test]
     fn zero_iterations_is_identity() {
         let weaver = Weaver::new();
-        weaver.plug(heartbeat_aspect("Partition", config(2)));
+        weaver.plug(config(2).aspect("Partition"));
         let b = BlockProxy::construct(&weaver, 3.0, 8).unwrap();
         let got = b.run(0).unwrap();
         assert!((got - 24.0).abs() < 1e-12);
@@ -255,7 +272,7 @@ mod tests {
     #[test]
     fn unplugged_heartbeat_runs_the_core_sequentially() {
         let weaver = Weaver::new();
-        let plugged = weaver.plug(heartbeat_aspect("Partition", config(4)));
+        let plugged = weaver.plug(config(4).aspect("Partition"));
         weaver.unplug(&plugged);
         let b = BlockProxy::construct(&weaver, 1.0, 16).unwrap();
         assert_eq!(weaver.space().ids_of_class("Block").len(), 1);

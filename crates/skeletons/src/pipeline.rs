@@ -24,103 +24,182 @@ use std::sync::Arc;
 use weavepar_concurrency::resolve_any;
 use weavepar_weave::aspect::precedence;
 use weavepar_weave::prelude::*;
+use weavepar_weave::{Gauge, MetricsRegistry};
 
 use crate::common::{hints, Protocol, NEXT_FIELD};
 
-/// Configuration of a concrete pipeline (see [`Protocol`]).
-pub type PipelineConfig = Protocol;
-
-/// Build the pipeline partition aspect for `protocol`.
-pub fn pipeline_aspect(name: impl Into<String>, protocol: PipelineConfig) -> Aspect {
-    pipeline_aspect_tuned(name, protocol, None)
+/// Builder-style configuration of a concrete pipeline (see [`Protocol`]):
+///
+/// ```ignore
+/// weaver.plug(PipelineConfig::new(protocol).tuned(cell).metrics(&reg).aspect("Partition"));
+/// ```
+#[derive(Clone)]
+pub struct PipelineConfig {
+    protocol: Protocol,
+    fusion_hint: Option<Arc<AtomicU32>>,
+    metrics: Option<MetricsRegistry>,
 }
 
-/// [`pipeline_aspect`] with a live stage-fusion hint: the cell's value is
-/// published through [`hints::set_fusion`](crate::common::hints) around each
-/// split, so a fusion-aware `split` closure (reading
-/// [`hints::fusion_or`](crate::common::hints::fusion_or)) can coarsen its
-/// packs — fewer, larger packs amortise the per-hop forwarding cost when a
-/// tuner observes the stages are under-loaded.
+impl PipelineConfig {
+    /// A pipeline over `protocol`, untuned and unmetered.
+    pub fn new(protocol: Protocol) -> Self {
+        Self { protocol, fusion_hint: None, metrics: None }
+    }
+
+    /// Follow a live stage-fusion hint: the cell's value is published through
+    /// [`hints::set_fusion`](crate::common::hints) around each split, so a
+    /// fusion-aware `split` closure (reading
+    /// [`hints::fusion_or`](crate::common::hints::fusion_or)) can coarsen its
+    /// packs — fewer, larger packs amortise the per-hop forwarding cost when
+    /// a tuner observes the stages are under-loaded.
+    pub fn tuned(mut self, fusion_hint: Arc<AtomicU32>) -> Self {
+        self.fusion_hint = Some(fusion_hint);
+        self
+    }
+
+    /// Meter the pipeline into `registry`: `{name}.packs_issued` counts packs
+    /// produced by the split, `{name}.stage_occupancy` gauges how many packs
+    /// are being processed inside a stage right now (forwarding hops
+    /// excluded) — under a plugged concurrency aspect it rises towards the
+    /// stage count while packs stream.
+    pub fn metrics(mut self, registry: &MetricsRegistry) -> Self {
+        self.metrics = Some(registry.clone());
+        self
+    }
+
+    /// Build the pipeline partition aspect named `name`.
+    pub fn aspect(self, name: impl Into<String>) -> Aspect {
+        let name = name.into();
+        let PipelineConfig { protocol, fusion_hint, metrics } = self;
+        // Resolved once at build time; the hot path touches pre-bound atomics
+        // only.
+        let packs_issued = metrics.as_ref().map(|m| m.counter(&format!("{name}.packs_issued")));
+        let occupancy = metrics.map(|m| m.gauge(&format!("{name}.stage_occupancy")));
+        let dup = protocol.clone();
+        let split = protocol.clone();
+        let fwd = protocol.clone();
+
+        Aspect::named(name)
+            .precedence(precedence::PARTITION)
+            // Block 1: object duplication (core constructions only).
+            .around(
+                Pointcut::construct(protocol.class).and(Pointcut::within_core()),
+                move |inv: &mut Invocation| {
+                    let weaver = inv.weaver().clone();
+                    let ids = dup.create_workers(&weaver, inv.args()?)?;
+                    // Link the chain: ids[i] -> ids[i+1], last -> None.
+                    for (i, id) in ids.iter().enumerate() {
+                        let next = ids.get(i + 1).copied();
+                        weaver.intertype().set_field(*id, NEXT_FIELD, next);
+                    }
+                    let first = *ids.first().ok_or_else(|| {
+                        WeaveError::app("pipeline protocol needs at least one stage")
+                    })?;
+                    Ok(weavepar_weave::ret!(first))
+                },
+            )
+            // Block 2: method-call split (core calls only).
+            .around(
+                Pointcut::call_sig(protocol.class, protocol.method).and(Pointcut::within_core()),
+                move |inv: &mut Invocation| {
+                    let weaver = inv.weaver().clone();
+                    let target = inv.target_required()?;
+                    let packs = {
+                        let _hint = fusion_hint
+                            .as_ref()
+                            .map(|cell| hints::set_fusion(cell.load(Ordering::Relaxed)));
+                        (split.split)(inv.args()?)?
+                    };
+                    if let Some(c) = &packs_issued {
+                        c.add(packs.len() as u64);
+                    }
+                    // Issue every pack call (aspect provenance: matched by the
+                    // forward advice and by concurrency/distribution, not by this
+                    // split again), then resolve and combine.
+                    //
+                    // Deliberately NOT wrapped in a `BatchScope` (unlike the farm
+                    // and divide-and-conquer skeletons): packs must *enter stage
+                    // one in submission order* so the stages see them in the
+                    // sequence the split produced — a pack's journey overlaps the
+                    // next pack's, which is the pipeline's parallelism. A batch
+                    // flush hands the whole set to the work-stealing pool, whose
+                    // LIFO deques and stealing give no FIFO guarantee.
+                    let mut pending = Vec::with_capacity(packs.len());
+                    for pack in packs {
+                        pending.push(weaver.invoke_call(
+                            target,
+                            split.class,
+                            split.method,
+                            pack,
+                        )?);
+                    }
+                    let mut results = Vec::with_capacity(pending.len());
+                    for ret in pending {
+                        results.push(resolve_any(ret)?);
+                    }
+                    (split.combine)(results)
+                },
+            )
+            // Block 3: forwarding (all call sites, applied recursively).
+            .around(
+                Pointcut::call_sig(protocol.class, protocol.method),
+                move |inv: &mut Invocation| {
+                    let weaver = inv.weaver().clone();
+                    let target = inv.target_required()?;
+                    let out = {
+                        // Occupancy covers the stage's own processing; the
+                        // guard restores the gauge on the error path too.
+                        let _occ = occupancy.as_ref().map(|g| {
+                            g.inc();
+                            OccupancyGuard(g)
+                        });
+                        inv.proceed()?
+                    };
+                    match weaver.intertype().get_field::<Option<ObjId>>(target, NEXT_FIELD) {
+                        Some(Some(next)) => {
+                            // Forward this stage's output down the chain; the
+                            // downstream return value (possibly a future) IS this
+                            // pack's result.
+                            let fwd_args = (fwd.reforward)(out)?;
+                            weaver.invoke_call(next, fwd.class, fwd.method, fwd_args)
+                        }
+                        // Last stage (or an unmanaged object): its output is final.
+                        _ => Ok(out),
+                    }
+                },
+            )
+            .build()
+    }
+}
+
+/// Decrements the stage-occupancy gauge on every exit path.
+struct OccupancyGuard<'a>(&'a Gauge);
+
+impl Drop for OccupancyGuard<'_> {
+    fn drop(&mut self) {
+        self.0.dec();
+    }
+}
+
+/// Build the pipeline partition aspect for `protocol`.
+#[deprecated(note = "use `PipelineConfig::new(protocol).aspect(name)`")]
+pub fn pipeline_aspect(name: impl Into<String>, protocol: Protocol) -> Aspect {
+    PipelineConfig::new(protocol).aspect(name)
+}
+
+/// [`PipelineConfig::new`] + [`tuned`](PipelineConfig::tuned) in the old
+/// free-function shape.
+#[deprecated(note = "use `PipelineConfig::new(protocol).tuned(cell).aspect(name)`")]
 pub fn pipeline_aspect_tuned(
     name: impl Into<String>,
-    protocol: PipelineConfig,
+    protocol: Protocol,
     fusion_hint: Option<Arc<AtomicU32>>,
 ) -> Aspect {
-    let dup = protocol.clone();
-    let split = protocol.clone();
-    let fwd = protocol.clone();
-
-    Aspect::named(name)
-        .precedence(precedence::PARTITION)
-        // Block 1: object duplication (core constructions only).
-        .around(
-            Pointcut::construct(protocol.class).and(Pointcut::within_core()),
-            move |inv: &mut Invocation| {
-                let weaver = inv.weaver().clone();
-                let ids = dup.create_workers(&weaver, inv.args()?)?;
-                // Link the chain: ids[i] -> ids[i+1], last -> None.
-                for (i, id) in ids.iter().enumerate() {
-                    let next = ids.get(i + 1).copied();
-                    weaver.intertype().set_field(*id, NEXT_FIELD, next);
-                }
-                let first = *ids
-                    .first()
-                    .ok_or_else(|| WeaveError::app("pipeline protocol needs at least one stage"))?;
-                Ok(weavepar_weave::ret!(first))
-            },
-        )
-        // Block 2: method-call split (core calls only).
-        .around(
-            Pointcut::call_sig(protocol.class, protocol.method).and(Pointcut::within_core()),
-            move |inv: &mut Invocation| {
-                let weaver = inv.weaver().clone();
-                let target = inv.target_required()?;
-                let packs = {
-                    let _hint = fusion_hint
-                        .as_ref()
-                        .map(|cell| hints::set_fusion(cell.load(Ordering::Relaxed)));
-                    (split.split)(inv.args()?)?
-                };
-                // Issue every pack call (aspect provenance: matched by the
-                // forward advice and by concurrency/distribution, not by this
-                // split again), then resolve and combine.
-                //
-                // Deliberately NOT wrapped in a `BatchScope` (unlike the farm
-                // and divide-and-conquer skeletons): packs must *enter stage
-                // one in submission order* so the stages see them in the
-                // sequence the split produced — a pack's journey overlaps the
-                // next pack's, which is the pipeline's parallelism. A batch
-                // flush hands the whole set to the work-stealing pool, whose
-                // LIFO deques and stealing give no FIFO guarantee.
-                let mut pending = Vec::with_capacity(packs.len());
-                for pack in packs {
-                    pending.push(weaver.invoke_call(target, split.class, split.method, pack)?);
-                }
-                let mut results = Vec::with_capacity(pending.len());
-                for ret in pending {
-                    results.push(resolve_any(ret)?);
-                }
-                (split.combine)(results)
-            },
-        )
-        // Block 3: forwarding (all call sites, applied recursively).
-        .around(Pointcut::call_sig(protocol.class, protocol.method), move |inv: &mut Invocation| {
-            let weaver = inv.weaver().clone();
-            let target = inv.target_required()?;
-            let out = inv.proceed()?;
-            match weaver.intertype().get_field::<Option<ObjId>>(target, NEXT_FIELD) {
-                Some(Some(next)) => {
-                    // Forward this stage's output down the chain; the
-                    // downstream return value (possibly a future) IS this
-                    // pack's result.
-                    let fwd_args = (fwd.reforward)(out)?;
-                    weaver.invoke_call(next, fwd.class, fwd.method, fwd_args)
-                }
-                // Last stage (or an unmanaged object): its output is final.
-                _ => Ok(out),
-            }
-        })
-        .build()
+    let mut cfg = PipelineConfig::new(protocol);
+    if let Some(cell) = fusion_hint {
+        cfg = cfg.tuned(cell);
+    }
+    cfg.aspect(name)
 }
 
 #[cfg(test)]
@@ -144,7 +223,7 @@ pub(crate) mod tests {
         }
     }
 
-    fn protocol(stages: usize, packs: usize) -> PipelineConfig {
+    fn protocol(stages: usize, packs: usize) -> Protocol {
         Protocol {
             class: "Tagger",
             method: "process",
@@ -169,7 +248,7 @@ pub(crate) mod tests {
     #[test]
     fn sequential_pipeline_transforms_through_all_stages() {
         let weaver = Weaver::new();
-        weaver.plug(pipeline_aspect("Partition", protocol(3, 2)));
+        weaver.plug(PipelineConfig::new(protocol(3, 2)).aspect("Partition"));
         let p = TaggerProxy::construct(&weaver, 99).unwrap();
         // 3 stages exist, not 1, and the ctor arg 99 was replaced per stage.
         assert_eq!(weaver.space().ids_of_class("Tagger").len(), 3);
@@ -182,7 +261,7 @@ pub(crate) mod tests {
     #[test]
     fn pack_order_is_preserved_by_combine() {
         let weaver = Weaver::new();
-        weaver.plug(pipeline_aspect("Partition", protocol(1, 4)));
+        weaver.plug(PipelineConfig::new(protocol(1, 4)).aspect("Partition"));
         let p = TaggerProxy::construct(&weaver, 0).unwrap();
         let input: Vec<u64> = (0..16).collect();
         let out = p.process(input.clone()).unwrap();
@@ -193,7 +272,7 @@ pub(crate) mod tests {
     #[test]
     fn concurrent_pipeline_gives_same_answer() {
         let weaver = Weaver::new();
-        weaver.plug(pipeline_aspect("Partition", protocol(3, 4)));
+        weaver.plug(PipelineConfig::new(protocol(3, 4)).aspect("Partition"));
         let executor = Executor::thread_per_call();
         for a in future_concurrency_aspect(
             "Concurrency",
@@ -215,7 +294,7 @@ pub(crate) mod tests {
     #[test]
     fn unplugging_restores_single_object_semantics() {
         let weaver = Weaver::new();
-        let plugged = weaver.plug(pipeline_aspect("Partition", protocol(3, 2)));
+        let plugged = weaver.plug(PipelineConfig::new(protocol(3, 2)).aspect("Partition"));
         weaver.unplug(&plugged);
         let p = TaggerProxy::construct(&weaver, 7).unwrap();
         assert_eq!(weaver.space().ids_of_class("Tagger").len(), 1);
@@ -225,8 +304,22 @@ pub(crate) mod tests {
     #[test]
     fn zero_stage_pipeline_is_an_error() {
         let weaver = Weaver::new();
-        weaver.plug(pipeline_aspect("Partition", protocol(0, 1)));
+        weaver.plug(PipelineConfig::new(protocol(0, 1)).aspect("Partition"));
         assert!(TaggerProxy::construct(&weaver, 0).is_err());
+    }
+
+    #[test]
+    fn metered_pipeline_counts_packs_and_restores_occupancy() {
+        let registry = MetricsRegistry::new();
+        let weaver = Weaver::new();
+        weaver.plug(PipelineConfig::new(protocol(3, 4)).metrics(&registry).aspect("Partition"));
+        let p = TaggerProxy::construct(&weaver, 0).unwrap();
+        p.process((0..16).collect()).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("Partition.packs_issued"), Some(4));
+        // Quiescent pipeline: every occupancy increment was paired with its
+        // guard's decrement.
+        assert_eq!(snap.gauge("Partition.stage_occupancy"), Some(0));
     }
 }
 
@@ -238,7 +331,7 @@ mod proptests {
     use std::sync::Arc;
     use weavepar_weave::{args, value::downcast_ret};
 
-    fn protocol(stages: usize, packs: usize) -> PipelineConfig {
+    fn protocol(stages: usize, packs: usize) -> Protocol {
         Protocol {
             class: "Tagger",
             method: "process",
@@ -285,7 +378,7 @@ mod proptests {
             packs in 1usize..8,
         ) {
             let weaver = Weaver::new();
-            weaver.plug(pipeline_aspect("Partition", protocol(stages, packs)));
+            weaver.plug(PipelineConfig::new(protocol(stages, packs)).aspect("Partition"));
             let p = TaggerProxy::construct(&weaver, 0).unwrap();
             let out = p.process(input.clone()).unwrap();
             prop_assert_eq!(out, staged_reference(&input, stages));
@@ -300,7 +393,7 @@ mod proptests {
         ) {
             let run = |packs: usize| {
                 let weaver = Weaver::new();
-                weaver.plug(pipeline_aspect("Partition", protocol(stages, packs)));
+                weaver.plug(PipelineConfig::new(protocol(stages, packs)).aspect("Partition"));
                 let p = TaggerProxy::construct(&weaver, 0).unwrap();
                 p.process(input.clone()).unwrap()
             };

@@ -210,10 +210,10 @@ pub fn supervisor_aspect(
 mod tests {
     use super::*;
     use crate::common::Protocol;
-    use crate::farm::farm_aspect;
+    use crate::farm::FarmConfig;
     use std::sync::Arc;
     use weavepar_middleware::wire::MarshalRegistry;
-    use weavepar_middleware::{rmi_distribution_aspect, Policy};
+    use weavepar_middleware::{Policy, RmiConfig};
     use weavepar_weave::{args, value::downcast_ret};
 
     struct Squarer {
@@ -268,7 +268,7 @@ mod tests {
         let weaver = Weaver::new();
         let fabric = InProcFabric::new(nodes, marshal());
         fabric.register_class::<Squarer>();
-        weaver.plug(farm_aspect("Partition", protocol(workers, packs)));
+        weaver.plug(FarmConfig::new(protocol(workers, packs)).aspect("Partition"));
         let (sup, stats) = supervisor_aspect(
             "Supervision",
             "Squarer",
@@ -276,13 +276,11 @@ mod tests {
             fabric.clone(),
         );
         weaver.plug(sup);
-        weaver.plug(rmi_distribution_aspect(
-            "Distribution",
-            "Squarer",
-            Pointcut::call("Squarer.compute"),
-            fabric.clone(),
-            Policy::round_robin(),
-        ));
+        weaver.plug(
+            RmiConfig::new("Squarer", Pointcut::call("Squarer.compute"), fabric.clone())
+                .placement(Policy::round_robin())
+                .aspect("Distribution"),
+        );
         (weaver, fabric, stats)
     }
 
@@ -342,13 +340,11 @@ mod tests {
         let weaver = Weaver::new();
         let fabric = InProcFabric::new(2, marshal());
         fabric.register_class::<Squarer>();
-        weaver.plug(rmi_distribution_aspect(
-            "Distribution",
-            "Squarer",
-            Pointcut::call("Squarer.compute"),
-            fabric.clone(),
-            Policy::fixed(1),
-        ));
+        weaver.plug(
+            RmiConfig::new("Squarer", Pointcut::call("Squarer.compute"), fabric.clone())
+                .placement(Policy::fixed(1))
+                .aspect("Distribution"),
+        );
         let s = SquarerProxy::construct(&weaver, 0).unwrap();
         fabric.kill_node(1).unwrap();
         let err = s.compute(vec![1]).unwrap_err();

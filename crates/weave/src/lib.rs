@@ -79,6 +79,7 @@ pub mod dispatch;
 pub mod error;
 pub mod intertype;
 pub mod invocation;
+pub mod metrics;
 pub mod object;
 pub mod pointcut;
 pub mod registry;
@@ -96,6 +97,10 @@ pub use dispatch::{ConstructorFn, Weaveable};
 pub use error::{WeaveError, WeaveResult};
 pub use intertype::IntertypeStore;
 pub use invocation::{Detached, Invocation, JoinPointKind};
+pub use metrics::{
+    metrics_aspect, metrics_aspect_at, Counter, Gauge, Histogram, HistogramSnapshot,
+    MetricsRegistry, Snapshot,
+};
 pub use object::{Handle, ObjId, ObjectSpace};
 pub use pointcut::Pointcut;
 pub use registry::Weaver;
@@ -111,6 +116,7 @@ pub mod prelude {
     pub use crate::dispatch::Weaveable;
     pub use crate::error::{WeaveError, WeaveResult};
     pub use crate::invocation::{Detached, Invocation, JoinPointKind};
+    pub use crate::metrics::{metrics_aspect, metrics_aspect_at, MetricsRegistry};
     pub use crate::object::{Handle, ObjId};
     pub use crate::pointcut::Pointcut;
     pub use crate::registry::Weaver;

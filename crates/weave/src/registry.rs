@@ -29,9 +29,10 @@ use crate::dispatch::{ClassInfo, Weaveable};
 use crate::error::{WeaveError, WeaveResult};
 use crate::intertype::IntertypeStore;
 use crate::invocation::{BaseAction, Invocation, JoinPointKind};
+use crate::metrics::{DispatchStats, MetricsRegistry};
 use crate::object::{Handle, ObjId, ObjectSpace};
 use crate::signature::Signature;
-use crate::snapshot::{AspectCell, Chain, RecorderCell};
+use crate::snapshot::{AspectCell, Chain, MetricsCell, RecorderCell};
 use crate::trace::{self, Recorder};
 use crate::value::{AnyValue, Args};
 
@@ -52,6 +53,7 @@ struct WeaverInner {
     cache_enabled: AtomicBool,
     next_aspect: AtomicU64,
     recorder: RecorderCell,
+    metrics: MetricsCell,
     classes: RwLock<HashMap<&'static str, ClassInfo>>,
 }
 
@@ -73,6 +75,7 @@ impl Weaver {
                 cache_enabled: AtomicBool::new(true),
                 next_aspect: AtomicU64::new(1),
                 recorder: RecorderCell::new(),
+                metrics: MetricsCell::new(),
                 classes: RwLock::new(HashMap::new()),
             }),
         }
@@ -193,6 +196,28 @@ impl Weaver {
     /// The installed recorder, if any.
     pub fn recorder(&self) -> Option<Recorder> {
         self.inner.recorder.exact()
+    }
+
+    // ---- metrics -------------------------------------------------------------
+
+    /// Install a metrics registry: every dispatched call and construction is
+    /// counted into `weaver.calls` / `weaver.constructs` / `weaver.errors`.
+    /// The handles are resolved once here, so the installed-idle dispatch
+    /// path is two relaxed sharded increments — no clock reads, no
+    /// allocation. With no registry installed the cost is one relaxed load
+    /// (the same pre-flight shape as the trace recorder).
+    pub fn install_metrics(&self, registry: &MetricsRegistry) {
+        self.inner.metrics.set(Some(DispatchStats::new(registry)));
+    }
+
+    /// Remove the installed metrics registry.
+    pub fn clear_metrics(&self) {
+        self.inner.metrics.set(None);
+    }
+
+    /// The installed metrics registry, if any.
+    pub fn metrics(&self) -> Option<MetricsRegistry> {
+        self.inner.metrics.get().as_ref().as_ref().map(|s| s.registry.clone())
     }
 
     /// Enable/disable the advice match cache (ablation benchmarks).
@@ -345,6 +370,15 @@ impl Weaver {
         let recorder_snap =
             if self.inner.recorder.is_installed() { Some(self.inner.recorder.get()) } else { None };
         let recorder = recorder_snap.as_deref().and_then(|r| r.as_ref());
+        // Same pre-flight shape for metrics: the uninstalled path pays one
+        // relaxed load; the installed-idle path pays sharded relaxed
+        // increments and never reads the clock.
+        let metrics_snap =
+            if self.inner.metrics.is_installed() { Some(self.inner.metrics.get()) } else { None };
+        let metrics = metrics_snap.as_deref().and_then(|m| m.as_ref());
+        if let Some(stats) = metrics {
+            stats.calls.inc();
+        }
 
         let (task, model_cost) = match recorder {
             Some(rec) => {
@@ -389,6 +423,9 @@ impl Weaver {
             // result down the pipeline) happens after this task.
             trace::note_completion(rec.id(), task);
         }
+        if let (Some(stats), Err(_)) = (metrics, &result) {
+            stats.errors.inc();
+        }
         result
     }
 
@@ -403,6 +440,11 @@ impl Weaver {
         let recorder_snap =
             if self.inner.recorder.is_installed() { Some(self.inner.recorder.get()) } else { None };
         let recorder = recorder_snap.as_deref().and_then(|r| r.as_ref());
+        let metrics_snap =
+            if self.inner.metrics.is_installed() { Some(self.inner.metrics.get()) } else { None };
+        if let Some(stats) = metrics_snap.as_deref().and_then(|m| m.as_ref()) {
+            stats.constructs.inc();
+        }
         let (bytes, model_cost) = match recorder {
             Some(rec) => {
                 ((info.arg_bytes)(Signature::NEW, &args), rec.model_cost(&signature, &args))
@@ -410,9 +452,18 @@ impl Weaver {
             None => (0, None),
         };
         let start = recorder.map(|_| Instant::now());
-        let boxed = {
+        let constructed = {
             let _prov = context::push(Provenance::Core);
-            (info.construct)(args)?
+            (info.construct)(args)
+        };
+        let boxed = match constructed {
+            Ok(boxed) => boxed,
+            Err(err) => {
+                if let Some(stats) = metrics_snap.as_deref().and_then(|m| m.as_ref()) {
+                    stats.errors.inc();
+                }
+                return Err(err);
+            }
         };
         let id = self.inner.space.insert_erased(info, boxed);
         if let Some(rec) = recorder {
@@ -734,6 +785,27 @@ pub(crate) mod tests {
         assert_eq!(call.signature, Signature::new("Acc", "add"));
         assert_eq!(call.args_bytes, 8);
         assert!(!call.async_spawn);
+    }
+
+    #[test]
+    fn installed_metrics_count_dispatches_and_errors() {
+        let weaver = Weaver::new();
+        assert!(weaver.metrics().is_none());
+        let reg = MetricsRegistry::new();
+        weaver.install_metrics(&reg);
+        assert!(weaver.metrics().is_some_and(|r| r.same_as(&reg)));
+        let h = weaver.construct::<Acc>(args![0i64]).unwrap();
+        h.call("add", args![1i64]).unwrap();
+        h.call("add", args![2i64]).unwrap();
+        let _ = h.call("add", args!["bad".to_string()]); // base dispatch error
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("weaver.constructs"), Some(1));
+        assert_eq!(snap.counter("weaver.calls"), Some(3));
+        assert_eq!(snap.counter("weaver.errors"), Some(1));
+        weaver.clear_metrics();
+        h.call("add", args![1i64]).unwrap();
+        assert_eq!(reg.snapshot().counter("weaver.calls"), Some(3), "cleared registry is idle");
+        assert!(weaver.metrics().is_none());
     }
 
     #[test]

@@ -29,6 +29,7 @@ use parking_lot::{Mutex, RwLock};
 use crate::advice::AdviceEntry;
 use crate::context::Provenance;
 use crate::invocation::JoinPointKind;
+use crate::metrics::DispatchStats;
 use crate::pointcut::JoinPointQuery;
 use crate::signature::Signature;
 use crate::trace::Recorder;
@@ -190,9 +191,13 @@ struct AspectTlsEntry {
 /// `(cell uid, generation, recorder)` cached per thread.
 type RecorderTlsEntry = (u64, u64, Arc<Option<Recorder>>);
 
+/// `(cell uid, generation, dispatch stats)` cached per thread.
+type MetricsTlsEntry = (u64, u64, Arc<Option<DispatchStats>>);
+
 thread_local! {
     static ASPECT_TLS: RefCell<Vec<AspectTlsEntry>> = const { RefCell::new(Vec::new()) };
     static RECORDER_TLS: RefCell<Vec<RecorderTlsEntry>> = const { RefCell::new(Vec::new()) };
+    static METRICS_TLS: RefCell<Vec<MetricsTlsEntry>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Publication point for [`AspectsSnapshot`]s: one per weaver.
@@ -369,6 +374,68 @@ impl RecorderCell {
     }
 }
 
+// ---- metrics snapshots ------------------------------------------------------
+
+/// Publication point for the weaver's dispatch-stats handles: identical
+/// shape to [`RecorderCell`], so the per-join-point metrics check is one
+/// relaxed load when nothing is installed, and a TLS scan (no locks, no
+/// `Arc` contention) when a registry is.
+pub(crate) struct MetricsCell {
+    uid: u64,
+    current: RwLock<Arc<Option<DispatchStats>>>,
+    generation: AtomicU64,
+    installed: AtomicBool,
+}
+
+impl MetricsCell {
+    pub(crate) fn new() -> Self {
+        MetricsCell {
+            uid: next_uid(),
+            current: RwLock::new(Arc::new(None)),
+            generation: AtomicU64::new(1),
+            installed: AtomicBool::new(false),
+        }
+    }
+
+    /// Install (or remove) the dispatch stats.
+    pub(crate) fn set(&self, stats: Option<DispatchStats>) {
+        let generation = self.generation.load(Ordering::Relaxed) + 1;
+        self.installed.store(stats.is_some(), Ordering::Relaxed);
+        *self.current.write() = Arc::new(stats);
+        self.generation.store(generation, Ordering::Release);
+    }
+
+    /// Cheap pre-flight: is a registry installed at all? The disabled
+    /// dispatch path pays exactly this one relaxed load (the PR-9 recorder
+    /// pre-flight shape), keeping it allocation-free and canary-clean.
+    pub(crate) fn is_installed(&self) -> bool {
+        self.installed.load(Ordering::Relaxed)
+    }
+
+    /// The dispatch stats as seen by this thread — one atomic load plus a
+    /// TLS scan once warm. A call racing with installation may miss the
+    /// first few join points, same contract as the trace recorder.
+    pub(crate) fn get(&self) -> Arc<Option<DispatchStats>> {
+        let generation = self.generation.load(Ordering::Acquire);
+        METRICS_TLS.with(|tls| {
+            let mut tls = tls.borrow_mut();
+            if let Some(entry) = tls.iter_mut().find(|e| e.0 == self.uid) {
+                if entry.1 != generation {
+                    entry.2 = self.current.read().clone();
+                    entry.1 = generation;
+                }
+                return entry.2.clone();
+            }
+            let snap = self.current.read().clone();
+            if tls.len() >= TLS_CAPACITY {
+                tls.remove(0);
+            }
+            tls.push((self.uid, generation, snap.clone()));
+            snap
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -451,6 +518,21 @@ mod tests {
         assert!(cell.get().is_some());
         assert!(cell.exact().is_some());
         cell.set(None);
+        assert!(cell.get().is_none());
+    }
+
+    #[test]
+    fn metrics_cell_roundtrip() {
+        let cell = MetricsCell::new();
+        assert!(!cell.is_installed());
+        assert!(cell.get().is_none());
+        let reg = crate::metrics::MetricsRegistry::new();
+        cell.set(Some(DispatchStats::new(&reg)));
+        assert!(cell.is_installed());
+        cell.get().as_ref().as_ref().unwrap().calls.inc();
+        assert_eq!(reg.snapshot().counter("weaver.calls"), Some(1));
+        cell.set(None);
+        assert!(!cell.is_installed());
         assert!(cell.get().is_none());
     }
 

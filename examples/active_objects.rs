@@ -8,7 +8,6 @@
 //!
 //! Run with: `cargo run --release --example active_objects`
 
-use weavepar::concurrency::{active_object_aspect, future_ret};
 use weavepar::prelude::*;
 
 /// A bank account: the classic example where per-object call ordering

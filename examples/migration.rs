@@ -7,10 +7,7 @@
 //!
 //! Run with: `cargo run --release --example migration`
 
-use weavepar::distribution::{
-    introduce_migration, migrate_object, rmi_distribution_aspect, InProcFabric, MarshalRegistry,
-    Policy,
-};
+use weavepar::distribution::{introduce_migration, migrate_object};
 use weavepar::prelude::*;
 
 /// The core class: a counter that accumulates state worth preserving.
@@ -39,13 +36,11 @@ fn main() -> WeaveResult<()> {
     fabric.register_class::<Visits>();
 
     let weaver = Weaver::new();
-    weaver.plug(rmi_distribution_aspect(
-        "Distribution",
-        "Visits",
-        Pointcut::call("Visits.visit"),
-        fabric.clone(),
-        Policy::fixed(0),
-    ));
+    weaver.plug(
+        RmiConfig::new("Visits", Pointcut::call("Visits.visit"), fabric.clone())
+            .placement(Policy::fixed(0))
+            .aspect("Distribution"),
+    );
     // Static crosscutting: introduce `migrate` without touching the class.
     introduce_migration(&weaver, "Visits", fabric.clone());
 

@@ -121,6 +121,37 @@ fn unwoven_proxy_dispatch_is_allocation_free() {
 }
 
 #[test]
+fn metered_dispatch_stays_allocation_free() {
+    // The observability tentpole's bound: plugging the metrics aspect keeps
+    // steady-state dispatch allocation-free. The aspect resolves its
+    // counters and histogram once at build time, so the hot path is pure
+    // relaxed-atomic bumps into pre-bound shards.
+    let weaver = Weaver::new();
+    let registry = MetricsRegistry::new();
+    weaver.plug(metrics_aspect("Metrics", Pointcut::call("Alu.*"), &registry));
+    weaver.plug(
+        Aspect::named("P0")
+            .around(Pointcut::call("Alu.*"), |inv: &mut Invocation| inv.proceed())
+            .build(),
+    );
+    let proxy = AluProxy::construct(&weaver).unwrap();
+    for i in 0..16 {
+        proxy.poke(i).unwrap();
+    }
+    let (allocs, sum) = count_allocs(|| {
+        let mut sum = 0u64;
+        for i in 0..1_000u64 {
+            sum = sum.wrapping_add(proxy.poke(i).unwrap());
+        }
+        sum
+    });
+    assert_ne!(sum, 0, "calls really ran");
+    assert_eq!(allocs, 0, "recording into the metrics registry must not allocate");
+    // And the registry really saw the burst (warm-up + measured calls).
+    assert_eq!(registry.snapshot().counter("Metrics.calls"), Some(1_016));
+}
+
+#[test]
 fn wrong_type_take_keeps_inline_value_intact() {
     let mut args = weavepar::args![41u64];
     // A mistyped take must fail AND leave the argument in place. (The error

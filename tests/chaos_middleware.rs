@@ -23,11 +23,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use weavepar::distribution::{
-    rmi_distribution_aspect_with_policy, Backoff, Bytes, CallPolicy, FaultAction, FaultPlan,
-    FaultRule, InProcFabric, MarshalRegistry, MethodId, Policy, RemoteRef, RequestClass,
+    Backoff, Bytes, FaultAction, FaultPlan, FaultRule, MethodId, RemoteRef, RequestClass,
 };
 use weavepar::prelude::*;
-use weavepar::skeletons::{farm_aspect, supervisor_aspect, Protocol, SupervisorStats};
+use weavepar::skeletons::{supervisor_aspect, SupervisorStats};
 use weavepar::weave::value::downcast_ret;
 use weavepar::{args, ret, weaveable};
 use weavepar_apps::sieve::{build_sieve, run_sieve, sequential_sieve, SieveConfig};
@@ -105,7 +104,7 @@ fn supervised_farm(
     let weaver = Weaver::new();
     let fabric = InProcFabric::new(nodes, cruncher_marshal());
     fabric.register_class::<Cruncher>();
-    weaver.plug(farm_aspect("Partition", cruncher_protocol(workers, packs)));
+    weaver.plug(FarmConfig::new(cruncher_protocol(workers, packs)).aspect("Partition"));
     let (sup, stats) = supervisor_aspect(
         "Supervision",
         "Cruncher",
@@ -113,14 +112,12 @@ fn supervised_farm(
         fabric.clone(),
     );
     weaver.plug(sup);
-    weaver.plug(rmi_distribution_aspect_with_policy(
-        "Distribution",
-        "Cruncher",
-        Pointcut::call("Cruncher.crunch"),
-        fabric.clone(),
-        Policy::round_robin(),
-        call_policy,
-    ));
+    weaver.plug(
+        RmiConfig::new("Cruncher", Pointcut::call("Cruncher.crunch"), fabric.clone())
+            .placement(Policy::round_robin())
+            .policy(call_policy)
+            .aspect("Distribution"),
+    );
     (weaver, fabric, stats)
 }
 

@@ -1,9 +1,6 @@
 //! Distribution-focused integration: middleware swap, remote placement,
 //! name-server behaviour, failure propagation.
 
-use weavepar::distribution::{
-    mpp_distribution_aspect, rmi_distribution_aspect, InProcFabric, MarshalRegistry, Policy,
-};
 use weavepar::prelude::*;
 use weavepar_apps::sieve::{build_sieve, run_sieve, sequential_sieve, PrimeFilter, SieveConfig};
 
@@ -61,13 +58,11 @@ fn placement_policies_spread_or_pin() {
     fabric.register_class::<PrimeFilter>();
     let weaver = Weaver::new();
     weaver.register_class::<PrimeFilter>();
-    weaver.plug(rmi_distribution_aspect(
-        "Distribution",
-        "PrimeFilter",
-        Pointcut::call("PrimeFilter.filter"),
-        fabric.clone(),
-        Policy::fixed(2),
-    ));
+    weaver.plug(
+        RmiConfig::new("PrimeFilter", Pointcut::call("PrimeFilter.filter"), fabric.clone())
+            .placement(Policy::fixed(2))
+            .aspect("Distribution"),
+    );
     for _ in 0..3 {
         weaver.construct_dyn("PrimeFilter", weavepar::args![2u64, 10u64]).unwrap();
     }
@@ -95,14 +90,11 @@ fn remote_failure_surfaces_as_remote_error() {
     fabric.register_class::<PrimeFilter>();
     let weaver = Weaver::new();
     weaver.register_class::<PrimeFilter>();
-    weaver.plug(mpp_distribution_aspect(
-        "Distribution",
-        "PrimeFilter",
-        Pointcut::call("PrimeFilter.filter"),
-        fabric,
-        Policy::round_robin(),
-        false,
-    ));
+    weaver.plug(
+        MppConfig::new("PrimeFilter", Pointcut::call("PrimeFilter.filter"), fabric)
+            .placement(Policy::round_robin())
+            .aspect("Distribution"),
+    );
     let id = weaver.construct_dyn("PrimeFilter", weavepar::args![2u64, 10u64]).unwrap();
     let err = weaver
         .invoke_call_dyn(id, "filter", weavepar::args![Pack::from_slice(&[4u64])])
@@ -139,21 +131,16 @@ fn hybrid_stacks_coexist() {
     fabric.register_class::<Tripler>();
 
     let weaver = Weaver::new();
-    weaver.plug(rmi_distribution_aspect(
-        "Distribution.rmi",
-        "Doubler",
-        Pointcut::call("Doubler.double"),
-        fabric.clone(),
-        Policy::fixed(0),
-    ));
-    weaver.plug(mpp_distribution_aspect(
-        "Distribution.mpp",
-        "Tripler",
-        Pointcut::call("Tripler.triple"),
-        fabric.clone(),
-        Policy::fixed(1),
-        false,
-    ));
+    weaver.plug(
+        RmiConfig::new("Doubler", Pointcut::call("Doubler.double"), fabric.clone())
+            .placement(Policy::fixed(0))
+            .aspect("Distribution.rmi"),
+    );
+    weaver.plug(
+        MppConfig::new("Tripler", Pointcut::call("Tripler.triple"), fabric.clone())
+            .placement(Policy::fixed(1))
+            .aspect("Distribution.mpp"),
+    );
 
     let d = DoublerProxy::construct(&weaver).unwrap();
     let t = TriplerProxy::construct(&weaver).unwrap();

@@ -12,10 +12,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use weavepar::distribution::{
-    message_packing_aspect, mpp_distribution_aspect, InProcFabric, MarshalRegistry, Policy,
-    RemoteRef,
-};
+use weavepar::distribution::RemoteRef;
 use weavepar::prelude::*;
 use weavepar::{args, weaveable};
 
@@ -63,14 +60,11 @@ fn packing_plug_unplug_stress_loses_nothing() {
     let f = fabric();
     // One distribution aspect covers the whole class: `bump` and `total`
     // both execute remotely, with replies awaited.
-    weaver.plug(mpp_distribution_aspect(
-        "Distribution",
-        "Counter",
-        Pointcut::call("Counter.*"),
-        f.clone(),
-        Policy::fixed(0),
-        false,
-    ));
+    weaver.plug(
+        MppConfig::new("Counter", Pointcut::call("Counter.*"), f.clone())
+            .placement(Policy::fixed(0))
+            .aspect("Distribution"),
+    );
     let c = CounterProxy::construct(&weaver).unwrap();
     let remote = weaver
         .intertype()
@@ -123,14 +117,11 @@ fn packing_plug_unplug_stress_loses_nothing() {
 fn packing_replied_calls_identical_plugged_or_not() {
     let weaver = Weaver::new();
     let f = fabric();
-    weaver.plug(mpp_distribution_aspect(
-        "Distribution",
-        "Counter",
-        Pointcut::call("Counter.*"),
-        f.clone(),
-        Policy::fixed(0),
-        false,
-    ));
+    weaver.plug(
+        MppConfig::new("Counter", Pointcut::call("Counter.*"), f.clone())
+            .placement(Policy::fixed(0))
+            .aspect("Distribution"),
+    );
     let c = CounterProxy::construct(&weaver).unwrap();
 
     let (aspect, packer) = message_packing_aspect(
